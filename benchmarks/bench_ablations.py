@@ -1,0 +1,49 @@
+"""Ablation benches: what each SAFELOC design choice contributes.
+
+Not a paper artefact — DESIGN.md calls these out as the design-choice
+studies a reproduction should add: aggregation rule, client-side
+de-noising, and the §III self-labeling loop.
+"""
+
+from repro.experiments.ablations import (
+    run_aggregation_ablation,
+    run_denoise_ablation,
+    run_self_labeling_ablation,
+)
+
+
+def test_ablation_aggregation(benchmark, preset, save_report):
+    result = benchmark.pedantic(
+        run_aggregation_ablation, args=(preset,), rounds=1, iterations=1
+    )
+    save_report("ablation_aggregation", result.format_report())
+    # the saliency rule must defend label flipping at least as well as
+    # plain FedAvg (its entire purpose)
+    lf = result.scenarios[-1]
+    assert result.errors[("saliency-relative", lf)] <= (
+        result.errors[("fedavg", lf)] * 1.25
+    )
+
+
+def test_ablation_denoise(benchmark, preset, save_report):
+    result = benchmark.pedantic(
+        run_denoise_ablation, args=(preset,), rounds=1, iterations=1
+    )
+    save_report("ablation_denoise", result.format_report())
+    # de-noising must not hurt the clean case by more than a small factor
+    assert result.errors[("denoise-on", "clean")] <= (
+        result.errors[("denoise-off", "clean")] * 1.5 + 0.5
+    )
+
+
+def test_ablation_self_labeling(benchmark, preset, save_report):
+    result = benchmark.pedantic(
+        run_self_labeling_ablation, args=(preset,), rounds=1, iterations=1
+    )
+    save_report("ablation_self_labeling", result.format_report())
+    # the pseudo-label loop is the amplifier: under the backdoor attack,
+    # oracle labels bound the damage
+    backdoor = result.scenarios[1]
+    assert result.errors[("oracle-labels", backdoor)] <= (
+        result.errors[("self-labeling", backdoor)] + 0.5
+    )

@@ -1,0 +1,26 @@
+"""Bench for Fig. 1 — FEDLOC/FEDHIL degradation under data poisoning.
+
+Regenerates the paper's motivation experiment: best/mean/worst
+localization errors of the two prior frameworks under label-flipping and
+FGSM backdoor attacks.  Expected shape (§I): both frameworks inflate by
+multiples under attack; backdoor hurts FEDLOC more than label flipping;
+FEDHIL is markedly more backdoor-resilient than FEDLOC.
+"""
+
+from repro.experiments.fig1_motivation import run_fig1
+
+
+def test_fig1_motivation(benchmark, preset, save_report):
+    result = benchmark.pedantic(run_fig1, args=(preset,), rounds=1, iterations=1)
+    save_report("fig1_motivation", result.format_report())
+
+    # Paper-shape assertions (§I / Fig. 1)
+    assert result.inflation("fedloc", "fgsm") > 2.0, (
+        "backdoor poisoning must inflate FEDLOC's mean error by multiples"
+    )
+    assert result.inflation("fedloc", "label_flip") > 1.5, (
+        "label flipping must inflate FEDLOC's mean error"
+    )
+    assert result.inflation("fedhil", "fgsm") < result.inflation("fedloc", "fgsm"), (
+        "FEDHIL's selective aggregation is more backdoor-resilient than FEDLOC"
+    )

@@ -1,0 +1,29 @@
+"""Bench for Fig. 4 — reconstruction threshold (τ) sweep.
+
+Regenerates SAFELOC's mean error per (τ, building) under mixed attacks.
+Expected shape (§V.B): the across-building error is minimized at small
+τ ≈ 0.1 and grows for large τ (≥ 0.3), where poisoned fingerprints pass
+the detector and corrupt the GM.
+"""
+
+import numpy as np
+
+from repro.experiments.fig4_threshold import run_fig4
+
+
+def test_fig4_threshold(benchmark, preset, save_report):
+    result = benchmark.pedantic(run_fig4, args=(preset,), rounds=1, iterations=1)
+    save_report("fig4_threshold", result.format_report())
+
+    grid = result.tau_grid
+    mean_by_tau = {
+        tau: float(np.mean([result.errors[(tau, b)] for b in result.buildings]))
+        for tau in grid
+    }
+    best = result.best_tau()
+    # The optimum sits in the small-τ region of the sweep (paper: τ = 0.1)
+    assert best <= 0.2, f"best τ = {best}, expected in the small-τ region"
+    # Large τ (detector effectively off) must be worse than the optimum
+    assert mean_by_tau[grid[-1]] > mean_by_tau[best], (
+        "disabling detection (large τ) should raise the error"
+    )

@@ -1,0 +1,25 @@
+"""Bench for Fig. 5 — SAFELOC mean error heatmap over attack × ε.
+
+Expected shape (§V.C): backdoor rows (CLB/FGSM/PGD/MIM) stay stable
+across ε — the detector + de-noising absorb the perturbations — while the
+label-flip row rises at large ε (the paper reaches 4.38 m at ε = 1.0).
+"""
+
+import numpy as np
+
+from repro.experiments.fig5_heatmap import run_fig5
+
+
+def test_fig5_heatmap(benchmark, preset, save_report):
+    result = benchmark.pedantic(run_fig5, args=(preset,), rounds=1, iterations=1)
+    save_report("fig5_heatmap", result.format_report())
+
+    # Backdoor rows are ε-stable: no cell explodes relative to the row min
+    for attack in ("clb", "fgsm", "pgd", "mim"):
+        row = result.row(attack)
+        assert max(row) < 4.0 * max(min(row), 0.5), (
+            f"{attack} row should stay stable across ε, got {row}"
+        )
+    # SAFELOC's errors stay in the low-metre regime everywhere
+    all_cells = [v for v in result.errors.values()]
+    assert max(all_cells) < 8.0

@@ -1,0 +1,24 @@
+"""Bench for Fig. 7 — scalability with growing (total, poisoned) clients.
+
+Expected shape (§V.E): FEDHIL's mean error rises as poisoned clients grow
+from 1 to half the federation; SAFELOC stays stable and lowest throughout.
+"""
+
+from repro.experiments.fig7_scalability import run_fig7
+
+
+def test_fig7_scalability(benchmark, preset, save_report):
+    result = benchmark.pedantic(run_fig7, args=(preset,), rounds=1, iterations=1)
+    save_report("fig7_scalability", result.format_report())
+
+    # SAFELOC lowest at the largest scale
+    last = result.grid[-1]
+    safeloc_last = result.errors[("safeloc", last)]
+    for other in ("onlad", "fedhil"):
+        assert safeloc_last <= result.errors[(other, last)], (
+            f"SAFELOC should be lowest at {last}; {other} was better"
+        )
+    # FEDHIL degrades with the poisoned ratio more than SAFELOC does
+    assert result.growth("fedhil") > result.growth("safeloc"), (
+        "FEDHIL's error should grow faster with poisoned clients"
+    )

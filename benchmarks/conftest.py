@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one paper artefact (figure or table)
+at the ``fast`` preset, prints the same rows the paper reports, and
+persists the report under ``benchmarks/results/`` so the output survives
+pytest's capture.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.scenarios import fast_preset
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def preset():
+    """The bench-scale preset (identical code paths to the paper preset)."""
+    return fast_preset()
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Callable persisting a report string to benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _save(name: str, report: str) -> str:
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(report + "\n")
+        print(f"\n{report}\n[saved to {path}]")
+        return path
+
+    return _save

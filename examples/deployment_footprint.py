@@ -1,0 +1,78 @@
+"""Deployment footprint study: how small can the shipped models get?
+
+The paper's Table I argues SAFELOC's fused architecture is the most
+deployable (fewest parameters, lowest inference cost).  This example goes
+one step further down the deployment pipeline: post-training quantization
+of every framework's weights to 8/6/4 bits, reporting shipped size and
+the cross-device accuracy cost — plus the staleness angle: how fast a
+frozen (non-federated) model ages as the building's RF environment
+drifts.
+
+Run:  python examples/deployment_footprint.py
+"""
+
+import numpy as np
+
+from repro.baselines import make_framework
+from repro.baselines.registry import COMPARISON_FRAMEWORKS
+from repro.data import paper_protocol, scaled_building
+from repro.data.devices import paper_devices
+from repro.data.temporal import TemporalDrift, staleness_curve
+from repro.metrics import quantization_report
+from repro.utils.rng import SeedSequence
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    building = scaled_building("building5", rp_fraction=0.3, ap_fraction=0.4)
+    train, tests = paper_protocol(building, seed=21)
+    probe = tests["HTC U11"]
+
+    # --- quantization table across frameworks ---------------------------
+    rows = []
+    for name in COMPARISON_FRAMEWORKS:
+        spec = make_framework(name, building.num_aps, building.num_rps, seed=21)
+        model = spec.model_factory()
+        model.train_epochs(
+            train, epochs=150, lr=0.003,
+            rng=np.random.default_rng(21), trusted=True,
+        )
+        r8 = quantization_report(model, probe.features, probe.labels, bits=8)
+        r4 = quantization_report(model, probe.features, probe.labels, bits=4)
+        rows.append(
+            (
+                name,
+                r8.float_size_bytes // 1024,
+                r8.size_bytes // 1024,
+                f"{r8.accuracy_drop * 100:+.1f}%",
+                r4.size_bytes // 1024,
+                f"{r4.accuracy_drop * 100:+.1f}%",
+            )
+        )
+    print(format_table(
+        ["framework", "fp32 KiB", "int8 KiB", "int8 acc drop",
+         "int4 KiB", "int4 acc drop"],
+        rows,
+        title="Post-training quantization across frameworks",
+    ))
+
+    # --- staleness of a frozen model -------------------------------------
+    drift = TemporalDrift(building, correlation=0.85, seeds=SeedSequence(21))
+    device = paper_devices()["Motorola Z2"]
+    day0 = drift.collect(device, 5)
+    spec = make_framework("safeloc", building.num_aps, building.num_rps, seed=21)
+    model = spec.model_factory()
+    model.train_epochs(day0, epochs=250, lr=0.003,
+                       rng=np.random.default_rng(21), trusted=True)
+    curve = staleness_curve(model, drift, device, days=30, step=10)
+    print()
+    print(format_table(
+        ["day", "mean error (m)"],
+        sorted(curve.items()),
+        title="Frozen SAFELOC model vs environment drift "
+              "(why continual FL adaptation matters)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

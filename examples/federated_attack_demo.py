@@ -1,0 +1,83 @@
+"""Federated poisoning demo: SAFELOC vs an undefended baseline.
+
+Builds two federations over the same building and clients — one running
+SAFELOC (fused model + saliency aggregation), one running FEDLOC (plain
+DNN + FedAvg) — puts a boosted label-flipping attacker among the clients,
+and reports how each global model's accuracy evolves round by round.
+
+Run:  python examples/federated_attack_demo.py [attack] [epsilon]
+      e.g. python examples/federated_attack_demo.py fgsm 0.5
+"""
+
+import sys
+
+import numpy as np
+
+from repro.attacks import ATTACK_NAMES, create_attack
+from repro.baselines import make_framework
+from repro.data import paper_protocol, scaled_building
+from repro.fl import FederationConfig, build_federation
+from repro.metrics import evaluate_model
+from repro.utils.rng import SeedSequence
+from repro.utils.tables import format_table
+
+
+def main(attack: str = "label_flip", epsilon: float = 1.0) -> None:
+    if attack not in ATTACK_NAMES:
+        raise SystemExit(f"unknown attack {attack!r}; choices: {ATTACK_NAMES}")
+    building = scaled_building("building5", rp_fraction=0.3, ap_fraction=0.4)
+    train, tests = paper_protocol(building, seed=42)
+    config = FederationConfig(
+        num_clients=6,
+        num_malicious=1,
+        num_rounds=6,
+        client_epochs=10,
+        client_lr=0.003,
+        malicious_epochs=40,   # the attacker owns the device: trains hard
+        malicious_lr=0.01,
+        client_fingerprints_per_rp=2,
+    )
+    print(
+        f"Scenario: {attack} attack (eps={epsilon}), "
+        f"{config.num_malicious}/{config.num_clients} clients malicious"
+    )
+
+    trajectories = {}
+    for name in ("safeloc", "fedloc"):
+        spec = make_framework(name, building.num_aps, building.num_rps, seed=42)
+        server = build_federation(
+            building,
+            spec.model_factory,
+            spec.strategy,
+            config,
+            SeedSequence(42),
+            attack_factory=lambda: create_attack(
+                attack, epsilon, num_classes=building.num_rps
+            ),
+        )
+        server.pretrain(train, epochs=200, lr=0.003)
+        series = [evaluate_model(server.model, tests, building).mean]
+        for _ in range(config.num_rounds):
+            server.run_round()
+            series.append(evaluate_model(server.model, tests, building).mean)
+        trajectories[name] = series
+
+    rounds = list(range(config.num_rounds + 1))
+    rows = [
+        (f"round {r}", trajectories["safeloc"][r], trajectories["fedloc"][r])
+        for r in rounds
+    ]
+    print()
+    print(format_table(
+        ["", "SAFELOC mean err (m)", "FEDLOC mean err (m)"], rows,
+        title="Global-model error trajectory under attack",
+    ))
+    final_ratio = trajectories["fedloc"][-1] / max(trajectories["safeloc"][-1], 1e-9)
+    print(f"\nAfter {config.num_rounds} rounds SAFELOC is {final_ratio:.1f}x "
+          f"more accurate than the undefended baseline.")
+
+
+if __name__ == "__main__":
+    attack = sys.argv[1] if len(sys.argv) > 1 else "label_flip"
+    epsilon = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0
+    main(attack, epsilon)

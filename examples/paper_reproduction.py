@@ -1,0 +1,45 @@
+"""Regenerate every table and figure of the paper in one run.
+
+Drives all six experiment modules at the chosen preset and prints the
+same rows the paper reports.  ``fast`` (default) takes minutes; ``paper``
+uses the full §V.A configuration (all five buildings at full size, 700
+pre-train epochs, full ε/τ grids) and takes hours of CPU; ``tiny`` is a
+seconds-scale smoke run.
+
+Run:  python examples/paper_reproduction.py [tiny|fast|paper]
+"""
+
+import sys
+import time
+
+from repro.experiments.fig1_motivation import run_fig1
+from repro.experiments.fig4_threshold import run_fig4
+from repro.experiments.fig5_heatmap import run_fig5
+from repro.experiments.fig6_comparison import run_fig6
+from repro.experiments.fig7_scalability import run_fig7
+from repro.experiments.scenarios import get_preset
+from repro.experiments.table1_overheads import run_table1
+
+ARTEFACTS = (
+    ("Table I", run_table1),
+    ("Fig. 1", run_fig1),
+    ("Fig. 4", run_fig4),
+    ("Fig. 5", run_fig5),
+    ("Fig. 6", run_fig6),
+    ("Fig. 7", run_fig7),
+)
+
+
+def main(preset_name: str = "fast") -> None:
+    preset = get_preset(preset_name)
+    print(f"Reproducing all paper artefacts at the {preset.name!r} preset\n")
+    for label, driver in ARTEFACTS:
+        start = time.time()
+        result = driver(preset)
+        elapsed = time.time() - start
+        print(result.format_report())
+        print(f"[{label} regenerated in {elapsed:.0f}s]\n")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "fast")

@@ -1,0 +1,10 @@
+"""Setup shim so editable installs work without the ``wheel`` package.
+
+All real metadata lives in ``pyproject.toml``; this file exists because the
+offline environment lacks ``bdist_wheel`` support, and
+``pip install -e . --no-use-pep517`` needs a ``setup.py``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""SAFELOC reproduction (DATE 2025).
+
+A from-scratch Python implementation of "SAFELOC: Overcoming Data Poisoning
+Attacks in Heterogeneous Federated Machine Learning for Indoor Localization"
+plus every substrate it depends on:
+
+* :mod:`repro.nn` — numpy deep-learning framework (layers, losses, Adam,
+  input gradients for attacks),
+* :mod:`repro.data` — synthetic multi-building, multi-device Wi-Fi RSS
+  fingerprint generator,
+* :mod:`repro.attacks` — CLB/FGSM/PGD/MIM backdoor attacks and label
+  flipping,
+* :mod:`repro.fl` — federated-learning simulation (clients, server, rounds,
+  pluggable aggregation),
+* :mod:`repro.core` — the SAFELOC fused network, RCE poison detection, and
+  saliency-map aggregation,
+* :mod:`repro.baselines` — FEDLOC, FEDHIL, FEDCC, FEDLS, ONLAD, KRUM,
+* :mod:`repro.metrics` / :mod:`repro.experiments` — localization error,
+  latency and footprint metrics, and one driver per paper figure/table.
+
+Quickstart::
+
+    from repro.experiments import scenarios
+    from repro.experiments.runner import run_framework
+
+    preset = scenarios.fast_preset()
+    result = run_framework("safeloc", attack="fgsm", preset=preset)
+    print(result.error_summary)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,47 @@
+"""Data poisoning attacks from §III.A of the paper.
+
+Backdoor attacks perturb the local RSS fingerprints using gradients of the
+global model's loss (Clean-Label Backdoor, FGSM, PGD, MIM); the
+label-flipping attack leaves fingerprints intact and corrupts labels.  All
+attacks operate in the normalized [0, 1] feature space and respect it as a
+hard box constraint.
+"""
+
+from repro.attacks.base import (
+    Attack,
+    GradientOracle,
+    PoisonReport,
+    classifier_gradient_oracle,
+)
+from repro.attacks.clb import CleanLabelBackdoor
+from repro.attacks.fgsm import FGSM
+from repro.attacks.pgd import PGD
+from repro.attacks.mim import MIM
+from repro.attacks.label_flip import LabelFlip
+from repro.attacks.variants import GaussianNoise, TargetedLabelFlip
+from repro.attacks.registry import (
+    ATTACK_NAMES,
+    BACKDOOR_ATTACKS,
+    PAPER_ATTACKS,
+    create_attack,
+    is_backdoor,
+)
+
+__all__ = [
+    "Attack",
+    "PoisonReport",
+    "GradientOracle",
+    "classifier_gradient_oracle",
+    "CleanLabelBackdoor",
+    "FGSM",
+    "PGD",
+    "MIM",
+    "LabelFlip",
+    "TargetedLabelFlip",
+    "GaussianNoise",
+    "create_attack",
+    "ATTACK_NAMES",
+    "PAPER_ATTACKS",
+    "BACKDOOR_ATTACKS",
+    "is_backdoor",
+]

@@ -1,0 +1,71 @@
+"""Clean Label Backdoor attack (§III.A eq. 1).
+
+``X' = X + ε · δ(∇J(X, Y))`` where ``δ`` is a mask computed from the
+gradients of the global model's loss: only the most loss-salient feature
+dimensions of each fingerprint are perturbed (the "mask value along with
+the perturbation strength"), and labels are left untouched — which is what
+makes the backdoor "clean label" and hard to spot by inspecting data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.attacks.base import Attack, GradientOracle, PoisonReport
+from repro.data.datasets import FingerprintDataset
+
+
+class CleanLabelBackdoor(Attack):
+    """Masked sign-gradient perturbation on the most salient AP dimensions.
+
+    Args:
+        epsilon: Perturbation magnitude in normalized feature units.
+        mask_fraction: Fraction of feature dimensions (APs) perturbed per
+            sample — the support of the paper's mask ``δ``.
+    """
+
+    name = "clb"
+    is_backdoor = True
+
+    def __init__(self, epsilon: float, mask_fraction: float = 0.25):
+        super().__init__(epsilon)
+        if not 0.0 < mask_fraction <= 1.0:
+            raise ValueError(
+                f"mask_fraction must be in (0, 1], got {mask_fraction}"
+            )
+        self.mask_fraction = float(mask_fraction)
+
+    def _gradient_mask(self, grad: np.ndarray) -> np.ndarray:
+        """Per-sample binary mask selecting the top-|∇| feature dimensions."""
+        num_features = grad.shape[1]
+        k = max(1, int(round(self.mask_fraction * num_features)))
+        # indices of the k largest |grad| entries per row
+        top = np.argpartition(-np.abs(grad), k - 1, axis=1)[:, :k]
+        mask = np.zeros_like(grad)
+        np.put_along_axis(mask, top, 1.0, axis=1)
+        return mask
+
+    def poison(
+        self,
+        dataset: FingerprintDataset,
+        oracle: Optional[GradientOracle],
+        rng: np.random.Generator,
+    ) -> PoisonReport:
+        del rng
+        if self.epsilon == 0.0 or len(dataset) == 0:
+            return self._no_op_report(dataset)
+        oracle = self._require_oracle(oracle)
+        grad = oracle(dataset.features, dataset.labels)
+        mask = self._gradient_mask(grad)
+        poisoned = self._clip_unit(
+            dataset.features + self.epsilon * mask * np.sign(grad)
+        )
+        modified = np.any(poisoned != dataset.features, axis=1)
+        return PoisonReport(
+            dataset=dataset.with_features(poisoned),
+            attack=self.name,
+            epsilon=self.epsilon,
+            modified_mask=modified,
+        )

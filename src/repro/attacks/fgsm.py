@@ -1,0 +1,42 @@
+"""Fast Gradient Sign Method backdoor attack (§III.A eq. 2).
+
+One-step, non-iterative:  ``X' = X + ε · sign(∇_X J(X, Y))``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.attacks.base import Attack, GradientOracle, PoisonReport
+from repro.data.datasets import FingerprintDataset
+
+
+class FGSM(Attack):
+    """Single-step sign-gradient perturbation of all local fingerprints."""
+
+    name = "fgsm"
+    is_backdoor = True
+
+    def poison(
+        self,
+        dataset: FingerprintDataset,
+        oracle: Optional[GradientOracle],
+        rng: np.random.Generator,
+    ) -> PoisonReport:
+        del rng  # deterministic given the oracle
+        if self.epsilon == 0.0 or len(dataset) == 0:
+            return self._no_op_report(dataset)
+        oracle = self._require_oracle(oracle)
+        grad = oracle(dataset.features, dataset.labels)
+        poisoned = self._clip_unit(
+            dataset.features + self.epsilon * np.sign(grad)
+        )
+        modified = np.any(poisoned != dataset.features, axis=1)
+        return PoisonReport(
+            dataset=dataset.with_features(poisoned),
+            attack=self.name,
+            epsilon=self.epsilon,
+            modified_mask=modified,
+        )

@@ -1,0 +1,68 @@
+"""Label-flipping attack (§III.A eq. 5).
+
+Fingerprints stay clean; a fraction ε of the local samples get their RP
+label replaced with a different one (``FLIP(y)``), so the poisoned local
+model learns to associate valid RSS data with wrong locations.  Flipping
+to a *distant* RP maximizes localization damage, matching the paper's
+description of labels being "randomly altered" to incorrect classes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.attacks.base import Attack, GradientOracle, PoisonReport
+from repro.data.datasets import FingerprintDataset
+
+
+class LabelFlip(Attack):
+    """Flip labels of a random ε-fraction of samples to wrong classes.
+
+    Args:
+        epsilon: Fraction of local samples flipped (the paper's ε sweep for
+            label flipping).
+        num_classes: Number of RP classes; inferred from the dataset labels
+            when omitted (which under-counts if the subset misses the last
+            RP — pass it explicitly in FL code).
+    """
+
+    name = "label_flip"
+    is_backdoor = False
+
+    def __init__(self, epsilon: float, num_classes: Optional[int] = None):
+        super().__init__(epsilon)
+        if num_classes is not None and num_classes < 2:
+            raise ValueError("need at least 2 classes to flip labels")
+        self.num_classes = num_classes
+
+    def poison(
+        self,
+        dataset: FingerprintDataset,
+        oracle: Optional[GradientOracle],
+        rng: np.random.Generator,
+    ) -> PoisonReport:
+        del oracle  # label flipping needs no gradients
+        if self.epsilon == 0.0 or len(dataset) == 0:
+            return self._no_op_report(dataset)
+        num_classes = self.num_classes or dataset.num_classes
+        if num_classes < 2:
+            raise ValueError("need at least 2 classes to flip labels")
+        n = len(dataset)
+        num_flip = int(round(self.epsilon * n))
+        if num_flip == 0:
+            return self._no_op_report(dataset)
+        flip_idx = rng.choice(n, size=num_flip, replace=False)
+        labels = dataset.labels.copy()
+        # draw a wrong class: offset in [1, num_classes-1] mod num_classes
+        offsets = rng.integers(1, num_classes, size=num_flip)
+        labels[flip_idx] = (labels[flip_idx] + offsets) % num_classes
+        modified = np.zeros(n, dtype=bool)
+        modified[flip_idx] = True
+        return PoisonReport(
+            dataset=dataset.with_labels(labels),
+            attack=self.name,
+            epsilon=self.epsilon,
+            modified_mask=modified,
+        )

@@ -1,0 +1,57 @@
+"""Name-based attack construction used by the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.attacks.base import Attack
+from repro.attacks.clb import CleanLabelBackdoor
+from repro.attacks.fgsm import FGSM
+from repro.attacks.label_flip import LabelFlip
+from repro.attacks.mim import MIM
+from repro.attacks.pgd import PGD
+from repro.attacks.variants import GaussianNoise, TargetedLabelFlip
+
+_FACTORIES = {
+    "clb": CleanLabelBackdoor,
+    "fgsm": FGSM,
+    "pgd": PGD,
+    "mim": MIM,
+    "label_flip": LabelFlip,
+    # extensions beyond the paper's five (ablations / controls)
+    "targeted_label_flip": TargetedLabelFlip,
+    "gaussian_noise": GaussianNoise,
+}
+
+#: the paper's §III.A attack set
+PAPER_ATTACKS = ("clb", "fgsm", "pgd", "mim", "label_flip")
+ATTACK_NAMES = tuple(_FACTORIES)
+BACKDOOR_ATTACKS = ("clb", "fgsm", "pgd", "mim", "gaussian_noise")
+
+
+def create_attack(name: str, epsilon: float, **kwargs) -> Attack:
+    """Instantiate one of the paper's five attacks by name.
+
+    Extra keyword arguments are forwarded to the attack constructor
+    (e.g. ``num_steps`` for PGD/MIM, ``num_classes`` for label flipping);
+    arguments the chosen attack does not accept are silently dropped, so
+    sweep drivers can pass one uniform kwargs set across all five attacks.
+    """
+    import inspect
+
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown attack {name!r}; choices: {sorted(_FACTORIES)}"
+        ) from None
+    accepted = set(inspect.signature(factory.__init__).parameters)
+    filtered = {k: v for k, v in kwargs.items() if k in accepted}
+    return factory(epsilon, **filtered)
+
+
+def is_backdoor(name: str) -> bool:
+    """True for the gradient-based fingerprint-perturbation attacks."""
+    if name not in _FACTORIES:
+        raise KeyError(f"unknown attack {name!r}; choices: {sorted(_FACTORIES)}")
+    return name in BACKDOOR_ATTACKS

@@ -1,0 +1,101 @@
+"""Attack variants beyond the paper's five methods.
+
+Extensions used by the ablation studies and robustness analyses:
+
+* :class:`TargetedLabelFlip` — every poisoned sample is relabelled to one
+  attacker-chosen reference point (the "lure everyone to the exit"
+  threat), versus the paper's untargeted random flips;
+* :class:`GaussianNoise` — non-adversarial corruption at matched ε.  A
+  detector should tolerate benign noise while catching *structured*
+  perturbations of the same magnitude; this is the control attack that
+  separates the two.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.attacks.base import Attack, GradientOracle, PoisonReport
+from repro.data.datasets import FingerprintDataset
+
+
+class TargetedLabelFlip(Attack):
+    """Flip an ε-fraction of labels to one fixed target class.
+
+    Args:
+        epsilon: Fraction of local samples relabelled.
+        target_class: RP every poisoned sample is relabelled to.
+    """
+
+    name = "targeted_label_flip"
+    is_backdoor = False
+
+    def __init__(self, epsilon: float, target_class: int = 0):
+        super().__init__(epsilon)
+        if target_class < 0:
+            raise ValueError("target_class must be >= 0")
+        self.target_class = int(target_class)
+
+    def poison(
+        self,
+        dataset: FingerprintDataset,
+        oracle: Optional[GradientOracle],
+        rng: np.random.Generator,
+    ) -> PoisonReport:
+        del oracle
+        if self.epsilon == 0.0 or len(dataset) == 0:
+            return self._no_op_report(dataset)
+        if self.target_class >= dataset.num_classes:
+            raise ValueError(
+                f"target class {self.target_class} outside "
+                f"[0, {dataset.num_classes})"
+            )
+        n = len(dataset)
+        # only samples not already at the target are worth flipping
+        candidates = np.flatnonzero(dataset.labels != self.target_class)
+        num_flip = min(int(round(self.epsilon * n)), candidates.size)
+        if num_flip == 0:
+            return self._no_op_report(dataset)
+        flip_idx = rng.choice(candidates, size=num_flip, replace=False)
+        labels = dataset.labels.copy()
+        labels[flip_idx] = self.target_class
+        modified = np.zeros(n, dtype=bool)
+        modified[flip_idx] = True
+        return PoisonReport(
+            dataset=dataset.with_labels(labels),
+            attack=self.name,
+            epsilon=self.epsilon,
+            modified_mask=modified,
+        )
+
+
+class GaussianNoise(Attack):
+    """Add unstructured Gaussian noise of standard deviation ε.
+
+    Not an adversarial attack — the control condition: perturbations with
+    the same per-feature magnitude as FGSM but no gradient structure.
+    """
+
+    name = "gaussian_noise"
+    is_backdoor = True  # perturbs features, so it exercises the detector
+
+    def poison(
+        self,
+        dataset: FingerprintDataset,
+        oracle: Optional[GradientOracle],
+        rng: np.random.Generator,
+    ) -> PoisonReport:
+        del oracle  # noise needs no gradients
+        if self.epsilon == 0.0 or len(dataset) == 0:
+            return self._no_op_report(dataset)
+        noise = rng.normal(0.0, self.epsilon, size=dataset.features.shape)
+        poisoned = self._clip_unit(dataset.features + noise)
+        modified = np.any(poisoned != dataset.features, axis=1)
+        return PoisonReport(
+            dataset=dataset.with_features(poisoned),
+            attack=self.name,
+            epsilon=self.epsilon,
+            modified_mask=modified,
+        )

@@ -1,0 +1,44 @@
+"""State-of-the-art comparison frameworks from §II / §V of the paper.
+
+Every baseline pairs a model with an aggregation strategy:
+
+==========  =======================  =====================================
+Framework   Model                    Aggregation
+==========  =======================  =====================================
+FEDLOC      3-layer DNN              FedAvg                           [10]
+FEDHIL      3-layer DNN              selective weight tensors          [9]
+FEDCC       3-layer DNN              cluster-and-filter               [23]
+FEDLS       3-layer DNN + server AE  latent-space anomaly filter      [24]
+ONLAD       DNN + on-device AE       FedAvg (detector drops samples)  [25]
+KRUM        MLP                      Krum single-LM selection         [22]
+==========  =======================  =====================================
+"""
+
+from repro.baselines.dnn import DNNLocalizer
+from repro.baselines.fedloc import make_fedloc
+from repro.baselines.fedhil import SelectiveAggregation, make_fedhil
+from repro.baselines.fedcc import ClusteredAggregation, make_fedcc
+from repro.baselines.fedls import LatentSpaceAggregation, UpdateAutoencoder, make_fedls
+from repro.baselines.onlad import OnDeviceAnomalyModel, make_onlad
+from repro.baselines.krum import KrumAggregation, make_krum
+from repro.baselines.knn import WknnLocalizer
+from repro.baselines.registry import FRAMEWORK_NAMES, make_framework
+
+__all__ = [
+    "DNNLocalizer",
+    "make_fedloc",
+    "make_fedhil",
+    "SelectiveAggregation",
+    "make_fedcc",
+    "ClusteredAggregation",
+    "make_fedls",
+    "LatentSpaceAggregation",
+    "UpdateAutoencoder",
+    "make_onlad",
+    "OnDeviceAnomalyModel",
+    "make_krum",
+    "KrumAggregation",
+    "WknnLocalizer",
+    "FRAMEWORK_NAMES",
+    "make_framework",
+]

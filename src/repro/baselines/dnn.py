@@ -1,0 +1,107 @@
+"""The three-layer DNN global model shared by FEDLOC and FEDHIL.
+
+Both papers use "a three-layer deep neural network" as their GM (§I); this
+is its :class:`~repro.fl.interfaces.LocalizationModel` wrapper around the
+numpy substrate, and the building block the other baselines extend.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.attacks.base import GradientOracle, classifier_gradient_oracle
+from repro.data.datasets import FingerprintDataset, iterate_batches
+from repro.fl.interfaces import LocalizationModel, StateDict
+from repro.nn import Adam, Linear, ReLU, Sequential, SparseCrossEntropyLoss
+from repro.utils.rng import spawn_rng
+
+
+class DNNLocalizer(LocalizationModel):
+    """Feed-forward RSS classifier: input → hidden layers → RP logits.
+
+    Args:
+        input_dim: Number of APs (feature dimension).
+        num_classes: Number of reference points.
+        hidden: Hidden layer widths; the default ``(128, 64)`` gives the
+            three-weight-layer DNN of FEDLOC/FEDHIL.
+        seed: Weight-init seed.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        num_classes: int,
+        hidden: Tuple[int, ...] = (128, 64),
+        seed: int = 0,
+    ):
+        if input_dim <= 0 or num_classes <= 0:
+            raise ValueError("input_dim and num_classes must be positive")
+        self.input_dim = int(input_dim)
+        self.num_classes = int(num_classes)
+        self.hidden = tuple(int(h) for h in hidden)
+        self.seed = int(seed)
+        rng = spawn_rng(seed, "dnn-localizer")
+        layers = []
+        prev = self.input_dim
+        for width in self.hidden:
+            layers.extend([Linear(prev, width, rng), ReLU()])
+            prev = width
+        layers.append(Linear(prev, self.num_classes, rng))
+        self.network = Sequential(*layers)
+        self._loss = SparseCrossEntropyLoss()
+
+    # -- LocalizationModel interface -------------------------------------
+    def state_dict(self) -> StateDict:
+        return self.network.state_dict()
+
+    def load_state_dict(self, state: StateDict) -> None:
+        self.network.load_state_dict(state)
+
+    def train_epochs(
+        self,
+        dataset: FingerprintDataset,
+        epochs: int,
+        lr: float,
+        rng: np.random.Generator,
+        batch_size: int = 32,
+        trusted: bool = False,
+    ) -> float:
+        del trusted  # the plain DNN has no client-side defense to skip
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        optimizer = Adam(self.network.trainable_parameters(), lr=lr)
+        self.network.train()
+        final = 0.0
+        for _ in range(epochs):
+            losses = []
+            for features, labels in iterate_batches(dataset, batch_size, rng):
+                self.network.zero_grad()
+                loss_value = self._loss(self.network.forward(features), labels)
+                self.network.backward(self._loss.backward())
+                optimizer.step()
+                losses.append(loss_value)
+            final = float(np.mean(losses))
+        return final
+
+    def logits(self, features: np.ndarray) -> np.ndarray:
+        """Raw class scores (used by metrics and tests)."""
+        self.network.eval()
+        return self.network.forward(features)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self.logits(features).argmax(axis=1)
+
+    def gradient_oracle(self) -> GradientOracle:
+        return classifier_gradient_oracle(self.network, SparseCrossEntropyLoss())
+
+    def clone(self) -> "DNNLocalizer":
+        copy = DNNLocalizer(
+            self.input_dim, self.num_classes, hidden=self.hidden, seed=self.seed
+        )
+        copy.load_state_dict(self.state_dict())
+        return copy
+
+    def evaluate_loss(self, dataset: FingerprintDataset) -> float:
+        return float(self._loss(self.logits(dataset.features), dataset.labels))

@@ -1,0 +1,27 @@
+"""FEDLOC (Yin et al. [10]): DNN global model + plain FedAvg.
+
+No defense mechanism of any kind — the paper's lower bound, showing the
+highest errors across all attack types (§V.D).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.dnn import DNNLocalizer
+from repro.fl.aggregation import FedAvg
+from repro.fl.interfaces import FrameworkSpec
+
+#: FEDLOC's DNN is the largest undefended model in Table I (137,801 params
+#: in the paper); these widths reproduce that scale and ordering.
+FEDLOC_HIDDEN = (256, 256)
+
+
+def make_fedloc(input_dim: int, num_classes: int, seed: int = 0) -> FrameworkSpec:
+    """FEDLOC framework bundle."""
+    return FrameworkSpec(
+        name="fedloc",
+        model_factory=lambda: DNNLocalizer(
+            input_dim, num_classes, hidden=FEDLOC_HIDDEN, seed=seed
+        ),
+        strategy=FedAvg(),
+        description="FEDLOC: DNN + FedAvg, no poisoning defense [10]",
+    )

@@ -1,0 +1,180 @@
+"""FEDLS (Luong et al. [24]): latent-space anomaly filtering of LM updates.
+
+FEDLS "employs autoencoder-based latent space representations to detect
+anomalous LM updates".  Each round the server summarizes every LM delta
+(LM − GM) into per-tensor statistics, trains a small autoencoder on those
+summaries, and drops the updates whose reconstruction error is an outlier
+before FedAvg.  Training a fresh model-sized detector every round is what
+makes FEDLS "resource-intensive" (§II) — its Table I footprint is the
+largest of all frameworks, which the wide client DNN here reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.baselines.dnn import DNNLocalizer
+from repro.fl.aggregation import AggregationStrategy, ClientUpdate
+from repro.fl.interfaces import FrameworkSpec
+from repro.fl.state import StateDict, state_sub, state_weighted_mean
+from repro.nn import Adam, Linear, MSELoss, ReLU, Sequential
+from repro.utils.rng import spawn_rng
+
+#: FEDLS's client DNN per Table I (282,676 params in the paper — largest).
+FEDLS_HIDDEN = (384, 320)
+
+
+class UpdateAutoencoder:
+    """Small dense AE over LM-update summary features.
+
+    Args:
+        feature_dim: Summary feature width (4 stats per weight tensor).
+        hidden / latent: AE widths.
+        epochs / lr: Per-round training schedule.
+        seed: Weight-init seed.
+    """
+
+    def __init__(
+        self,
+        feature_dim: int,
+        hidden: int = 16,
+        latent: int = 4,
+        epochs: int = 150,
+        lr: float = 0.01,
+        seed: int = 0,
+    ):
+        if feature_dim <= 0:
+            raise ValueError("feature_dim must be positive")
+        rng = spawn_rng(seed, "fedls-update-ae")
+        self.network = Sequential(
+            Linear(feature_dim, hidden, rng),
+            ReLU(),
+            Linear(hidden, latent, rng),
+            ReLU(),
+            Linear(latent, hidden, rng),
+            ReLU(),
+            Linear(hidden, feature_dim, rng),
+        )
+        self.epochs = int(epochs)
+        self.lr = float(lr)
+        self._loss = MSELoss()
+
+    def fit(self, features: np.ndarray) -> None:
+        """Self-supervised fit on this round's update summaries."""
+        optimizer = Adam(self.network.trainable_parameters(), lr=self.lr)
+        for _ in range(self.epochs):
+            self.network.zero_grad()
+            self._loss(self.network.forward(features), features)
+            self.network.backward(self._loss.backward())
+            optimizer.step()
+
+    def reconstruction_errors(self, features: np.ndarray) -> np.ndarray:
+        """Per-row reconstruction RMSE."""
+        recon = self.network.forward(features)
+        return np.sqrt(((features - recon) ** 2).mean(axis=1))
+
+
+def summarize_delta(delta: StateDict) -> np.ndarray:
+    """Fixed-order per-tensor statistics: (mean|·|, std, max|·|, L2)."""
+    stats: List[float] = []
+    for key in sorted(delta):
+        tensor = delta[key]
+        stats.extend(
+            [
+                float(np.abs(tensor).mean()),
+                float(tensor.std()),
+                float(np.abs(tensor).max()),
+                float(np.linalg.norm(tensor.ravel())),
+            ]
+        )
+    return np.asarray(stats)
+
+
+class LatentSpaceAggregation(AggregationStrategy):
+    """Drop latent-space-anomalous LM updates, FedAvg the rest.
+
+    Detection is leave-one-out: each update's summary is scored by an
+    autoencoder fitted on the *other* updates of the round.  An honest
+    update reconstructs well (its peers look alike); a poisoned update is
+    off-manifold for a detector that never saw it.  (Fitting a single AE
+    on all updates would let it memorize the outlier — with a handful of
+    clients per round the outlier even dominates the fit.)
+
+    Args:
+        outlier_factor: An update is dropped when its leave-one-out error
+            exceeds ``outlier_factor ×`` the median error of the round.
+        detector_epochs: AE fit budget per leave-one-out fold.
+        seed: Detector-init seed.
+    """
+
+    name = "fedls-latent"
+
+    def __init__(
+        self,
+        outlier_factor: float = 3.0,
+        detector_epochs: int = 120,
+        seed: int = 0,
+    ):
+        if outlier_factor <= 1.0:
+            raise ValueError("outlier_factor must be > 1")
+        if detector_epochs <= 0:
+            raise ValueError("detector_epochs must be positive")
+        self.outlier_factor = float(outlier_factor)
+        self.detector_epochs = int(detector_epochs)
+        self.seed = int(seed)
+        self._round = 0
+
+    def aggregate(
+        self,
+        global_state: StateDict,
+        updates: Sequence[ClientUpdate],
+    ) -> StateDict:
+        updates = self._require_updates(updates)
+        self._round += 1
+        if len(updates) < 3:
+            return state_weighted_mean(
+                [u.state for u in updates],
+                [max(1, u.num_samples) for u in updates],
+            )
+        summaries = np.stack(
+            [summarize_delta(state_sub(u.state, global_state)) for u in updates]
+        )
+        # robust column normalization (median/MAD) so the outlier cannot
+        # dominate the feature scale
+        centre = np.median(summaries, axis=0)
+        spread = np.median(np.abs(summaries - centre), axis=0)
+        spread[spread == 0] = 1.0
+        normalized = (summaries - centre) / spread
+        errors = np.empty(len(updates))
+        for idx in range(len(updates)):
+            peers = np.delete(normalized, idx, axis=0)
+            detector = UpdateAutoencoder(
+                normalized.shape[1],
+                epochs=self.detector_epochs,
+                seed=self.seed + 1000 * self._round + idx,
+            )
+            detector.fit(peers)
+            errors[idx] = detector.reconstruction_errors(
+                normalized[idx : idx + 1]
+            )[0]
+        threshold = self.outlier_factor * (np.median(errors) + 1e-12)
+        kept = [u for u, e in zip(updates, errors) if e <= threshold]
+        if not kept:  # never drop everyone
+            kept = list(updates)
+        return state_weighted_mean(
+            [u.state for u in kept], [max(1, u.num_samples) for u in kept]
+        )
+
+
+def make_fedls(input_dim: int, num_classes: int, seed: int = 0) -> FrameworkSpec:
+    """FEDLS framework bundle."""
+    return FrameworkSpec(
+        name="fedls",
+        model_factory=lambda: DNNLocalizer(
+            input_dim, num_classes, hidden=FEDLS_HIDDEN, seed=seed
+        ),
+        strategy=LatentSpaceAggregation(seed=seed),
+        description="FEDLS: DNN + latent-space update anomaly filter [24]",
+    )

@@ -1,0 +1,131 @@
+"""Classical weighted k-nearest-neighbour fingerprinting (non-FL baseline).
+
+WkNN is the field's pre-deep-learning standard for RSS fingerprinting
+(§II's "traditional non-FL-based solutions" lineage): no training beyond
+storing the radio map, localization by similarity to stored fingerprints.
+It contextualizes the learned models — any DNN framework should beat WkNN
+under device heterogeneity, since WkNN has no mechanism to absorb
+device-conditional distortion.
+
+Exposed through the :class:`~repro.fl.interfaces.LocalizationModel`
+interface so the metrics and examples treat it like every other model
+(``train_epochs`` appends to the radio map; the epoch/lr arguments are
+ignored).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.attacks.base import GradientOracle
+from repro.data.datasets import FingerprintDataset
+from repro.fl.interfaces import LocalizationModel, StateDict
+
+
+class WknnLocalizer(LocalizationModel):
+    """Weighted kNN over a stored radio map.
+
+    Args:
+        input_dim / num_classes: Problem shape.
+        k: Neighbours consulted per query.
+        distance: ``"euclidean"`` or ``"manhattan"`` fingerprint metric.
+    """
+
+    DISTANCES = ("euclidean", "manhattan")
+
+    def __init__(
+        self,
+        input_dim: int,
+        num_classes: int,
+        k: int = 3,
+        distance: str = "euclidean",
+    ):
+        if input_dim <= 0 or num_classes <= 0:
+            raise ValueError("input_dim and num_classes must be positive")
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if distance not in self.DISTANCES:
+            raise ValueError(
+                f"unknown distance {distance!r}; choices: {self.DISTANCES}"
+            )
+        self.input_dim = int(input_dim)
+        self.num_classes = int(num_classes)
+        self.k = int(k)
+        self.distance = distance
+        self._map_features = np.zeros((0, input_dim))
+        self._map_labels = np.zeros(0, dtype=np.int64)
+
+    @property
+    def radio_map_size(self) -> int:
+        return int(self._map_features.shape[0])
+
+    # -- LocalizationModel interface -------------------------------------
+    def state_dict(self) -> StateDict:
+        return {
+            "radio_map.features": self._map_features.copy(),
+            "radio_map.labels": self._map_labels.astype(np.float64).copy(),
+        }
+
+    def load_state_dict(self, state: StateDict) -> None:
+        features = np.asarray(state["radio_map.features"], dtype=np.float64)
+        labels = np.asarray(state["radio_map.labels"]).astype(np.int64)
+        if features.ndim != 2 or features.shape[1] != self.input_dim:
+            raise ValueError("radio map feature shape mismatch")
+        if labels.shape[0] != features.shape[0]:
+            raise ValueError("radio map label count mismatch")
+        self._map_features = features.copy()
+        self._map_labels = labels.copy()
+
+    def train_epochs(
+        self,
+        dataset: FingerprintDataset,
+        epochs: int,
+        lr: float,
+        rng: np.random.Generator,
+        batch_size: int = 32,
+        trusted: bool = False,
+    ) -> float:
+        """"Training" = appending the survey to the radio map."""
+        del epochs, lr, rng, batch_size, trusted
+        self._map_features = np.concatenate(
+            [self._map_features, dataset.features]
+        )
+        self._map_labels = np.concatenate([self._map_labels, dataset.labels])
+        return 0.0
+
+    def _distances(self, queries: np.ndarray) -> np.ndarray:
+        diff = queries[:, None, :] - self._map_features[None, :, :]
+        if self.distance == "manhattan":
+            return np.abs(diff).sum(axis=-1)
+        return np.sqrt((diff**2).sum(axis=-1))
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self.radio_map_size == 0:
+            raise RuntimeError("radio map is empty; call train_epochs first")
+        queries = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        dists = self._distances(queries)
+        k = min(self.k, self.radio_map_size)
+        neighbours = np.argpartition(dists, k - 1, axis=1)[:, :k]
+        out = np.empty(queries.shape[0], dtype=np.int64)
+        for row in range(queries.shape[0]):
+            idx = neighbours[row]
+            weights = 1.0 / (dists[row, idx] + 1e-9)
+            votes = np.zeros(self.num_classes)
+            np.add.at(votes, self._map_labels[idx], weights)
+            out[row] = int(votes.argmax())
+        return out
+
+    def gradient_oracle(self) -> GradientOracle:
+        raise NotImplementedError(
+            "WkNN has no gradients; gradient-based attacks need a "
+            "differentiable surrogate model"
+        )
+
+    def clone(self) -> "WknnLocalizer":
+        copy = WknnLocalizer(
+            self.input_dim, self.num_classes, k=self.k, distance=self.distance
+        )
+        copy.load_state_dict(self.state_dict())
+        return copy

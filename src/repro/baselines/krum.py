@@ -1,0 +1,76 @@
+"""KRUM (El Mhamdi et al. [22]): Byzantine-robust single-LM selection.
+
+"Euclidean distance-based filtering to select the LM update that deviated
+the least from the majority" (§II).  For each LM, the Krum score is the
+sum of squared distances to its n − f − 2 nearest peers; the LM with the
+lowest score becomes the new GM.  Because only one client's update
+survives each round, KRUM "fails to incorporate collaborative learning
+from all clients" — the heterogeneity weakness §II describes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.dnn import DNNLocalizer
+from repro.fl.aggregation import AggregationStrategy, ClientUpdate
+from repro.fl.interfaces import FrameworkSpec
+from repro.fl.state import StateDict, flatten_state
+
+#: KRUM used "a simple Multi-Layer Perceptron" (§II).
+KRUM_HIDDEN = (64,)
+
+
+class KrumAggregation(AggregationStrategy):
+    """Select the single LM with the lowest Krum score.
+
+    Args:
+        num_byzantine: Assumed number of malicious clients ``f``; the
+            score for each LM sums its distances to the ``n − f − 2``
+            closest other LMs.
+    """
+
+    name = "krum"
+
+    def __init__(self, num_byzantine: int = 1):
+        if num_byzantine < 0:
+            raise ValueError("num_byzantine must be >= 0")
+        self.num_byzantine = int(num_byzantine)
+
+    def krum_scores(self, updates: Sequence[ClientUpdate]) -> np.ndarray:
+        """Per-client Krum score (lower = more central)."""
+        vectors = np.stack([flatten_state(u.state)[0] for u in updates])
+        n = len(updates)
+        closest = max(1, n - self.num_byzantine - 2)
+        dists = ((vectors[:, None, :] - vectors[None, :, :]) ** 2).sum(axis=-1)
+        scores = np.empty(n)
+        for i in range(n):
+            others = np.delete(dists[i], i)
+            scores[i] = np.sort(others)[:closest].sum()
+        return scores
+
+    def aggregate(
+        self,
+        global_state: StateDict,
+        updates: Sequence[ClientUpdate],
+    ) -> StateDict:
+        updates = self._require_updates(updates)
+        if len(updates) == 1:
+            chosen = updates[0]
+        else:
+            chosen = updates[int(np.argmin(self.krum_scores(updates)))]
+        return {k: v.copy() for k, v in chosen.state.items()}
+
+
+def make_krum(input_dim: int, num_classes: int, seed: int = 0) -> FrameworkSpec:
+    """KRUM framework bundle."""
+    return FrameworkSpec(
+        name="krum",
+        model_factory=lambda: DNNLocalizer(
+            input_dim, num_classes, hidden=KRUM_HIDDEN, seed=seed
+        ),
+        strategy=KrumAggregation(),
+        description="KRUM: MLP + Byzantine-robust single-LM selection [22]",
+    )

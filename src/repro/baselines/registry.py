@@ -1,0 +1,58 @@
+"""Framework registry: every comparable system by name.
+
+Includes SAFELOC itself so experiment drivers can sweep
+``for name in FRAMEWORK_NAMES: make_framework(name, ...)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.baselines.fedcc import make_fedcc
+from repro.baselines.fedhil import make_fedhil
+from repro.baselines.fedloc import make_fedloc
+from repro.baselines.fedls import make_fedls
+from repro.baselines.krum import make_krum
+from repro.baselines.onlad import make_onlad
+from repro.fl.interfaces import FrameworkSpec
+
+
+def _make_safeloc(
+    input_dim: int, num_classes: int, seed: int = 0, **kwargs
+) -> FrameworkSpec:
+    # imported lazily to keep baselines importable without the core package
+    from repro.core.safeloc import make_safeloc
+
+    return make_safeloc(input_dim, num_classes, seed=seed, **kwargs)
+
+
+_FACTORIES: Dict[str, Callable[..., FrameworkSpec]] = {
+    "safeloc": _make_safeloc,
+    "onlad": make_onlad,
+    "fedhil": make_fedhil,
+    "fedcc": make_fedcc,
+    "fedls": make_fedls,
+    "fedloc": make_fedloc,
+    "krum": make_krum,
+}
+
+#: Fig. 6 / Table I comparison set, in the paper's ranking order, plus KRUM.
+FRAMEWORK_NAMES = tuple(_FACTORIES)
+COMPARISON_FRAMEWORKS = ("safeloc", "onlad", "fedhil", "fedcc", "fedls", "fedloc")
+
+
+def make_framework(
+    name: str, input_dim: int, num_classes: int, seed: int = 0, **kwargs
+) -> FrameworkSpec:
+    """Build a framework bundle by name.
+
+    Extra keyword arguments go to the framework factory (e.g. ``tau`` and
+    ``server_mixing`` for SAFELOC).
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown framework {name!r}; choices: {sorted(_FACTORIES)}"
+        ) from None
+    return factory(input_dim, num_classes, seed=seed, **kwargs)

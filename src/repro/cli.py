@@ -1,0 +1,148 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``experiment <artefact> [--preset fast]`` — regenerate one paper
+  artefact (``fig1 fig4 fig5 fig6 fig7 table1``) or ``all``;
+* ``ablation <axis> [--preset fast]`` — run one ablation study
+  (``aggregation``, ``denoise``, ``self-labeling``);
+* ``run <framework> [--attack fgsm --epsilon 0.5]`` — one federation and
+  its error summary;
+* ``info`` — package, framework and preset inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro import __version__
+from repro.attacks.registry import ATTACK_NAMES
+from repro.baselines.registry import FRAMEWORK_NAMES
+from repro.experiments.scenarios import PRESETS, get_preset
+
+_ARTEFACTS = ("table1", "fig1", "fig4", "fig5", "fig6", "fig7")
+_ABLATIONS = ("aggregation", "denoise", "self-labeling")
+
+
+def _artefact_driver(name: str):
+    from repro.experiments.fig1_motivation import run_fig1
+    from repro.experiments.fig4_threshold import run_fig4
+    from repro.experiments.fig5_heatmap import run_fig5
+    from repro.experiments.fig6_comparison import run_fig6
+    from repro.experiments.fig7_scalability import run_fig7
+    from repro.experiments.table1_overheads import run_table1
+
+    return {
+        "fig1": run_fig1,
+        "fig4": run_fig4,
+        "fig5": run_fig5,
+        "fig6": run_fig6,
+        "fig7": run_fig7,
+        "table1": run_table1,
+    }[name]
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    preset = get_preset(args.preset, seed=args.seed)
+    names = _ARTEFACTS if args.artefact == "all" else (args.artefact,)
+    for name in names:
+        start = time.time()
+        result = _artefact_driver(name)(preset)
+        print(result.format_report())
+        print(f"[{name} regenerated in {time.time() - start:.0f}s]\n")
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from repro.experiments.ablations import (
+        run_aggregation_ablation,
+        run_denoise_ablation,
+        run_self_labeling_ablation,
+    )
+
+    driver = {
+        "aggregation": run_aggregation_ablation,
+        "denoise": run_denoise_ablation,
+        "self-labeling": run_self_labeling_ablation,
+    }[args.axis]
+    preset = get_preset(args.preset, seed=args.seed)
+    print(driver(preset).format_report())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_framework
+
+    preset = get_preset(args.preset, seed=args.seed)
+    result = run_framework(
+        args.framework,
+        preset,
+        attack=args.attack,
+        epsilon=args.epsilon,
+        building_name=args.building,
+    )
+    print(
+        f"{result.framework} / {result.attack} eps={result.epsilon} on "
+        f"{result.building}: {result.error_summary}"
+    )
+    print(f"parameters: {result.parameter_count:,}")
+    if any(result.flagged_per_round):
+        print(f"flagged per round: {result.flagged_per_round}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    del args
+    print(f"repro {__version__} — SAFELOC reproduction (DATE 2025)")
+    print(f"frameworks: {', '.join(FRAMEWORK_NAMES)}")
+    print(f"attacks:    {', '.join(ATTACK_NAMES)}")
+    print(f"presets:    {', '.join(PRESETS)}")
+    print(f"artefacts:  {', '.join(_ARTEFACTS)} (or 'all')")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SAFELOC reproduction command-line interface",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper artefact")
+    exp.add_argument("artefact", choices=(*_ARTEFACTS, "all"))
+    exp.add_argument("--preset", default="fast", choices=tuple(PRESETS))
+    exp.add_argument("--seed", type=int, default=42)
+    exp.set_defaults(func=_cmd_experiment)
+
+    abl = sub.add_parser("ablation", help="run an ablation study")
+    abl.add_argument("axis", choices=_ABLATIONS)
+    abl.add_argument("--preset", default="fast", choices=tuple(PRESETS))
+    abl.add_argument("--seed", type=int, default=42)
+    abl.set_defaults(func=_cmd_ablation)
+
+    run = sub.add_parser("run", help="one federation under one scenario")
+    run.add_argument("framework", choices=FRAMEWORK_NAMES)
+    run.add_argument("--attack", choices=ATTACK_NAMES, default=None)
+    run.add_argument("--epsilon", type=float, default=0.5)
+    run.add_argument("--building", default=None)
+    run.add_argument("--preset", default="fast", choices=tuple(PRESETS))
+    run.add_argument("--seed", type=int, default=42)
+    run.set_defaults(func=_cmd_run)
+
+    info = sub.add_parser("info", help="package inventory")
+    info.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

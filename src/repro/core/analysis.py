@@ -1,0 +1,105 @@
+"""Detection-quality analysis for the RCE poison detector.
+
+Quantifies the detector underneath SAFELOC's Fig. 4 threshold choice:
+precision/recall of the τ-flagging against ground-truth poison masks, and
+the full ROC sweep over τ — the operating curve a deployment would use to
+pick τ for its own building and device mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DetectionQuality:
+    """Confusion statistics of poison flagging at one threshold.
+
+    Attributes:
+        true_positives / false_positives / true_negatives /
+        false_negatives: Confusion counts.
+    """
+
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        denom = self.false_positives + self.true_negatives
+        return self.false_positives / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def detection_quality(
+    flags: np.ndarray, poisoned_mask: np.ndarray
+) -> DetectionQuality:
+    """Confusion statistics of detector flags against ground truth.
+
+    Args:
+        flags: Boolean detector output per sample.
+        poisoned_mask: Boolean ground truth per sample.
+    """
+    flags = np.asarray(flags, dtype=bool)
+    poisoned_mask = np.asarray(poisoned_mask, dtype=bool)
+    if flags.shape != poisoned_mask.shape:
+        raise ValueError(
+            f"shape mismatch: flags {flags.shape} vs mask {poisoned_mask.shape}"
+        )
+    return DetectionQuality(
+        true_positives=int((flags & poisoned_mask).sum()),
+        false_positives=int((flags & ~poisoned_mask).sum()),
+        true_negatives=int((~flags & ~poisoned_mask).sum()),
+        false_negatives=int((~flags & poisoned_mask).sum()),
+    )
+
+
+def roc_curve(
+    rce: np.ndarray,
+    poisoned_mask: np.ndarray,
+    thresholds: Sequence[float],
+) -> List[Tuple[float, float, float]]:
+    """(τ, false-positive rate, recall) triples over a threshold sweep."""
+    rce = np.asarray(rce, dtype=np.float64)
+    poisoned_mask = np.asarray(poisoned_mask, dtype=bool)
+    if rce.shape != poisoned_mask.shape:
+        raise ValueError("rce and mask must align")
+    if len(thresholds) == 0:
+        raise ValueError("need at least one threshold")
+    out: List[Tuple[float, float, float]] = []
+    for tau in thresholds:
+        quality = detection_quality(rce > tau, poisoned_mask)
+        out.append((float(tau), quality.false_positive_rate, quality.recall))
+    return out
+
+
+def auc(roc: List[Tuple[float, float, float]]) -> float:
+    """Area under the (FPR, recall) curve via trapezoids.
+
+    Points are sorted by FPR; the curve is anchored at (0,0) and (1,1).
+    """
+    if not roc:
+        raise ValueError("empty ROC")
+    points = sorted([(fpr, rec) for _, fpr, rec in roc])
+    xs = np.array([0.0] + [p[0] for p in points] + [1.0])
+    ys = np.array([0.0] + [p[1] for p in points] + [1.0])
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz  # numpy 2/1 compat
+    return float(trapezoid(ys, xs))

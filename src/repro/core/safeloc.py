@@ -1,0 +1,260 @@
+"""The SAFELOC client/server pipeline (§IV) as a federation-ready model.
+
+:class:`SafeLocModel` wires the fused network and the RCE detector into the
+:class:`~repro.fl.interfaces.LocalizationModel` interface:
+
+* **training** (server pre-train and client local training): fingerprints
+  flagged by the detector are de-noised (replaced by their reconstruction)
+  before the joint MSE + cross-entropy step — the client-side backdoor
+  defense of §IV.A;
+* **inference**: fingerprints with RCE ≤ τ classify straight from the
+  latent; flagged ones are reconstructed, re-encoded, and then classified;
+* the matching server-side defense is
+  :class:`~repro.core.saliency.SaliencyAggregation`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.attacks.base import GradientOracle, classifier_gradient_oracle
+from repro.core.detection import DEFAULT_TAU, ThresholdDetector, reconstruction_errors
+from repro.core.fused_network import ENCODER_WIDTHS, FusedAutoencoderClassifier
+from repro.core.saliency import SaliencyAggregation
+from repro.data.datasets import FingerprintDataset, iterate_batches
+from repro.fl.interfaces import FrameworkSpec, LocalizationModel, StateDict
+from repro.nn import Adam, MSELoss, SparseCrossEntropyLoss
+
+
+class SafeLocModel(LocalizationModel):
+    """Fused network + τ-threshold defense as one federated model.
+
+    Args:
+        input_dim: Number of APs.
+        num_classes: Number of reference points.
+        tau: RCE detection threshold (paper optimum 0.1, Fig. 4).
+        recon_weight: Weight of the MSE branch in the joint training loss.
+        seed: Weight-init seed.
+        encoder_widths: Fused-network encoder widths (§V.A default).
+        denoise_training_data: Client-side de-noising of flagged samples
+            before local training (True per §IV; exposed for ablations).
+        corruption_noise_std / corruption_dropout: De-noising-autoencoder
+            corruption applied to *trusted* (server pre-training) inputs:
+            Gaussian feature noise and random AP erasure.  The decoder
+            learns to reconstruct the clean fingerprint from a corrupted
+            one — this is what makes it the paper's "de-noising decoder"
+            and what keeps heterogeneous-but-honest devices below τ while
+            adversarially structured perturbations stay above it.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        num_classes: int,
+        tau: float = DEFAULT_TAU,
+        recon_weight: float = 5.0,
+        seed: int = 0,
+        encoder_widths: Tuple[int, ...] = ENCODER_WIDTHS,
+        denoise_training_data: bool = True,
+        corruption_noise_std: float = 0.03,
+        corruption_dropout: float = 0.03,
+    ):
+        self.input_dim = int(input_dim)
+        self.num_classes = int(num_classes)
+        self.tau = float(tau)
+        self.recon_weight = float(recon_weight)
+        self.seed = int(seed)
+        self.encoder_widths = tuple(encoder_widths)
+        self.denoise_training_data = bool(denoise_training_data)
+        if corruption_noise_std < 0 or not 0.0 <= corruption_dropout < 1.0:
+            raise ValueError("invalid corruption parameters")
+        self.corruption_noise_std = float(corruption_noise_std)
+        self.corruption_dropout = float(corruption_dropout)
+        self.network = FusedAutoencoderClassifier(
+            input_dim, num_classes, seed=seed, encoder_widths=encoder_widths
+        )
+        self.detector = ThresholdDetector(tau)
+        self._mse = MSELoss()
+        self._ce = SparseCrossEntropyLoss()
+        #: samples flagged as poisoned during the most recent train_epochs
+        self.last_flagged_count = 0
+
+    # -- detection / de-noising -------------------------------------------
+    def reconstruction_errors(self, features: np.ndarray) -> np.ndarray:
+        """Per-sample RCE against the current autoencoder."""
+        return reconstruction_errors(self.network, features)
+
+    def denoise(self, features: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Replace flagged fingerprints with their reconstruction.
+
+        Returns ``(cleaned_features, flagged_mask)``.
+        """
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        rce = self.reconstruction_errors(features)
+        flagged = self.detector.flag(rce)
+        if not flagged.any():
+            return features.copy(), flagged
+        cleaned = features.copy()
+        cleaned[flagged] = self.network.reconstruct(features[flagged])
+        return cleaned, flagged
+
+    # -- LocalizationModel interface ----------------------------------------
+    def state_dict(self) -> StateDict:
+        return self.network.state_dict()
+
+    def load_state_dict(self, state: StateDict) -> None:
+        self.network.load_state_dict(state)
+
+    def train_epochs(
+        self,
+        dataset: FingerprintDataset,
+        epochs: int,
+        lr: float,
+        rng: np.random.Generator,
+        batch_size: int = 32,
+        trusted: bool = False,
+    ) -> float:
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if self.denoise_training_data and not trusted:
+            cleaned, flagged = self.denoise(dataset.features)
+            self.last_flagged_count = int(flagged.sum())
+            # Second-pass check: a successfully de-noised fingerprint lands
+            # back on the clean manifold (RCE ≤ τ).  Reconstructions that
+            # are *still* anomalous came from perturbations too large to
+            # invert — training on them would poison the LM, so they are
+            # dropped from the local update altogether.
+            if flagged.any():
+                still_bad = flagged & self.detector.flag(
+                    self.reconstruction_errors(cleaned)
+                )
+                if still_bad.any():
+                    keep = np.flatnonzero(~still_bad)
+                    if keep.size == 0:
+                        return 0.0  # nothing trustworthy: skip the update
+                    cleaned = cleaned[keep]
+                    flagged = flagged[keep]
+                    dataset = dataset.subset(keep)
+            dataset = dataset.with_features(cleaned)
+        else:
+            flagged = np.zeros(len(dataset), dtype=bool)
+            self.last_flagged_count = 0
+        optimizer = Adam(self.network.trainable_parameters(), lr=lr)
+        n = len(dataset)
+        final = 0.0
+        for _ in range(epochs):
+            losses = []
+            order = rng.permutation(n)
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                features = dataset.features[idx]
+                labels = dataset.labels[idx]
+                inputs = features
+                if trusted:
+                    inputs = self._corrupt(features, rng)
+                self.network.zero_grad()
+                latent = self.network.encode(inputs)
+                reconstruction = self.network.decode(latent)
+                logits = self.network.classify_latent(latent)
+                # de-noising objective: reconstruct the CLEAN fingerprint
+                mse = self._mse(reconstruction, features)
+                ce = self._ce(logits, labels)
+                grad_recon = self.recon_weight * self._mse.backward()
+                # flagged rows were *replaced by reconstructions*; feeding
+                # them back into the autoencoder objective would collapse
+                # the detector onto its own outputs, so only the
+                # classification branch learns from them.
+                grad_recon[flagged[idx]] = 0.0
+                self.network.joint_backward(grad_recon, self._ce.backward())
+                optimizer.step()
+                losses.append(ce + self.recon_weight * mse)
+            final = float(np.mean(losses))
+        return final
+
+    def _corrupt(self, features: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """DAE input corruption: Gaussian jitter + random AP erasure."""
+        corrupted = features
+        if self.corruption_noise_std > 0:
+            corrupted = corrupted + rng.normal(
+                0.0, self.corruption_noise_std, size=features.shape
+            )
+        if self.corruption_dropout > 0:
+            mask = rng.random(features.shape) < self.corruption_dropout
+            corrupted = np.where(mask, 0.0, corrupted)
+        return np.clip(corrupted, 0.0, 1.0)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """§IV.A inference: de-noise-and-re-encode fingerprints over τ."""
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        latent = self.network.encode(features)
+        reconstruction = self.network.decode(latent)
+        rce = np.sqrt(((features - reconstruction) ** 2).mean(axis=1))
+        flagged = self.detector.flag(rce)
+        if flagged.any():
+            # reconstructed fingerprint is re-supplied to the encoder
+            latent_denoised = self.network.encode(reconstruction[flagged])
+            latent[flagged] = latent_denoised
+        return self.network.classify_latent(latent).argmax(axis=1)
+
+    def gradient_oracle(self) -> GradientOracle:
+        """∇_X of the classification loss — what the paper's attacker uses
+        (the GM's loss function, eq. 1-4)."""
+        return classifier_gradient_oracle(self.network, SparseCrossEntropyLoss())
+
+    def clone(self) -> "SafeLocModel":
+        copy = SafeLocModel(
+            self.input_dim,
+            self.num_classes,
+            tau=self.tau,
+            recon_weight=self.recon_weight,
+            seed=self.seed,
+            encoder_widths=self.encoder_widths,
+            denoise_training_data=self.denoise_training_data,
+            corruption_noise_std=self.corruption_noise_std,
+            corruption_dropout=self.corruption_dropout,
+        )
+        copy.load_state_dict(self.state_dict())
+        return copy
+
+    def evaluate_loss(self, dataset: FingerprintDataset) -> float:
+        logits = self.network.classify_latent(
+            self.network.encode(dataset.features)
+        )
+        return float(self._ce(logits, dataset.labels))
+
+    def inference_macs(self) -> int:
+        """MACs of the §IV.A inference path: encode + decode (RCE check)
+        + classify.  The decoder shares (transposed) encoder weights, so
+        its MAC cost equals the encoder's even though it adds no
+        parameters."""
+        encoder_macs = sum(
+            linear.in_features * linear.out_features
+            for linear in self.network._encoder_linears
+        )
+        classifier_macs = self.network.latent_dim * self.num_classes
+        return 2 * encoder_macs + classifier_macs
+
+
+def make_safeloc(
+    input_dim: int,
+    num_classes: int,
+    seed: int = 0,
+    tau: float = DEFAULT_TAU,
+    **strategy_kwargs,
+) -> FrameworkSpec:
+    """The complete SAFELOC framework: fused model + saliency aggregation.
+
+    Extra keyword arguments configure
+    :class:`~repro.core.saliency.SaliencyAggregation` (``mode``,
+    ``tolerance``, ``power``, ``server_mixing``, ``adjustment``).
+    """
+    return FrameworkSpec(
+        name="safeloc",
+        model_factory=lambda: SafeLocModel(
+            input_dim, num_classes, tau=tau, seed=seed
+        ),
+        strategy=SaliencyAggregation(**strategy_kwargs),
+        description="SAFELOC: fused AE+classifier with saliency aggregation (this paper)",
+    )

@@ -1,0 +1,79 @@
+"""Synthetic Wi-Fi RSS fingerprint substrate.
+
+The paper evaluates on a private dataset collected with six phones across
+five buildings.  That dataset is not public, so this package generates the
+closest synthetic equivalent (documented in DESIGN.md):
+
+* :mod:`repro.data.buildings` — the paper's five floorplans (RP/AP counts
+  from §V.A) with serpentine reference-point paths at 1 m granularity,
+* :mod:`repro.data.propagation` — log-distance path loss with shadowing and
+  multipath noise,
+* :mod:`repro.data.devices` — six parametric heterogeneity profiles named
+  after the paper's phones,
+* :mod:`repro.data.fingerprints` — fingerprint collection following the
+  paper's protocol (train: 5 fingerprints/RP on one device; test: 1
+  fingerprint/RP on each remaining device),
+* :mod:`repro.data.datasets` / :mod:`repro.data.normalize` — dataset
+  containers, batching, and the paper's [0 dBm, −100 dBm] → [1, 0]
+  normalization.
+"""
+
+from repro.data.buildings import (
+    Building,
+    get_building,
+    list_buildings,
+    paper_buildings,
+    scaled_building,
+)
+from repro.data.devices import (
+    DeviceProfile,
+    get_device,
+    list_devices,
+    paper_devices,
+)
+from repro.data.propagation import PathLossModel
+from repro.data.normalize import (
+    RSS_FLOOR_DBM,
+    denormalize_rss,
+    normalize_rss,
+)
+from repro.data.datasets import FingerprintDataset, iterate_batches
+from repro.data.fingerprints import (
+    FingerprintCollector,
+    collect_dataset,
+    paper_protocol,
+)
+from repro.data.io import load_csv, save_csv
+from repro.data.trajectories import (
+    Trajectory,
+    TrajectorySimulator,
+    build_rp_graph,
+    tracking_error,
+)
+
+__all__ = [
+    "Building",
+    "paper_buildings",
+    "get_building",
+    "list_buildings",
+    "scaled_building",
+    "DeviceProfile",
+    "paper_devices",
+    "get_device",
+    "list_devices",
+    "PathLossModel",
+    "RSS_FLOOR_DBM",
+    "normalize_rss",
+    "denormalize_rss",
+    "FingerprintDataset",
+    "iterate_batches",
+    "FingerprintCollector",
+    "collect_dataset",
+    "paper_protocol",
+    "save_csv",
+    "load_csv",
+    "Trajectory",
+    "TrajectorySimulator",
+    "build_rp_graph",
+    "tracking_error",
+]

@@ -1,0 +1,170 @@
+"""Building floorplans matching §V.A of the paper.
+
+Each building is a rectangular floor with a serpentine corridor path of
+reference points (RPs) at 1 m granularity and a set of Wi-Fi access points
+(APs) placed deterministically from the building seed.  RP/AP counts follow
+the paper:
+
+=========  ====  ==========
+Building   RPs   visible APs
+=========  ====  ==========
+building1   60   203
+building2   48   201
+building3   70   187
+building4   80   135
+building5   90    78
+=========  ====  ==========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.utils.rng import spawn_rng
+
+
+@dataclass(frozen=True)
+class Building:
+    """A floorplan: RP path coordinates plus AP positions.
+
+    Attributes:
+        name: Identifier (``building1`` … ``building5`` for the paper set).
+        rp_coordinates: ``(num_rps, 2)`` metre coordinates of the reference
+            points, 1 m apart along a serpentine walking path.
+        ap_positions: ``(num_aps, 2)`` metre coordinates of the visible APs.
+        width / height: Floor extents in metres.
+    """
+
+    name: str
+    rp_coordinates: np.ndarray
+    ap_positions: np.ndarray
+    width: float
+    height: float
+
+    @property
+    def num_rps(self) -> int:
+        return int(self.rp_coordinates.shape[0])
+
+    @property
+    def num_aps(self) -> int:
+        return int(self.ap_positions.shape[0])
+
+    def rp_distance_matrix(self) -> np.ndarray:
+        """Pairwise metre distances between RPs, used to turn a predicted RP
+        index into a localization error."""
+        diff = self.rp_coordinates[:, None, :] - self.rp_coordinates[None, :, :]
+        return np.sqrt((diff**2).sum(axis=-1))
+
+    def __post_init__(self):
+        rp = np.asarray(self.rp_coordinates, dtype=np.float64)
+        ap = np.asarray(self.ap_positions, dtype=np.float64)
+        if rp.ndim != 2 or rp.shape[1] != 2:
+            raise ValueError(f"rp_coordinates must be (n, 2), got {rp.shape}")
+        if ap.ndim != 2 or ap.shape[1] != 2:
+            raise ValueError(f"ap_positions must be (n, 2), got {ap.shape}")
+        object.__setattr__(self, "rp_coordinates", rp)
+        object.__setattr__(self, "ap_positions", ap)
+
+
+def _serpentine_path(num_rps: int, width: float, corridor_gap: float = 3.0) -> np.ndarray:
+    """RPs along a boustrophedon corridor walk at 1 m granularity.
+
+    Walks left-to-right along a corridor row, steps ``corridor_gap`` metres
+    up, walks back right-to-left, and so on — the standard survey pattern
+    for fingerprint collection campaigns.
+    """
+    if num_rps <= 0:
+        raise ValueError("num_rps must be positive")
+    per_row = max(2, int(width))
+    points: List[Tuple[float, float]] = []
+    row = 0
+    while len(points) < num_rps:
+        xs = range(per_row)
+        if row % 2 == 1:
+            xs = reversed(list(xs))
+        for x in xs:
+            points.append((float(x), row * corridor_gap))
+            if len(points) == num_rps:
+                break
+        row += 1
+    return np.asarray(points, dtype=np.float64)
+
+
+def make_building(
+    name: str,
+    num_rps: int,
+    num_aps: int,
+    width: float = 30.0,
+    seed: int = 2025,
+) -> Building:
+    """Construct a building with a serpentine RP path and seeded AP layout.
+
+    APs are scattered uniformly over the floor (with a margin) plus a small
+    vertical offset representing ceiling mounts; the placement stream is
+    derived from ``(seed, name)`` so each building is reproducible yet
+    distinct.
+    """
+    rp = _serpentine_path(num_rps, width)
+    height = float(rp[:, 1].max() + 3.0)
+    rng = spawn_rng(seed, f"building-{name}")
+    ap_x = rng.uniform(-2.0, width + 2.0, size=num_aps)
+    ap_y = rng.uniform(-2.0, height + 2.0, size=num_aps)
+    aps = np.stack([ap_x, ap_y], axis=1)
+    return Building(
+        name=name,
+        rp_coordinates=rp,
+        ap_positions=aps,
+        width=width,
+        height=height,
+    )
+
+
+_PAPER_SPECS = {
+    "building1": (60, 203),
+    "building2": (48, 201),
+    "building3": (70, 187),
+    "building4": (80, 135),
+    "building5": (90, 78),
+}
+
+
+def paper_buildings(seed: int = 2025) -> Dict[str, Building]:
+    """The paper's five buildings (§V.A RP/AP counts)."""
+    return {
+        name: make_building(name, rps, aps, seed=seed)
+        for name, (rps, aps) in _PAPER_SPECS.items()
+    }
+
+
+def list_buildings() -> List[str]:
+    """Names of the paper's buildings, in order."""
+    return list(_PAPER_SPECS)
+
+
+def get_building(name: str, seed: int = 2025) -> Building:
+    """One of the paper's buildings by name."""
+    if name not in _PAPER_SPECS:
+        raise KeyError(f"unknown building {name!r}; choices: {list(_PAPER_SPECS)}")
+    rps, aps = _PAPER_SPECS[name]
+    return make_building(name, rps, aps, seed=seed)
+
+
+def scaled_building(name: str, rp_fraction: float, ap_fraction: float, seed: int = 2025) -> Building:
+    """A reduced-size version of a paper building for fast presets.
+
+    Keeps the same geometry generator but scales the RP and AP counts;
+    fractions are clamped so at least 8 RPs and 8 APs remain (below that
+    the localization task degenerates).
+    """
+    if not (0.0 < rp_fraction <= 1.0 and 0.0 < ap_fraction <= 1.0):
+        raise ValueError("fractions must be in (0, 1]")
+    rps, aps = _PAPER_SPECS[name]
+    return make_building(
+        name,
+        max(8, int(round(rps * rp_fraction))),
+        max(8, int(round(aps * ap_fraction))),
+        seed=seed,
+    )

@@ -1,0 +1,115 @@
+"""Dataset containers and batching for fingerprint data."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class FingerprintDataset:
+    """Normalized fingerprints with RP labels for one (building, device).
+
+    Attributes:
+        features: ``(n, num_aps)`` RSS values normalized to [0, 1].
+        labels: ``(n,)`` integer RP indices.
+        building: Building name the fingerprints were collected in.
+        device: Device name they were collected with.
+    """
+
+    features: np.ndarray
+    labels: np.ndarray
+    building: str = ""
+    device: str = ""
+
+    def __post_init__(self):
+        self.features = np.asarray(self.features, dtype=np.float64)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got {self.features.shape}")
+        if self.labels.ndim != 1:
+            raise ValueError(f"labels must be 1-D, got {self.labels.shape}")
+        if self.features.shape[0] != self.labels.shape[0]:
+            raise ValueError(
+                f"{self.features.shape[0]} feature rows vs "
+                f"{self.labels.shape[0]} labels"
+            )
+
+    def __len__(self) -> int:
+        return int(self.features.shape[0])
+
+    @property
+    def num_aps(self) -> int:
+        return int(self.features.shape[1])
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1 if len(self) else 0
+
+    def subset(self, indices: np.ndarray) -> "FingerprintDataset":
+        """Row subset preserving metadata."""
+        indices = np.asarray(indices)
+        return FingerprintDataset(
+            self.features[indices],
+            self.labels[indices],
+            building=self.building,
+            device=self.device,
+        )
+
+    def shuffled(self, rng: np.random.Generator) -> "FingerprintDataset":
+        """Row-shuffled copy."""
+        order = rng.permutation(len(self))
+        return self.subset(order)
+
+    def merge(self, other: "FingerprintDataset") -> "FingerprintDataset":
+        """Row-concatenate two datasets from the same building."""
+        if self.num_aps != other.num_aps:
+            raise ValueError(
+                f"AP-count mismatch: {self.num_aps} vs {other.num_aps}"
+            )
+        device = self.device if self.device == other.device else "mixed"
+        return FingerprintDataset(
+            np.concatenate([self.features, other.features]),
+            np.concatenate([self.labels, other.labels]),
+            building=self.building,
+            device=device,
+        )
+
+    def with_labels(self, labels: np.ndarray) -> "FingerprintDataset":
+        """Copy with replaced labels (used by the label-flipping attack)."""
+        return FingerprintDataset(
+            self.features.copy(),
+            labels,
+            building=self.building,
+            device=self.device,
+        )
+
+    def with_features(self, features: np.ndarray) -> "FingerprintDataset":
+        """Copy with replaced features (used by backdoor attacks)."""
+        return FingerprintDataset(
+            features,
+            self.labels.copy(),
+            building=self.building,
+            device=self.device,
+        )
+
+
+def iterate_batches(
+    dataset: FingerprintDataset,
+    batch_size: int,
+    rng: Optional[np.random.Generator] = None,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(features, labels)`` mini-batches, optionally shuffled.
+
+    The final partial batch is included (training code should handle
+    variable batch sizes, and ours does).
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    n = len(dataset)
+    order = rng.permutation(n) if rng is not None else np.arange(n)
+    for start in range(0, n, batch_size):
+        idx = order[start : start + batch_size]
+        yield dataset.features[idx], dataset.labels[idx]

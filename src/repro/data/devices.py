@@ -1,0 +1,116 @@
+"""Mobile-device heterogeneity profiles.
+
+Different phones observe different RSS for the same position because of
+antenna gain, chipset AGC curves, scan timing, and driver-level quantization
+— the phenomenon §I of the paper calls device heterogeneity.  Each profile
+applies a device-conditional distortion to the "true" propagated RSS:
+
+    observed = slope * rss + offset + noise,  then sensitivity flooring,
+    per-AP detection dropout, and quantization.
+
+The six profiles carry the names of the paper's phones (Samsung Galaxy S7,
+OnePlus 3, Motorola Z2, LG V20, BLU Vivo 8, HTC U11); the parameter values
+are synthetic but span the gain/noise ranges reported in device-
+heterogeneity studies.  The paper trains on the Motorola Z2 and tests on
+the rest; the HTC U11 is the attacker's device in every experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.data.normalize import RSS_FLOOR_DBM
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Parametric model of one phone's RSS reporting behaviour.
+
+    Attributes:
+        name: Device name (matches the paper's hardware list).
+        gain_offset_db: Additive bias applied to every reading.
+        gain_slope: Multiplicative gain (1.0 = faithful).
+        noise_std_db: Per-reading measurement noise.
+        sensitivity_dbm: Readings below this are reported as −100 dBm
+            (the AP is "not seen").
+        dropout_prob: Probability that a visible AP is missed entirely in
+            one scan (reported at the floor).
+        quantization_db: Reading resolution (most chipsets report whole
+            dBm).
+    """
+
+    name: str
+    gain_offset_db: float = 0.0
+    gain_slope: float = 1.0
+    noise_std_db: float = 2.0
+    sensitivity_dbm: float = -95.0
+    dropout_prob: float = 0.02
+    quantization_db: float = 1.0
+
+    def __post_init__(self):
+        if self.gain_slope <= 0:
+            raise ValueError("gain_slope must be positive")
+        if not 0.0 <= self.dropout_prob < 1.0:
+            raise ValueError("dropout_prob must be in [0, 1)")
+        if self.noise_std_db < 0:
+            raise ValueError("noise_std_db must be >= 0")
+
+    def observe(self, true_rss_dbm: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Apply the device distortion to a true RSS matrix (dBm in, dBm out)."""
+        rss = np.asarray(true_rss_dbm, dtype=np.float64)
+        observed = self.gain_slope * rss + self.gain_offset_db
+        if self.noise_std_db > 0:
+            observed = observed + rng.normal(0.0, self.noise_std_db, size=rss.shape)
+        if self.quantization_db > 0:
+            observed = np.round(observed / self.quantization_db) * self.quantization_db
+        observed = np.where(observed < self.sensitivity_dbm, RSS_FLOOR_DBM, observed)
+        if self.dropout_prob > 0:
+            mask = rng.random(rss.shape) < self.dropout_prob
+            observed = np.where(mask, RSS_FLOOR_DBM, observed)
+        return np.clip(observed, RSS_FLOOR_DBM, 0.0)
+
+
+# Distortion magnitudes are chosen so cross-device variation is clearly
+# visible in localization accuracy (the §I heterogeneity effect) while the
+# per-fingerprint RMS deviation stays below the paper's detection threshold
+# τ = 0.1 in normalized units — the premise of SAFELOC's detector ("allows
+# variance for device heterogeneity", §V.B).  AP-dropout in particular is
+# kept small: a single dropped strong AP moves RMSE by ~0.3/√APs.
+_PAPER_DEVICES = [
+    DeviceProfile("Samsung Galaxy S7", gain_offset_db=-3.0, gain_slope=1.01,
+                  noise_std_db=2.0, sensitivity_dbm=-94.0, dropout_prob=0.010),
+    DeviceProfile("OnePlus 3", gain_offset_db=2.5, gain_slope=0.99,
+                  noise_std_db=2.5, sensitivity_dbm=-96.0, dropout_prob=0.015),
+    DeviceProfile("Motorola Z2", gain_offset_db=0.0, gain_slope=1.0,
+                  noise_std_db=1.5, sensitivity_dbm=-97.0, dropout_prob=0.005),
+    DeviceProfile("LG V20", gain_offset_db=-4.0, gain_slope=1.02,
+                  noise_std_db=2.8, sensitivity_dbm=-92.0, dropout_prob=0.020),
+    DeviceProfile("BLU Vivo 8", gain_offset_db=3.5, gain_slope=0.97,
+                  noise_std_db=3.0, sensitivity_dbm=-91.0, dropout_prob=0.025),
+    DeviceProfile("HTC U11", gain_offset_db=-2.0, gain_slope=1.01,
+                  noise_std_db=2.2, sensitivity_dbm=-95.0, dropout_prob=0.010),
+]
+
+TRAIN_DEVICE = "Motorola Z2"
+ATTACKER_DEVICE = "HTC U11"
+
+
+def paper_devices() -> Dict[str, DeviceProfile]:
+    """The six phones of §V.A, keyed by name."""
+    return {d.name: d for d in _PAPER_DEVICES}
+
+
+def list_devices() -> List[str]:
+    """Device names in the paper's order."""
+    return [d.name for d in _PAPER_DEVICES]
+
+
+def get_device(name: str) -> DeviceProfile:
+    """One device profile by name."""
+    devices = paper_devices()
+    if name not in devices:
+        raise KeyError(f"unknown device {name!r}; choices: {list(devices)}")
+    return devices[name]

@@ -1,0 +1,127 @@
+"""Fingerprint collection following the paper's §V.A protocol.
+
+Training data: five fingerprints per RP collected with one device
+(Motorola Z2).  Test data: one fingerprint per RP from each of the
+remaining five devices.  The shadowing field is frozen per building so
+every visit sees the same walls; multipath and device noise vary per visit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.buildings import Building
+from repro.data.devices import (
+    ATTACKER_DEVICE,
+    TRAIN_DEVICE,
+    DeviceProfile,
+    paper_devices,
+)
+from repro.data.datasets import FingerprintDataset
+from repro.data.normalize import normalize_rss
+from repro.data.propagation import PathLossModel
+from repro.utils.rng import SeedSequence
+
+
+@dataclass
+class FingerprintCollector:
+    """Generates fingerprint datasets for one building.
+
+    The collector owns the building's frozen shadowing field, so every
+    dataset it produces is mutually consistent (same walls, different
+    visits/devices).
+
+    Args:
+        building: Floorplan to survey.
+        propagation: Radio model; defaults to the standard indoor
+            parameters in :class:`~repro.data.propagation.PathLossModel`.
+        seeds: Seed sequence; the shadowing stream is
+            ``shadowing-{building}`` and each visit draws from
+            ``visit-{building}-{device}-{index}``.
+    """
+
+    building: Building
+    propagation: PathLossModel = field(default_factory=PathLossModel)
+    seeds: SeedSequence = field(default_factory=lambda: SeedSequence(2025))
+
+    def __post_init__(self):
+        rng = self.seeds.rng(f"shadowing-{self.building.name}")
+        self._shadowing = self.propagation.shadowing_field(
+            self.building.num_rps, self.building.num_aps, rng
+        )
+
+    def collect(
+        self,
+        device: DeviceProfile,
+        fingerprints_per_rp: int,
+    ) -> FingerprintDataset:
+        """Survey the building with one device.
+
+        Returns a dataset of ``num_rps * fingerprints_per_rp`` normalized
+        fingerprints labelled with their RP index.
+        """
+        if fingerprints_per_rp <= 0:
+            raise ValueError("fingerprints_per_rp must be positive")
+        features: List[np.ndarray] = []
+        labels: List[np.ndarray] = []
+        for visit in range(fingerprints_per_rp):
+            rng = self.seeds.rng(
+                f"visit-{self.building.name}-{device.name}-{visit}"
+            )
+            true_rss = self.propagation.sample_rss(
+                self.building.rp_coordinates,
+                self.building.ap_positions,
+                rng,
+                shadowing=self._shadowing,
+            )
+            observed = device.observe(true_rss, rng)
+            features.append(normalize_rss(observed))
+            labels.append(np.arange(self.building.num_rps))
+        return FingerprintDataset(
+            np.concatenate(features),
+            np.concatenate(labels),
+            building=self.building.name,
+            device=device.name,
+        )
+
+
+def collect_dataset(
+    building: Building,
+    device_name: str,
+    fingerprints_per_rp: int,
+    seed: int = 2025,
+) -> FingerprintDataset:
+    """One-call dataset collection for a (building, device) pair."""
+    collector = FingerprintCollector(building, seeds=SeedSequence(seed))
+    return collector.collect(paper_devices()[device_name], fingerprints_per_rp)
+
+
+def paper_protocol(
+    building: Building,
+    seed: int = 2025,
+    train_fingerprints_per_rp: int = 5,
+    test_fingerprints_per_rp: int = 1,
+    train_device: str = TRAIN_DEVICE,
+) -> Tuple[FingerprintDataset, Dict[str, FingerprintDataset]]:
+    """The §V.A split: train on one device, test on the remaining five.
+
+    Returns:
+        ``(train, tests)`` where ``train`` is the training-device dataset
+        (default five fingerprints per RP on the Motorola Z2) and ``tests``
+        maps each remaining device name to its one-fingerprint-per-RP test
+        dataset.
+    """
+    devices = paper_devices()
+    if train_device not in devices:
+        raise KeyError(f"unknown train device {train_device!r}")
+    collector = FingerprintCollector(building, seeds=SeedSequence(seed))
+    train = collector.collect(devices[train_device], train_fingerprints_per_rp)
+    tests = {
+        name: collector.collect(profile, test_fingerprints_per_rp)
+        for name, profile in devices.items()
+        if name != train_device
+    }
+    return train, tests

@@ -1,0 +1,107 @@
+"""Dataset import/export in the UJIIndoorLoc-style CSV layout.
+
+Public Wi-Fi fingerprinting datasets (UJIIndoorLoc and its descendants)
+ship as CSV with one column per AP (``WAP001`` …), RSS in dBm with a
+sentinel for "not detected", plus label columns.  This module writes and
+reads that layout so the reproduction interoperates with real datasets:
+load a public CSV, and every framework/attack/metric in this repository
+runs on it unchanged.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.datasets import FingerprintDataset
+from repro.data.normalize import RSS_FLOOR_DBM, denormalize_rss, normalize_rss
+
+#: UJIIndoorLoc marks undetected APs with +100 dBm
+UJI_NOT_DETECTED = 100.0
+
+
+def _ap_column(index: int) -> str:
+    return f"WAP{index + 1:03d}"
+
+
+def save_csv(dataset: FingerprintDataset, path: str) -> str:
+    """Write a dataset as UJI-style CSV.
+
+    Features are converted from the internal [0, 1] scale back to dBm;
+    the floor value (−100 dBm, "not seen") is written as the UJI
+    ``+100`` sentinel.  Columns: ``WAP001..WAPnnn, LABEL, BUILDING,
+    DEVICE``.
+
+    Returns the path written.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    dbm = denormalize_rss(dataset.features)
+    headers = [_ap_column(i) for i in range(dataset.num_aps)]
+    headers += ["LABEL", "BUILDING", "DEVICE"]
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row, label in zip(dbm, dataset.labels):
+            values = [
+                UJI_NOT_DETECTED if value <= RSS_FLOOR_DBM else round(value, 2)
+                for value in row
+            ]
+            writer.writerow([*values, int(label), dataset.building, dataset.device])
+    return path
+
+
+def load_csv(path: str) -> FingerprintDataset:
+    """Read a UJI-style CSV written by :func:`save_csv` (or a public
+    dataset trimmed to the same columns).
+
+    AP columns are every header starting with ``WAP``; ``LABEL`` is
+    required; ``BUILDING``/``DEVICE`` are optional metadata.
+    """
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            headers = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path}: empty file") from None
+        ap_cols = [i for i, h in enumerate(headers) if h.upper().startswith("WAP")]
+        if not ap_cols:
+            raise ValueError(f"{path}: no WAP columns found")
+        try:
+            label_col = headers.index("LABEL")
+        except ValueError:
+            raise ValueError(f"{path}: missing LABEL column") from None
+        building_col = headers.index("BUILDING") if "BUILDING" in headers else None
+        device_col = headers.index("DEVICE") if "DEVICE" in headers else None
+
+        features: List[List[float]] = []
+        labels: List[int] = []
+        building = device = ""
+        for line_no, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            try:
+                rss = [float(row[i]) for i in ap_cols]
+                labels.append(int(row[label_col]))
+            except (ValueError, IndexError) as exc:
+                raise ValueError(f"{path}:{line_no}: malformed row") from exc
+            rss = [
+                RSS_FLOOR_DBM if value >= UJI_NOT_DETECTED else value
+                for value in rss
+            ]
+            features.append(rss)
+            if building_col is not None:
+                building = row[building_col]
+            if device_col is not None:
+                device = row[device_col]
+    if not features:
+        raise ValueError(f"{path}: no data rows")
+    return FingerprintDataset(
+        normalize_rss(np.asarray(features)),
+        np.asarray(labels, dtype=np.int64),
+        building=building,
+        device=device,
+    )

@@ -1,0 +1,30 @@
+"""RSS normalization per §V.A of the paper.
+
+"We standardized the RSS values between 0 dBm (strongest signal) and
+−100 dBm (weakest signal)" — models consume values in [0, 1] where 1 is
+strongest (0 dBm) and 0 is weakest (−100 dBm / not visible).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RSS_FLOOR_DBM = -100.0
+RSS_CEILING_DBM = 0.0
+
+
+def normalize_rss(rss_dbm: np.ndarray) -> np.ndarray:
+    """dBm in [−100, 0] → unit scale in [0, 1].
+
+    Values outside the dBm range are clipped first, matching how a real
+    pipeline floors non-visible APs at −100 dBm.
+    """
+    rss = np.clip(np.asarray(rss_dbm, dtype=np.float64), RSS_FLOOR_DBM, RSS_CEILING_DBM)
+    return (rss - RSS_FLOOR_DBM) / (RSS_CEILING_DBM - RSS_FLOOR_DBM)
+
+
+def denormalize_rss(rss_unit: np.ndarray) -> np.ndarray:
+    """Unit scale in [0, 1] → dBm in [−100, 0] (inverse of
+    :func:`normalize_rss` on in-range inputs)."""
+    unit = np.clip(np.asarray(rss_unit, dtype=np.float64), 0.0, 1.0)
+    return unit * (RSS_CEILING_DBM - RSS_FLOOR_DBM) + RSS_FLOOR_DBM

@@ -1,0 +1,98 @@
+"""Radio propagation model for synthetic RSS generation.
+
+The standard log-distance path-loss model with log-normal shadowing::
+
+    RSS(d) = P_tx - PL(d0) - 10 n log10(d / d0) + X_sigma
+
+plus optional small-scale multipath noise.  This is the canonical surrogate
+for indoor Wi-Fi RSS and produces fingerprints whose spatial structure is
+informative about position — the property the localization models rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.data.normalize import RSS_FLOOR_DBM
+
+
+@dataclass
+class PathLossModel:
+    """Log-distance path loss with shadowing.
+
+    Attributes:
+        tx_power_dbm: AP transmit power (dBm).
+        path_loss_exponent: Decay exponent ``n`` (≈1.8 free corridor,
+            ≈3–4 through walls; 2.7 is a typical indoor mixed value).
+        reference_loss_db: Loss at the reference distance ``d0`` = 1 m.
+        shadowing_std_db: Std-dev of the static log-normal shadowing field
+            (frozen per (AP, RP) pair — it models walls/furniture, which do
+            not change between visits).
+        multipath_std_db: Std-dev of per-visit small-scale fading noise.
+        floor_dbm: Sensitivity floor; anything weaker is reported as the
+            floor value (paper normalizes −100 dBm as "weakest").
+    """
+
+    tx_power_dbm: float = 20.0
+    path_loss_exponent: float = 2.7
+    reference_loss_db: float = 40.0
+    shadowing_std_db: float = 4.0
+    multipath_std_db: float = 1.5
+    floor_dbm: float = RSS_FLOOR_DBM
+
+    def __post_init__(self):
+        if self.path_loss_exponent <= 0:
+            raise ValueError("path_loss_exponent must be positive")
+        if self.shadowing_std_db < 0 or self.multipath_std_db < 0:
+            raise ValueError("noise std-devs must be >= 0")
+
+    def mean_rss(self, distances_m: np.ndarray) -> np.ndarray:
+        """Deterministic mean RSS (dBm) at the given metre distances."""
+        d = np.maximum(np.asarray(distances_m, dtype=np.float64), 1.0)
+        rss = (
+            self.tx_power_dbm
+            - self.reference_loss_db
+            - 10.0 * self.path_loss_exponent * np.log10(d)
+        )
+        return np.maximum(rss, self.floor_dbm)
+
+    def shadowing_field(
+        self, num_rps: int, num_aps: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Static shadowing offsets, one per (RP, AP) pair."""
+        return rng.normal(0.0, self.shadowing_std_db, size=(num_rps, num_aps))
+
+    def sample_rss(
+        self,
+        rp_coordinates: np.ndarray,
+        ap_positions: np.ndarray,
+        rng: np.random.Generator,
+        shadowing: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """One RSS matrix ``(num_rps, num_aps)`` in dBm.
+
+        Args:
+            rp_coordinates: ``(num_rps, 2)`` reference-point positions.
+            ap_positions: ``(num_aps, 2)`` AP positions.
+            rng: Source of multipath (and shadowing when not supplied).
+            shadowing: Optional pre-drawn static field from
+                :meth:`shadowing_field`; pass it to keep walls fixed across
+                repeated visits of the same building.
+        """
+        rp = np.asarray(rp_coordinates, dtype=np.float64)
+        ap = np.asarray(ap_positions, dtype=np.float64)
+        dists = np.sqrt(((rp[:, None, :] - ap[None, :, :]) ** 2).sum(axis=-1))
+        rss = self.mean_rss(dists)
+        if shadowing is None:
+            shadowing = self.shadowing_field(rp.shape[0], ap.shape[0], rng)
+        elif shadowing.shape != rss.shape:
+            raise ValueError(
+                f"shadowing shape {shadowing.shape} != rss shape {rss.shape}"
+            )
+        rss = rss + shadowing
+        if self.multipath_std_db > 0:
+            rss = rss + rng.normal(0.0, self.multipath_std_db, size=rss.shape)
+        return np.clip(rss, self.floor_dbm, 0.0)

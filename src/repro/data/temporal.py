@@ -1,0 +1,146 @@
+"""Temporal environment drift for longitudinal studies.
+
+RSS fingerprints age: furniture moves, doors open, occupancy changes —
+the "temporal variations" the paper's related work (STELLAR [6]) targets
+and one of the reasons FL-based adaptation beats static models (§II).
+This module evolves a building's shadowing field over time with a
+mean-reverting (Ornstein-Uhlenbeck) walk, so experiments can collect
+fingerprints "days" apart and measure model staleness and the benefit of
+continual federated adaptation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.data.buildings import Building
+from repro.data.datasets import FingerprintDataset
+from repro.data.devices import DeviceProfile
+from repro.data.normalize import normalize_rss
+from repro.data.propagation import PathLossModel
+from repro.utils.rng import SeedSequence
+
+
+@dataclass
+class TemporalDrift:
+    """Mean-reverting evolution of the per-(RP, AP) shadowing field.
+
+    Day ``t``'s field is ``S_t = ρ·S_{t−1} + √(1−ρ²)·σ·W_t`` — stationary
+    with the propagation model's shadowing variance, with day-to-day
+    correlation ρ.
+
+    Args:
+        building: Floorplan whose environment drifts.
+        propagation: Radio model (provides σ and the mean path loss).
+        correlation: Day-to-day shadowing correlation ρ (1 = static world,
+            0 = a fresh building every day).
+        seeds: Seed sequence; day fields derive from ``drift-day-{t}``.
+    """
+
+    building: Building
+    propagation: PathLossModel = field(default_factory=PathLossModel)
+    correlation: float = 0.97
+    seeds: SeedSequence = field(default_factory=lambda: SeedSequence(2025))
+
+    def __post_init__(self):
+        if not 0.0 <= self.correlation <= 1.0:
+            raise ValueError("correlation must be in [0, 1]")
+        rng = self.seeds.rng("drift-day-0")
+        self._day = 0
+        self._field = self.propagation.shadowing_field(
+            self.building.num_rps, self.building.num_aps, rng
+        )
+
+    @property
+    def day(self) -> int:
+        return self._day
+
+    def shadowing(self) -> np.ndarray:
+        """The current day's shadowing field (read-only copy)."""
+        return self._field.copy()
+
+    def advance(self, days: int = 1) -> np.ndarray:
+        """Evolve the environment by ``days`` and return the new field."""
+        if days <= 0:
+            raise ValueError("days must be positive")
+        rho = self.correlation
+        for _ in range(days):
+            self._day += 1
+            rng = self.seeds.rng(f"drift-day-{self._day}")
+            innovation = self.propagation.shadowing_field(
+                self.building.num_rps, self.building.num_aps, rng
+            )
+            self._field = rho * self._field + np.sqrt(1 - rho**2) * innovation
+        return self.shadowing()
+
+    def collect(
+        self,
+        device: DeviceProfile,
+        fingerprints_per_rp: int,
+    ) -> FingerprintDataset:
+        """Survey the building with today's environment."""
+        if fingerprints_per_rp <= 0:
+            raise ValueError("fingerprints_per_rp must be positive")
+        features = []
+        labels = []
+        for visit in range(fingerprints_per_rp):
+            rng = self.seeds.rng(
+                f"drift-visit-{self._day}-{device.name}-{visit}"
+            )
+            true_rss = self.propagation.sample_rss(
+                self.building.rp_coordinates,
+                self.building.ap_positions,
+                rng,
+                shadowing=self._field,
+            )
+            features.append(normalize_rss(device.observe(true_rss, rng)))
+            labels.append(np.arange(self.building.num_rps))
+        return FingerprintDataset(
+            np.concatenate(features),
+            np.concatenate(labels),
+            building=self.building.name,
+            device=device.name,
+        )
+
+
+def staleness_curve(
+    model,
+    drift: TemporalDrift,
+    device: DeviceProfile,
+    days: int,
+    step: int = 1,
+) -> Dict[int, float]:
+    """Mean localization error of a frozen model as the environment ages.
+
+    Args:
+        model: Any :class:`~repro.fl.interfaces.LocalizationModel`.
+        drift: Temporal drift process (advanced in place).
+        device: Probe device.
+        days: Total days simulated.
+        step: Evaluation cadence.
+
+    Returns:
+        ``{day: mean metre error}`` — typically rising with age, the
+        motivation for continual FL adaptation.
+    """
+    if days <= 0 or step <= 0:
+        raise ValueError("days and step must be positive")
+    dist = drift.building.rp_distance_matrix()
+    out: Dict[int, float] = {}
+    probe = drift.collect(device, 1)
+    out[drift.day] = float(
+        dist[model.predict(probe.features), probe.labels].mean()
+    )
+    elapsed = 0
+    while elapsed < days:
+        advance = min(step, days - elapsed)
+        drift.advance(advance)
+        elapsed += advance
+        probe = drift.collect(device, 1)
+        out[drift.day] = float(
+            dist[model.predict(probe.features), probe.labels].mean()
+        )
+    return out

@@ -1,0 +1,29 @@
+"""Experiment drivers — one module per paper artefact.
+
+==========================  =======================================
+Module                      Paper artefact
+==========================  =======================================
+``fig1_motivation``         Fig. 1 — FEDLOC/FEDHIL under attack
+``fig4_threshold``          Fig. 4 — reconstruction threshold sweep
+``fig5_heatmap``            Fig. 5 — attack × ε heatmap
+``fig6_comparison``         Fig. 6 — SAFELOC vs state of the art
+``table1_overheads``        Table I — latency and parameters
+``fig7_scalability``        Fig. 7 — client-count scaling
+==========================  =======================================
+
+Every driver takes a :class:`~repro.experiments.scenarios.Preset`; the
+``fast`` preset keeps runtimes bench-friendly while exercising the exact
+code paths of the ``paper`` preset.
+"""
+
+from repro.experiments.scenarios import Preset, fast_preset, paper_preset, tiny_preset
+from repro.experiments.runner import ExperimentResult, run_framework
+
+__all__ = [
+    "Preset",
+    "fast_preset",
+    "paper_preset",
+    "tiny_preset",
+    "ExperimentResult",
+    "run_framework",
+]

@@ -1,0 +1,170 @@
+"""Ablation studies for SAFELOC's design choices.
+
+The paper motivates several design decisions without isolating them; this
+module quantifies each one:
+
+* **aggregation** — saliency-map aggregation (relative mode) vs the
+  verbatim absolute eq. 7, plain FedAvg, and the classical robust rules
+  (coordinate median, trimmed mean, norm clipping);
+* **client defense** — the on-device de-noising path on/off;
+* **self-labeling** — the §III pseudo-label loop vs oracle labels
+  (how much of the attack surface comes from the FL formulation itself).
+
+Every ablation runs the same federation scenario (one boosted attacker)
+and reports the final GM's mean localization error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.attacks import create_attack
+from repro.core.safeloc import SafeLocModel
+from repro.core.saliency import SaliencyAggregation
+from repro.data.fingerprints import paper_protocol
+from repro.experiments.scenarios import Preset
+from repro.fl.aggregation import AggregationStrategy, FedAvg
+from repro.fl.robust import CoordinateMedian, NormClipping, TrimmedMean
+from repro.fl.simulation import build_federation
+from repro.metrics.localization import evaluate_model
+from repro.utils.rng import SeedSequence
+from repro.utils.tables import format_table
+
+#: the attack pair used by every ablation cell (one backdoor + label flip)
+ABLATION_ATTACKS = (("fgsm", None), ("label_flip", 1.0))
+
+
+def _aggregation_variants() -> Dict[str, Callable[[], AggregationStrategy]]:
+    return {
+        "saliency-relative": lambda: SaliencyAggregation(),
+        "saliency-absolute": lambda: SaliencyAggregation(
+            mode="absolute", sharpness=50.0, server_mixing=0.5
+        ),
+        "fedavg": lambda: FedAvg(),
+        "coordinate-median": lambda: CoordinateMedian(),
+        "trimmed-mean": lambda: TrimmedMean(trim=1),
+        "norm-clipping": lambda: NormClipping(),
+    }
+
+
+@dataclass
+class AblationResult:
+    """Mean error per (variant, scenario) cell for one ablation axis."""
+
+    axis: str
+    errors: Dict[Tuple[str, str], float]
+    variants: Tuple[str, ...]
+    scenarios: Tuple[str, ...]
+    preset_name: str
+
+    def row(self, variant: str) -> List[float]:
+        return [self.errors[(variant, s)] for s in self.scenarios]
+
+    def format_report(self) -> str:
+        rows = [(v, *self.row(v)) for v in self.variants]
+        return format_table(
+            headers=["variant", *self.scenarios],
+            rows=rows,
+            title=f"Ablation [{self.axis}] — mean error (m) [{self.preset_name}]",
+        )
+
+
+def _run_cell(
+    preset: Preset,
+    strategy: AggregationStrategy,
+    attack: Optional[str],
+    epsilon: float,
+    denoise: bool = True,
+    self_labeling: bool = True,
+) -> float:
+    building = preset.building(preset.buildings[0])
+    train, tests = paper_protocol(building, seed=preset.seed)
+    model_factory = lambda: SafeLocModel(
+        building.num_aps,
+        building.num_rps,
+        seed=preset.seed,
+        denoise_training_data=denoise,
+    )
+    config = preset.federation_config(
+        num_malicious=preset.num_malicious if attack else 0
+    )
+    attack_factory = None
+    if attack:
+        attack_factory = lambda: create_attack(
+            attack, epsilon, num_classes=building.num_rps
+        )
+    server = build_federation(
+        building, model_factory, strategy, config,
+        SeedSequence(preset.seed), attack_factory,
+    )
+    if not self_labeling:
+        for client in server.clients:
+            client.self_labeling = False
+    server.pretrain(train, epochs=config.pretrain_epochs, lr=config.pretrain_lr)
+    server.run_rounds(config.num_rounds)
+    return evaluate_model(server.model, tests, building).mean
+
+
+def _scenarios(preset: Preset) -> List[Tuple[str, Optional[str], float]]:
+    out: List[Tuple[str, Optional[str], float]] = [("clean", None, 0.0)]
+    for attack, eps in ABLATION_ATTACKS:
+        eps = preset.default_epsilon if eps is None else eps
+        out.append((f"{attack}@{eps}", attack, eps))
+    return out
+
+
+def run_aggregation_ablation(preset: Preset) -> AblationResult:
+    """Saliency aggregation vs FedAvg and the classical robust rules."""
+    scenarios = _scenarios(preset)
+    variants = _aggregation_variants()
+    errors: Dict[Tuple[str, str], float] = {}
+    for variant, make_strategy in variants.items():
+        for label, attack, eps in scenarios:
+            errors[(variant, label)] = _run_cell(
+                preset, make_strategy(), attack, eps
+            )
+    return AblationResult(
+        axis="aggregation",
+        errors=errors,
+        variants=tuple(variants),
+        scenarios=tuple(label for label, _, _ in scenarios),
+        preset_name=preset.name,
+    )
+
+
+def run_denoise_ablation(preset: Preset) -> AblationResult:
+    """Client-side de-noising on vs off (saliency aggregation fixed)."""
+    scenarios = _scenarios(preset)
+    errors: Dict[Tuple[str, str], float] = {}
+    for variant, denoise in (("denoise-on", True), ("denoise-off", False)):
+        for label, attack, eps in scenarios:
+            errors[(variant, label)] = _run_cell(
+                preset, SaliencyAggregation(), attack, eps, denoise=denoise
+            )
+    return AblationResult(
+        axis="client-denoise",
+        errors=errors,
+        variants=("denoise-on", "denoise-off"),
+        scenarios=tuple(label for label, _, _ in scenarios),
+        preset_name=preset.name,
+    )
+
+
+def run_self_labeling_ablation(preset: Preset) -> AblationResult:
+    """§III pseudo-label loop vs oracle labels (FedAvg, no server defense,
+    so the loop's amplification is visible in isolation)."""
+    scenarios = _scenarios(preset)
+    errors: Dict[Tuple[str, str], float] = {}
+    for variant, flag in (("self-labeling", True), ("oracle-labels", False)):
+        for label, attack, eps in scenarios:
+            errors[(variant, label)] = _run_cell(
+                preset, FedAvg(), attack, eps, self_labeling=flag
+            )
+    return AblationResult(
+        axis="self-labeling",
+        errors=errors,
+        variants=("self-labeling", "oracle-labels"),
+        scenarios=tuple(label for label, _, _ in scenarios),
+        preset_name=preset.name,
+    )

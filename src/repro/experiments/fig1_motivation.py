@@ -1,0 +1,84 @@
+"""Fig. 1 — motivation: FEDLOC and FEDHIL degrade under data poisoning.
+
+The paper's opening experiment subjects the two prior FL localization
+frameworks to a label-flipping attack and an FGSM backdoor attack and
+reports best/mean/worst localization errors (box-whisker), showing 3.5×
+(FEDLOC, label flip) to 6.5× (FEDLOC, backdoor) mean-error inflation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.experiments.runner import ExperimentResult, run_framework
+from repro.experiments.scenarios import Preset
+from repro.metrics.localization import ErrorSummary
+from repro.utils.tables import format_table
+
+FRAMEWORKS = ("fedloc", "fedhil")
+SCENARIOS = (
+    ("clean", 0.0),
+    ("label_flip", 1.0),
+    ("fgsm", None),  # backdoor; ε from the preset
+)
+
+
+@dataclass
+class Fig1Result:
+    """Best/mean/worst errors per (framework, scenario) plus inflation
+    factors relative to each framework's clean run."""
+
+    summaries: Dict[Tuple[str, str], ErrorSummary]
+    preset_name: str
+
+    def inflation(self, framework: str, scenario: str) -> float:
+        """Mean-error inflation of a scenario vs the clean baseline."""
+        clean = self.summaries[(framework, "clean")].mean
+        attacked = self.summaries[(framework, scenario)].mean
+        if clean == 0:
+            return float("inf")
+        return attacked / clean
+
+    def format_report(self) -> str:
+        rows: List[tuple] = []
+        for (framework, scenario), summary in sorted(self.summaries.items()):
+            rows.append(
+                (
+                    framework,
+                    scenario,
+                    summary.best,
+                    summary.mean,
+                    summary.worst,
+                    self.inflation(framework, scenario),
+                )
+            )
+        return format_table(
+            headers=[
+                "framework", "scenario", "best (m)", "mean (m)",
+                "worst (m)", "x-vs-clean",
+            ],
+            rows=rows,
+            title=f"Fig. 1 — poisoning impact on prior frameworks [{self.preset_name}]",
+        )
+
+
+def run_fig1(preset: Preset) -> Fig1Result:
+    """Reproduce Fig. 1, pooling errors across the preset's buildings
+    (the paper aggregates "across diverse building floorplans")."""
+    from repro.metrics.localization import merge_summaries
+
+    summaries: Dict[Tuple[str, str], ErrorSummary] = {}
+    for framework in FRAMEWORKS:
+        for scenario, epsilon in SCENARIOS:
+            attack = None if scenario == "clean" else scenario
+            eps = preset.default_epsilon if epsilon is None else epsilon
+            per_building = [
+                run_framework(
+                    framework, preset, attack=attack, epsilon=eps,
+                    building_name=building,
+                ).error_summary
+                for building in preset.buildings
+            ]
+            summaries[(framework, scenario)] = merge_summaries(per_building)
+    return Fig1Result(summaries=summaries, preset_name=preset.name)

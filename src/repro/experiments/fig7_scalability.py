@@ -1,0 +1,83 @@
+"""Fig. 7 — scalability with growing (total, poisoned) client counts.
+
+The paper scales the federation from 6 clients (1 poisoned) to 24 clients
+(12 poisoned) for the two best prior frameworks (ONLAD, FEDHIL) and
+SAFELOC.  Paper shape: FEDHIL's mean error climbs steadily with the
+poisoned-client ratio; ONLAD and SAFELOC stay stable, SAFELOC lowest
+throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.runner import run_framework
+from repro.experiments.scenarios import Preset
+from repro.utils.tables import format_table
+
+SCALABILITY_FRAMEWORKS = ("safeloc", "onlad", "fedhil")
+#: label flipping is the attack FEDHIL is weakest against — the paper's
+#: scalability figure stresses exactly that axis
+SCALABILITY_ATTACK = "label_flip"
+SCALABILITY_EPSILON = 1.0
+
+
+@dataclass
+class Fig7Result:
+    """Mean error per (framework, (total, poisoned)) cell."""
+
+    errors: Dict[Tuple[str, Tuple[int, int]], float]
+    frameworks: Tuple[str, ...]
+    grid: Tuple[Tuple[int, int], ...]
+    preset_name: str
+
+    def series(self, framework: str) -> List[float]:
+        return [self.errors[(framework, cell)] for cell in self.grid]
+
+    def growth(self, framework: str) -> float:
+        """Last-vs-first mean error ratio across the client sweep."""
+        series = self.series(framework)
+        if series[0] == 0:
+            return float("inf")
+        return series[-1] / series[0]
+
+    def format_report(self) -> str:
+        rows = [
+            (framework, *self.series(framework), self.growth(framework))
+            for framework in self.frameworks
+        ]
+        return format_table(
+            headers=[
+                "framework",
+                *[f"({t},{p})" for t, p in self.grid],
+                "growth",
+            ],
+            rows=rows,
+            title=(
+                f"Fig. 7 — mean error (m) vs (total, poisoned) clients "
+                f"[{self.preset_name}]"
+            ),
+        )
+
+
+def run_fig7(preset: Preset) -> Fig7Result:
+    """Reproduce the scalability sweep on the preset's first building."""
+    errors: Dict[Tuple[str, Tuple[int, int]], float] = {}
+    for framework in SCALABILITY_FRAMEWORKS:
+        for total, poisoned in preset.scalability_grid:
+            result = run_framework(
+                framework,
+                preset,
+                attack=SCALABILITY_ATTACK,
+                epsilon=SCALABILITY_EPSILON,
+                num_clients=total,
+                num_malicious=poisoned,
+            )
+            errors[(framework, (total, poisoned))] = result.error_summary.mean
+    return Fig7Result(
+        errors=errors,
+        frameworks=SCALABILITY_FRAMEWORKS,
+        grid=preset.scalability_grid,
+        preset_name=preset.name,
+    )

@@ -1,0 +1,130 @@
+"""Shared experiment driver: train one framework federation under one
+attack scenario and evaluate it on the paper's cross-device protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.attacks import create_attack
+from repro.baselines.registry import make_framework
+from repro.data.fingerprints import paper_protocol
+from repro.fl.simulation import build_federation
+from repro.metrics.localization import ErrorSummary, evaluate_model
+from repro.utils.logging import get_logger
+from repro.utils.rng import SeedSequence
+
+logger = get_logger("experiments.runner")
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one (framework, attack, building) federation run.
+
+    Attributes:
+        framework: Framework name.
+        attack: Attack name or ``"clean"``.
+        epsilon: Attack strength used.
+        building: Building name.
+        error_summary: Cross-device localization errors of the final GM.
+        flagged_per_round: Client-side detector flags per round (0 for
+            frameworks without client-side detection).
+        parameter_count: GM parameter total (Table I metric).
+    """
+
+    framework: str
+    attack: str
+    epsilon: float
+    building: str
+    error_summary: ErrorSummary
+    flagged_per_round: list = field(default_factory=list)
+    parameter_count: int = 0
+
+
+def run_framework(
+    framework: str,
+    preset,
+    attack: Optional[str] = None,
+    epsilon: float = 0.0,
+    building_name: Optional[str] = None,
+    num_clients: Optional[int] = None,
+    num_malicious: Optional[int] = None,
+    framework_kwargs: Optional[Dict] = None,
+) -> ExperimentResult:
+    """Train and evaluate one framework under one scenario.
+
+    Pipeline (the paper's Fig. 2 lifecycle):
+
+    1. generate the building's fingerprint data (train device + 5 test
+       devices, §V.A protocol);
+    2. build the federation (honest clients + attackers on the HTC U11);
+    3. centrally pre-train the GM on the training-device data;
+    4. run the preset's federation rounds;
+    5. evaluate the final GM across all test devices.
+
+    Args:
+        framework: One of the registry names ("safeloc", "fedloc", …).
+        preset: A :class:`~repro.experiments.scenarios.Preset`.
+        attack: Attack name, or None for the clean scenario.
+        epsilon: Attack strength (ignored when ``attack`` is None).
+        building_name: Defaults to the preset's first building.
+        num_clients / num_malicious: Override the preset federation shape
+            (used by the Fig. 7 scalability sweep).
+        framework_kwargs: Extra arguments for the framework factory
+            (e.g. ``{"tau": 0.2}`` for the Fig. 4 sweep).
+    """
+    building_name = building_name or preset.buildings[0]
+    building = preset.building(building_name)
+    seeds = SeedSequence(preset.seed)
+    train, tests = paper_protocol(building, seed=preset.seed)
+
+    spec = make_framework(
+        framework,
+        building.num_aps,
+        building.num_rps,
+        seed=preset.seed,
+        **(framework_kwargs or {}),
+    )
+    effective_malicious = (
+        (preset.num_malicious if num_malicious is None else num_malicious)
+        if attack
+        else 0
+    )
+    config = preset.federation_config(
+        num_malicious=effective_malicious, num_clients=num_clients
+    )
+    attack_factory = None
+    if attack and effective_malicious > 0:
+        attack_factory = lambda: create_attack(
+            attack, epsilon, num_classes=building.num_rps
+        )
+    server = build_federation(
+        building,
+        spec.model_factory,
+        spec.strategy,
+        config,
+        seeds,
+        attack_factory=attack_factory,
+    )
+    server.pretrain(
+        train, epochs=config.pretrain_epochs, lr=config.pretrain_lr
+    )
+    server.run_rounds(config.num_rounds)
+    summary = evaluate_model(server.model, tests, building)
+    logger.info(
+        "%s / %s eps=%.2f on %s: %s",
+        framework,
+        attack or "clean",
+        epsilon,
+        building_name,
+        summary,
+    )
+    return ExperimentResult(
+        framework=framework,
+        attack=attack or "clean",
+        epsilon=epsilon if attack else 0.0,
+        building=building_name,
+        error_summary=summary,
+        flagged_per_round=[r.num_flagged for r in server.history],
+        parameter_count=server.model.parameter_count(),
+    )

@@ -1,0 +1,116 @@
+"""Table I — model inference latency and parameter counts.
+
+Paper numbers (full-size building, single-fingerprint inference):
+
+==========  ========  ==========
+Framework   Latency    Parameters
+==========  ========  ==========
+SAFELOC       64 ms      41,094
+ONLAD         87 ms     130,185
+FEDHIL        84 ms      97,341
+FEDCC         67 ms      42,993
+FEDLS        103 ms     282,676
+FEDLOC       135 ms     137,801
+==========  ========  ==========
+
+Absolute milliseconds depend on the host (the authors time on-device;
+we time the numpy forward pass), but the parameter ordering — SAFELOC
+smallest, FEDLS largest — is architectural and must reproduce exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.baselines.registry import COMPARISON_FRAMEWORKS, make_framework
+from repro.experiments.scenarios import Preset
+from repro.metrics.footprint import count_parameters
+from repro.metrics.latency import LatencyReport, measure_inference_latency
+from repro.metrics.macs import inference_macs
+from repro.utils.tables import format_table
+
+#: Table I is measured at full building-4 scale (135 APs, 80 RPs)
+TABLE1_INPUT_DIM = 135
+TABLE1_NUM_CLASSES = 80
+
+PAPER_PARAMETERS = {
+    "safeloc": 41_094,
+    "onlad": 130_185,
+    "fedhil": 97_341,
+    "fedcc": 42_993,
+    "fedls": 282_676,
+    "fedloc": 137_801,
+}
+PAPER_LATENCY_MS = {
+    "safeloc": 64.0,
+    "onlad": 87.0,
+    "fedhil": 84.0,
+    "fedcc": 67.0,
+    "fedls": 103.0,
+    "fedloc": 135.0,
+}
+
+
+@dataclass
+class Table1Result:
+    """Measured latency, MAC count and parameter count per framework."""
+
+    latencies: Dict[str, LatencyReport]
+    parameters: Dict[str, int]
+    macs: Dict[str, int]
+    preset_name: str
+
+    def parameter_order(self) -> List[str]:
+        return sorted(self.parameters, key=self.parameters.get)
+
+    def mac_order(self) -> List[str]:
+        return sorted(self.macs, key=self.macs.get)
+
+    def format_report(self) -> str:
+        rows: List[tuple] = []
+        for name in COMPARISON_FRAMEWORKS:
+            rows.append(
+                (
+                    name,
+                    self.latencies[name].median_ms,
+                    self.macs[name],
+                    self.parameters[name],
+                    PAPER_LATENCY_MS[name],
+                    PAPER_PARAMETERS[name],
+                )
+            )
+        return format_table(
+            headers=[
+                "framework", "latency (ms)", "inference MACs", "parameters",
+                "paper latency", "paper params",
+            ],
+            rows=rows,
+            title=f"Table I — implementation overheads [{self.preset_name}]",
+        )
+
+
+def run_table1(preset: Preset) -> Table1Result:
+    """Measure every framework's footprint at the paper's Table I scale."""
+    latencies: Dict[str, LatencyReport] = {}
+    parameters: Dict[str, int] = {}
+    macs: Dict[str, int] = {}
+    for name in COMPARISON_FRAMEWORKS:
+        spec = make_framework(
+            name, TABLE1_INPUT_DIM, TABLE1_NUM_CLASSES, seed=preset.seed
+        )
+        model = spec.model_factory()
+        parameters[name] = count_parameters(model)
+        macs[name] = inference_macs(model)
+        latencies[name] = measure_inference_latency(
+            model,
+            TABLE1_INPUT_DIM,
+            repeats=preset.latency_repeats,
+            seed=preset.seed,
+        )
+    return Table1Result(
+        latencies=latencies,
+        parameters=parameters,
+        macs=macs,
+        preset_name=preset.name,
+    )

@@ -1,0 +1,57 @@
+"""Federated-learning substrate.
+
+An in-process simulation of the synchronous FL loop of Fig. 2 in the paper:
+a central :class:`~repro.fl.server.FederatedServer` broadcasts the global
+model (GM) to :class:`~repro.fl.client.FederatedClient` instances, each
+client locally retrains on its own fingerprints (optionally poisoning them
+first when malicious), and the server folds the returned local models (LMs)
+back into the GM through a pluggable
+:class:`~repro.fl.aggregation.AggregationStrategy`.
+"""
+
+from repro.fl.state import (
+    flatten_state,
+    state_add,
+    state_cosine_similarity,
+    state_distance,
+    state_mean,
+    state_norm,
+    state_scale,
+    state_sub,
+    state_weighted_mean,
+    state_zeros_like,
+    unflatten_state,
+)
+from repro.fl.interfaces import LocalizationModel
+from repro.fl.aggregation import AggregationStrategy, ClientUpdate, FedAvg
+from repro.fl.client import FederatedClient
+from repro.fl.server import FederatedServer, RoundRecord
+from repro.fl.simulation import (
+    FederationConfig,
+    build_client_datasets,
+    build_federation,
+)
+
+__all__ = [
+    "flatten_state",
+    "unflatten_state",
+    "state_add",
+    "state_sub",
+    "state_scale",
+    "state_mean",
+    "state_weighted_mean",
+    "state_zeros_like",
+    "state_norm",
+    "state_distance",
+    "state_cosine_similarity",
+    "LocalizationModel",
+    "AggregationStrategy",
+    "ClientUpdate",
+    "FedAvg",
+    "FederatedClient",
+    "FederatedServer",
+    "RoundRecord",
+    "FederationConfig",
+    "build_client_datasets",
+    "build_federation",
+]

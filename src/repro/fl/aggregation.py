@@ -1,0 +1,99 @@
+"""Aggregation strategies: how the server folds LM updates into the GM.
+
+The strategy is the locus of every defense compared in the paper: FedAvg
+(FEDLOC), selective tensors (FEDHIL), clustering (FEDCC), latent-space
+filtering (FEDLS), Krum selection, and SAFELOC's saliency-map aggregation —
+all implement :class:`AggregationStrategy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.fl.state import StateDict, state_weighted_mean
+
+
+@dataclass
+class ClientUpdate:
+    """One client's contribution to a federation round.
+
+    Attributes:
+        client_name: Reporting client.
+        state: The locally trained model weights (LM).
+        num_samples: Local dataset size (FedAvg weighting).
+        train_loss: Final local training loss (diagnostic).
+        flagged_poisoned: Number of local samples the client-side defense
+            flagged as backdoor-poisoned (0 for frameworks without one).
+        is_malicious: Ground-truth attacker flag — carried for experiment
+            bookkeeping only; aggregation strategies MUST NOT read it.
+    """
+
+    client_name: str
+    state: StateDict
+    num_samples: int
+    train_loss: float = 0.0
+    flagged_poisoned: int = 0
+    is_malicious: bool = False
+
+
+class AggregationStrategy:
+    """Interface: combine the GM with this round's LM updates."""
+
+    name = "strategy"
+
+    def aggregate(
+        self,
+        global_state: StateDict,
+        updates: Sequence[ClientUpdate],
+    ) -> StateDict:
+        """Return the new global state.
+
+        Implementations must not mutate ``global_state`` or the update
+        states in place.
+        """
+        raise NotImplementedError
+
+    @staticmethod
+    def _require_updates(updates: Sequence[ClientUpdate]) -> Sequence[ClientUpdate]:
+        if not updates:
+            raise ValueError("aggregation requires at least one client update")
+        return updates
+
+
+class FedAvg(AggregationStrategy):
+    """Federated averaging (McMahan et al.), the paper's eq.-less baseline.
+
+    LM states are averaged weighted by local sample counts; the GM is
+    replaced by the average.  ``server_momentum`` optionally blends the
+    previous GM in (0 = pure FedAvg).
+    """
+
+    name = "fedavg"
+
+    def __init__(self, server_momentum: float = 0.0):
+        if not 0.0 <= server_momentum < 1.0:
+            raise ValueError(
+                f"server_momentum must be in [0, 1), got {server_momentum}"
+            )
+        self.server_momentum = float(server_momentum)
+
+    def aggregate(
+        self,
+        global_state: StateDict,
+        updates: Sequence[ClientUpdate],
+    ) -> StateDict:
+        updates = self._require_updates(updates)
+        averaged = state_weighted_mean(
+            [u.state for u in updates],
+            [max(1, u.num_samples) for u in updates],
+        )
+        if self.server_momentum == 0.0:
+            return averaged
+        m = self.server_momentum
+        return {
+            key: m * global_state[key] + (1.0 - m) * averaged[key]
+            for key in global_state
+        }

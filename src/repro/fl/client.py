@@ -1,0 +1,123 @@
+"""Federated client: local training, optionally behind a poisoning attack.
+
+Mirrors Fig. 2 of the paper: the client receives the GM, (if malicious)
+poisons its local data using gradients of the received GM, retrains
+locally at the client-side hyperparameters (§V.A: lr 0.0001, 5 epochs),
+and returns the LM weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.attacks.base import Attack
+from repro.data.datasets import FingerprintDataset
+from repro.fl.aggregation import ClientUpdate
+from repro.fl.interfaces import LocalizationModel, StateDict
+from repro.utils.rng import SeedSequence
+
+
+@dataclass
+class ClientConfig:
+    """Client-side training hyperparameters (§V.A defaults)."""
+
+    epochs: int = 5
+    lr: float = 0.0001
+    batch_size: int = 32
+
+    def __post_init__(self):
+        if self.epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if self.lr <= 0:
+            raise ValueError("lr must be positive")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+
+
+class FederatedClient:
+    """One mobile device participating in federation.
+
+    Args:
+        name: Client identifier.
+        model: The client's local copy of the framework model (weights are
+            overwritten by the broadcast GM each round).
+        dataset: The client's local fingerprints (clean; the attack is
+            applied fresh each round, against the current GM, as in §III).
+        config: Local training hyperparameters.
+        attack: When set, the client is malicious and poisons its data
+            before every local training pass.
+        seeds: Per-client seed sequence (attack randomness, shuffling).
+        self_labeling: §III's client loop — devices have no ground-truth
+            position, so local training labels are the *GM's own
+            predictions* on the local fingerprints ("The predicted label
+            and local RSS data are then used to re-train the GM copy").
+            This pseudo-label feedback is what lets poisoned GM updates
+            compound across rounds (Fig. 1).  Set False for an
+            oracle-labeled ablation.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        model: LocalizationModel,
+        dataset: FingerprintDataset,
+        config: Optional[ClientConfig] = None,
+        attack: Optional[Attack] = None,
+        seeds: Optional[SeedSequence] = None,
+        self_labeling: bool = True,
+    ):
+        if len(dataset) == 0:
+            raise ValueError(f"client {name!r} has no local data")
+        self.name = name
+        self.model = model
+        self.dataset = dataset
+        self.config = config or ClientConfig()
+        self.attack = attack
+        self.seeds = seeds or SeedSequence(0)
+        self.self_labeling = bool(self_labeling)
+        self._round = 0
+
+    @property
+    def is_malicious(self) -> bool:
+        return self.attack is not None
+
+    def local_update(self, global_state: StateDict) -> ClientUpdate:
+        """Run one round of local training and return the LM.
+
+        The attack (when present) is re-applied against the *current* GM's
+        gradients every round, matching the paper's threat model where the
+        attacker owns the device and adapts to each broadcast model.
+        """
+        self._round += 1
+        self.model.load_state_dict(global_state)
+        dataset = self.dataset
+        if self.self_labeling:
+            dataset = dataset.with_labels(self.model.predict(dataset.features))
+        flagged = 0
+        if self.attack is not None:
+            rng = self.seeds.rng(f"attack-round-{self._round}")
+            oracle = (
+                self.model.gradient_oracle() if self.attack.is_backdoor else None
+            )
+            report = self.attack.poison(dataset, oracle, rng)
+            dataset = report.dataset
+        train_rng = self.seeds.rng(f"train-round-{self._round}")
+        loss = self.model.train_epochs(
+            dataset,
+            epochs=self.config.epochs,
+            lr=self.config.lr,
+            rng=train_rng,
+            batch_size=self.config.batch_size,
+        )
+        flagged = getattr(self.model, "last_flagged_count", 0)
+        return ClientUpdate(
+            client_name=self.name,
+            state=self.model.state_dict(),
+            num_samples=len(dataset),
+            train_loss=float(loss),
+            flagged_poisoned=int(flagged),
+            is_malicious=self.is_malicious,
+        )

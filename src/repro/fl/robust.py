@@ -1,0 +1,125 @@
+"""Classical Byzantine-robust aggregation rules.
+
+Not part of the paper's comparison set, but the standard points of
+reference for any robust-FL evaluation — the ablation benches compare
+SAFELOC's saliency-map aggregation against these to show what the
+localization-specific design buys over generic robustness:
+
+* coordinate-wise median,
+* coordinate-wise trimmed mean,
+* update norm clipping.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.fl.aggregation import AggregationStrategy, ClientUpdate
+from repro.fl.state import StateDict
+
+
+class CoordinateMedian(AggregationStrategy):
+    """Elementwise median of the LM tensors.
+
+    The median ignores up to half the cohort being arbitrarily corrupted,
+    at the price of discarding the averaging noise reduction.
+    """
+
+    name = "coordinate-median"
+
+    def aggregate(
+        self,
+        global_state: StateDict,
+        updates: Sequence[ClientUpdate],
+    ) -> StateDict:
+        updates = self._require_updates(updates)
+        return {
+            key: np.median(
+                np.stack([u.state[key] for u in updates]), axis=0
+            )
+            for key in global_state
+        }
+
+
+class TrimmedMean(AggregationStrategy):
+    """Elementwise mean after dropping the k largest and k smallest values.
+
+    Args:
+        trim: Values removed from each end per element; clamped so at
+            least one value survives.
+    """
+
+    name = "trimmed-mean"
+
+    def __init__(self, trim: int = 1):
+        if trim < 0:
+            raise ValueError(f"trim must be >= 0, got {trim}")
+        self.trim = int(trim)
+
+    def aggregate(
+        self,
+        global_state: StateDict,
+        updates: Sequence[ClientUpdate],
+    ) -> StateDict:
+        updates = self._require_updates(updates)
+        n = len(updates)
+        trim = min(self.trim, (n - 1) // 2)
+        new_state: StateDict = {}
+        for key in global_state:
+            stack = np.sort(np.stack([u.state[key] for u in updates]), axis=0)
+            if trim > 0:
+                stack = stack[trim : n - trim]
+            new_state[key] = stack.mean(axis=0)
+        return new_state
+
+
+class NormClipping(AggregationStrategy):
+    """FedAvg after clipping each LM delta to a norm budget.
+
+    Args:
+        clip_norm: Maximum L2 norm of each client's delta (LM − GM);
+            ``None`` clips to the median delta norm of the round
+            (adaptive clipping).
+    """
+
+    name = "norm-clipping"
+
+    def __init__(self, clip_norm: float = None):
+        if clip_norm is not None and clip_norm <= 0:
+            raise ValueError("clip_norm must be positive")
+        self.clip_norm = clip_norm
+
+    def aggregate(
+        self,
+        global_state: StateDict,
+        updates: Sequence[ClientUpdate],
+    ) -> StateDict:
+        updates = self._require_updates(updates)
+        deltas = []
+        norms = []
+        for update in updates:
+            delta = {
+                key: update.state[key] - global_state[key]
+                for key in global_state
+            }
+            deltas.append(delta)
+            norms.append(
+                float(
+                    np.sqrt(sum(float((v**2).sum()) for v in delta.values()))
+                )
+            )
+        budget = (
+            self.clip_norm
+            if self.clip_norm is not None
+            else float(np.median(norms)) + 1e-12
+        )
+        new_state: StateDict = {}
+        scales = [min(1.0, budget / (n + 1e-12)) for n in norms]
+        for key in global_state:
+            clipped = np.mean(
+                [s * d[key] for s, d in zip(scales, deltas)], axis=0
+            )
+            new_state[key] = global_state[key] + clipped
+        return new_state

@@ -1,0 +1,106 @@
+"""Federated server: pre-training, round orchestration, history.
+
+The server owns the GM, optionally pre-trains it centrally (SAFELOC §IV:
+"training the fused neural network on a centralized server using a subset
+of RSS fingerprints"), then repeatedly broadcasts to clients and folds
+their LMs back through the configured aggregation strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.datasets import FingerprintDataset
+from repro.fl.aggregation import AggregationStrategy, ClientUpdate
+from repro.fl.client import FederatedClient
+from repro.fl.interfaces import LocalizationModel, StateDict
+from repro.utils.logging import get_logger
+from repro.utils.rng import SeedSequence
+
+logger = get_logger("fl.server")
+
+
+@dataclass
+class RoundRecord:
+    """Bookkeeping for one federation round."""
+
+    round_index: int
+    updates: List[ClientUpdate]
+    mean_client_loss: float
+    num_malicious: int
+    num_flagged: int
+
+
+class FederatedServer:
+    """Synchronous single-server federation (Fig. 2).
+
+    Args:
+        model: The global model (GM).
+        strategy: Aggregation strategy folding LMs into the GM.
+        clients: Participating clients (honest and malicious alike; the
+            server does not know which is which).
+        seeds: Server-side seed sequence (pre-training shuffles).
+    """
+
+    def __init__(
+        self,
+        model: LocalizationModel,
+        strategy: AggregationStrategy,
+        clients: Sequence[FederatedClient],
+        seeds: Optional[SeedSequence] = None,
+    ):
+        if not clients:
+            raise ValueError("federation needs at least one client")
+        self.model = model
+        self.strategy = strategy
+        self.clients = list(clients)
+        self.seeds = seeds or SeedSequence(1)
+        self.history: List[RoundRecord] = []
+
+    def pretrain(
+        self,
+        dataset: FingerprintDataset,
+        epochs: int,
+        lr: float = 0.001,
+        batch_size: int = 32,
+    ) -> float:
+        """Centralized warm-up of the GM on server-held fingerprints."""
+        rng = self.seeds.rng("pretrain")
+        loss = self.model.train_epochs(
+            dataset, epochs=epochs, lr=lr, rng=rng, batch_size=batch_size,
+            trusted=True,
+        )
+        logger.info("pretrain finished, loss=%.4f", loss)
+        return float(loss)
+
+    def run_round(self) -> RoundRecord:
+        """One synchronous round: broadcast → local updates → aggregate."""
+        global_state = self.model.state_dict()
+        updates = [client.local_update(global_state) for client in self.clients]
+        new_state = self.strategy.aggregate(global_state, updates)
+        self.model.load_state_dict(new_state)
+        record = RoundRecord(
+            round_index=len(self.history) + 1,
+            updates=updates,
+            mean_client_loss=float(np.mean([u.train_loss for u in updates])),
+            num_malicious=sum(u.is_malicious for u in updates),
+            num_flagged=sum(u.flagged_poisoned for u in updates),
+        )
+        self.history.append(record)
+        logger.info(
+            "round %d: mean client loss %.4f (%d malicious, %d flagged)",
+            record.round_index,
+            record.mean_client_loss,
+            record.num_malicious,
+            record.num_flagged,
+        )
+        return record
+
+    def run_rounds(self, num_rounds: int) -> List[RoundRecord]:
+        """Run several rounds, returning their records."""
+        if num_rounds <= 0:
+            raise ValueError("num_rounds must be positive")
+        return [self.run_round() for _ in range(num_rounds)]

@@ -1,0 +1,127 @@
+"""Algebra over model state dicts (name → weight tensor).
+
+Aggregation strategies manipulate whole models as vectors; these helpers
+implement that vector algebra while preserving the named-tensor structure
+the saliency-map aggregation needs (it works per weight tensor, eq. 6-8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+StateDict = Dict[str, np.ndarray]
+
+
+def _check_same_keys(states: Sequence[StateDict]) -> None:
+    if not states:
+        raise ValueError("need at least one state dict")
+    keys = set(states[0])
+    for idx, state in enumerate(states[1:], start=1):
+        if set(state) != keys:
+            raise ValueError(
+                f"state {idx} keys differ: "
+                f"{sorted(keys ^ set(state))}"
+            )
+
+
+def state_zeros_like(state: StateDict) -> StateDict:
+    """A state dict of zeros with the same structure."""
+    return {k: np.zeros_like(v) for k, v in state.items()}
+
+
+def state_add(a: StateDict, b: StateDict) -> StateDict:
+    """Elementwise ``a + b``."""
+    _check_same_keys([a, b])
+    return {k: a[k] + b[k] for k in a}
+
+
+def state_sub(a: StateDict, b: StateDict) -> StateDict:
+    """Elementwise ``a - b``."""
+    _check_same_keys([a, b])
+    return {k: a[k] - b[k] for k in a}
+
+
+def state_scale(state: StateDict, factor: float) -> StateDict:
+    """Elementwise ``factor * state``."""
+    return {k: factor * v for k, v in state.items()}
+
+
+def state_mean(states: Sequence[StateDict]) -> StateDict:
+    """Unweighted elementwise mean of several states."""
+    _check_same_keys(states)
+    return {
+        k: np.mean([s[k] for s in states], axis=0) for k in states[0]
+    }
+
+
+def state_weighted_mean(
+    states: Sequence[StateDict], weights: Sequence[float]
+) -> StateDict:
+    """Weighted elementwise mean (FedAvg with sample-count weights)."""
+    _check_same_keys(states)
+    if len(states) != len(weights):
+        raise ValueError(f"{len(states)} states but {len(weights)} weights")
+    weights = np.asarray(weights, dtype=np.float64)
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+    total = weights.sum()
+    if total == 0:
+        raise ValueError("weights sum to zero")
+    weights = weights / total
+    return {
+        k: sum(w * s[k] for w, s in zip(weights, states))
+        for k in states[0]
+    }
+
+
+def flatten_state(state: StateDict) -> Tuple[np.ndarray, List[Tuple[str, tuple]]]:
+    """Concatenate all tensors into one vector.
+
+    Returns the vector and a spec (ordered name/shape list) that
+    :func:`unflatten_state` uses to rebuild the dict.  Keys are sorted so
+    the layout is canonical regardless of insertion order.
+    """
+    spec = [(k, state[k].shape) for k in sorted(state)]
+    if not spec:
+        raise ValueError("cannot flatten an empty state dict")
+    vector = np.concatenate([state[k].ravel() for k, _ in spec])
+    return vector, spec
+
+
+def unflatten_state(vector: np.ndarray, spec: List[Tuple[str, tuple]]) -> StateDict:
+    """Inverse of :func:`flatten_state`."""
+    vector = np.asarray(vector, dtype=np.float64)
+    expected = sum(int(np.prod(shape)) for _, shape in spec)
+    if vector.size != expected:
+        raise ValueError(
+            f"vector has {vector.size} elements but spec needs {expected}"
+        )
+    out: StateDict = {}
+    offset = 0
+    for name, shape in spec:
+        size = int(np.prod(shape))
+        out[name] = vector[offset : offset + size].reshape(shape).copy()
+        offset += size
+    return out
+
+
+def state_norm(state: StateDict) -> float:
+    """Global L2 norm across all tensors."""
+    return float(np.sqrt(sum(float((v**2).sum()) for v in state.values())))
+
+
+def state_distance(a: StateDict, b: StateDict) -> float:
+    """L2 distance between two states (Krum's pairwise metric)."""
+    return state_norm(state_sub(a, b))
+
+
+def state_cosine_similarity(a: StateDict, b: StateDict) -> float:
+    """Cosine similarity of the flattened states (FEDCC/FEDHIL metric)."""
+    va, _ = flatten_state(a)
+    vb, _ = flatten_state(b)
+    denom = np.linalg.norm(va) * np.linalg.norm(vb)
+    if denom == 0:
+        return 0.0
+    return float(np.dot(va, vb) / denom)

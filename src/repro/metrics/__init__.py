@@ -1,0 +1,39 @@
+"""Evaluation metrics: localization error, inference latency, footprint."""
+
+from repro.metrics.localization import (
+    ErrorSummary,
+    evaluate_model,
+    localization_errors,
+    merge_summaries,
+    summarize_errors,
+)
+from repro.metrics.latency import LatencyReport, measure_inference_latency
+from repro.metrics.footprint import count_parameters, model_size_bytes
+from repro.metrics.macs import inference_macs, macs_of_state
+from repro.metrics.quantization import (
+    QuantizationReport,
+    quantization_report,
+    quantize_state,
+    quantize_tensor,
+)
+from repro.metrics.reports import box_whisker_rows, comparison_table
+
+__all__ = [
+    "ErrorSummary",
+    "localization_errors",
+    "summarize_errors",
+    "merge_summaries",
+    "evaluate_model",
+    "LatencyReport",
+    "measure_inference_latency",
+    "count_parameters",
+    "model_size_bytes",
+    "inference_macs",
+    "macs_of_state",
+    "QuantizationReport",
+    "quantization_report",
+    "quantize_state",
+    "quantize_tensor",
+    "box_whisker_rows",
+    "comparison_table",
+]

@@ -1,0 +1,21 @@
+"""Model footprint metrics (Table I's "Total Parameters" column)."""
+
+from __future__ import annotations
+
+from repro.fl.interfaces import LocalizationModel
+
+
+def count_parameters(model: LocalizationModel) -> int:
+    """Total scalar parameters across every tensor the model federates.
+
+    For multi-network frameworks (ONLAD's detector + localizer) this counts
+    both, matching how the paper reports per-framework totals.
+    """
+    return int(sum(v.size for v in model.state_dict().values()))
+
+
+def model_size_bytes(model: LocalizationModel, bytes_per_weight: int = 4) -> int:
+    """On-device model size assuming float32 storage."""
+    if bytes_per_weight <= 0:
+        raise ValueError("bytes_per_weight must be positive")
+    return count_parameters(model) * bytes_per_weight

@@ -1,0 +1,66 @@
+"""Model inference latency measurement (Table I).
+
+Times single-fingerprint inference — the deployment-relevant number for a
+phone localizing itself — with warm-up iterations excluded and the median
+over repeats reported (robust to scheduler noise).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fl.interfaces import LocalizationModel
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Single-input inference latency statistics in milliseconds."""
+
+    median_ms: float
+    mean_ms: float
+    p95_ms: float
+    repeats: int
+
+    def __str__(self) -> str:
+        return f"{self.median_ms:.3f} ms (p95 {self.p95_ms:.3f}, n={self.repeats})"
+
+
+def measure_inference_latency(
+    model: LocalizationModel,
+    input_dim: int,
+    repeats: int = 50,
+    warmup: int = 5,
+    batch_size: int = 1,
+    seed: int = 0,
+) -> LatencyReport:
+    """Time ``model.predict`` on random normalized fingerprints.
+
+    Args:
+        model: Model under test (its full inference path, including any
+            detection/de-noising logic, is what gets timed).
+        input_dim: Fingerprint width.
+        repeats: Timed iterations.
+        warmup: Untimed iterations to populate caches.
+        batch_size: Fingerprints per call (1 = the paper's deployment case).
+        seed: Probe-input seed.
+    """
+    if repeats <= 0 or warmup < 0 or batch_size <= 0:
+        raise ValueError("repeats/batch_size must be positive, warmup >= 0")
+    rng = np.random.default_rng(seed)
+    probes = rng.uniform(0.0, 1.0, size=(warmup + repeats, batch_size, input_dim))
+    for idx in range(warmup):
+        model.predict(probes[idx])
+    timings = np.empty(repeats)
+    for idx in range(repeats):
+        start = time.perf_counter()
+        model.predict(probes[warmup + idx])
+        timings[idx] = (time.perf_counter() - start) * 1000.0
+    return LatencyReport(
+        median_ms=float(np.median(timings)),
+        mean_ms=float(timings.mean()),
+        p95_ms=float(np.quantile(timings, 0.95)),
+        repeats=repeats,
+    )

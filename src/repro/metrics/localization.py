@@ -1,0 +1,111 @@
+"""Localization error metrics.
+
+The frameworks classify fingerprints into reference points; the error for
+one prediction is the metre distance between the predicted RP and the true
+RP on the building floorplan.  The paper reports mean (center bar),
+worst-case (upper whisker) and best-case (lower whisker) errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.data.buildings import Building
+from repro.data.datasets import FingerprintDataset
+from repro.fl.interfaces import LocalizationModel
+
+
+def localization_errors(
+    predictions: np.ndarray,
+    labels: np.ndarray,
+    building: Building,
+) -> np.ndarray:
+    """Per-sample metre errors from predicted/true RP indices."""
+    predictions = np.asarray(predictions, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if predictions.shape != labels.shape:
+        raise ValueError(
+            f"prediction/label shape mismatch: {predictions.shape} vs {labels.shape}"
+        )
+    num_rps = building.num_rps
+    for name, arr in (("predictions", predictions), ("labels", labels)):
+        if arr.size and (arr.min() < 0 or arr.max() >= num_rps):
+            raise ValueError(f"{name} contain RP indices outside [0, {num_rps})")
+    distances = building.rp_distance_matrix()
+    return distances[predictions, labels]
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """The paper's box-whisker statistics over per-sample metre errors."""
+
+    mean: float
+    worst: float
+    best: float
+    median: float
+    count: int
+
+    def __str__(self) -> str:
+        return (
+            f"mean={self.mean:.2f}m worst={self.worst:.2f}m "
+            f"best={self.best:.2f}m (n={self.count})"
+        )
+
+
+def summarize_errors(errors: Iterable[float]) -> ErrorSummary:
+    """Aggregate per-sample errors into an :class:`ErrorSummary`."""
+    arr = np.asarray(list(errors) if not isinstance(errors, np.ndarray) else errors,
+                     dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarize zero errors")
+    return ErrorSummary(
+        mean=float(arr.mean()),
+        worst=float(arr.max()),
+        best=float(arr.min()),
+        median=float(np.median(arr)),
+        count=int(arr.size),
+    )
+
+
+def merge_summaries(summaries: Sequence[ErrorSummary]) -> ErrorSummary:
+    """Pool several summaries as the paper pools buildings/devices.
+
+    Mean is the sample-count-weighted mean, worst/best are the extreme
+    whiskers, the median is approximated by the count-weighted mean of the
+    per-summary medians (per-sample errors are no longer available).
+    """
+    summaries = list(summaries)
+    if not summaries:
+        raise ValueError("cannot merge zero summaries")
+    total = sum(s.count for s in summaries)
+    return ErrorSummary(
+        mean=float(sum(s.mean * s.count for s in summaries) / total),
+        worst=float(max(s.worst for s in summaries)),
+        best=float(min(s.best for s in summaries)),
+        median=float(sum(s.median * s.count for s in summaries) / total),
+        count=int(total),
+    )
+
+
+def evaluate_model(
+    model: LocalizationModel,
+    test_sets: Dict[str, FingerprintDataset],
+    building: Building,
+) -> ErrorSummary:
+    """Evaluate a model across the per-device test sets of one building.
+
+    Pools per-sample errors from every device (the paper averages "across
+    all devices ... and RPs").
+    """
+    if not test_sets:
+        raise ValueError("need at least one test set")
+    all_errors: List[np.ndarray] = []
+    for dataset in test_sets.values():
+        predictions = model.predict(dataset.features)
+        all_errors.append(
+            localization_errors(predictions, dataset.labels, building)
+        )
+    return summarize_errors(np.concatenate(all_errors))

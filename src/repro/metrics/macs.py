@@ -1,0 +1,39 @@
+"""Analytic multiply-accumulate counts for single-fingerprint inference.
+
+Wall-clock latency of the numpy substrate at batch 1 is dominated by
+per-call overhead, not arithmetic, so the paper's on-device latency
+ordering is better captured by the MAC count of the full inference path
+(which is what bounds a phone's latency).  Frameworks whose inference runs
+several networks (ONLAD's detector + localizer, SAFELOC's
+encoder/decoder/classifier) count every network they execute.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fl.interfaces import LocalizationModel
+
+
+def macs_of_state(state: dict) -> int:
+    """MACs of one forward pass through dense layers in a state dict.
+
+    Every 2-D weight tensor contributes ``in × out`` multiply-accumulates;
+    biases are ignored (additions, negligible).
+    """
+    return int(
+        sum(int(np.prod(v.shape)) for v in state.values() if v.ndim == 2)
+    )
+
+
+def inference_macs(model: LocalizationModel) -> int:
+    """MACs of the model's deployment inference path.
+
+    Uses the model's ``inference_macs`` hook when it defines one (models
+    whose prediction path differs from a single forward pass), otherwise
+    counts one pass over the state dict.
+    """
+    hook = getattr(model, "inference_macs", None)
+    if callable(hook):
+        return int(hook())
+    return macs_of_state(model.state_dict())

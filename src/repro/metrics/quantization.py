@@ -1,0 +1,93 @@
+"""Post-training weight quantization analysis.
+
+The paper's deployment argument is model compactness on resource-limited
+phones; int8 post-training quantization is the standard final step of
+that pipeline.  These helpers quantize a model's weights to ``n`` bits
+(symmetric per-tensor) and measure the accuracy cost, quantifying how
+much smaller the shipped model can get beyond the Table I float32 counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.fl.interfaces import LocalizationModel, StateDict
+
+
+def quantize_tensor(tensor: np.ndarray, bits: int = 8) -> np.ndarray:
+    """Symmetric per-tensor quantization: round to ``2^(bits−1)−1`` levels
+    per sign and dequantize back to float (simulated quantization)."""
+    if bits < 2 or bits > 16:
+        raise ValueError(f"bits must be in [2, 16], got {bits}")
+    tensor = np.asarray(tensor, dtype=np.float64)
+    scale = np.abs(tensor).max()
+    if scale == 0:
+        return tensor.copy()
+    levels = 2 ** (bits - 1) - 1
+    quantized = np.round(tensor / scale * levels)
+    return quantized / levels * scale
+
+
+def quantize_state(state: StateDict, bits: int = 8) -> StateDict:
+    """Quantize every tensor of a state dict."""
+    return {key: quantize_tensor(value, bits) for key, value in state.items()}
+
+
+@dataclass(frozen=True)
+class QuantizationReport:
+    """Effect of quantizing one model.
+
+    Attributes:
+        bits: Quantization width.
+        size_bytes: Shipped size at that width (weights only).
+        float_size_bytes: float32 reference size.
+        accuracy_before / accuracy_after: Top-1 accuracy on the probe set.
+    """
+
+    bits: int
+    size_bytes: int
+    float_size_bytes: int
+    accuracy_before: float
+    accuracy_after: float
+
+    @property
+    def compression(self) -> float:
+        return self.float_size_bytes / self.size_bytes if self.size_bytes else 0.0
+
+    @property
+    def accuracy_drop(self) -> float:
+        return self.accuracy_before - self.accuracy_after
+
+
+def quantization_report(
+    model: LocalizationModel,
+    features: np.ndarray,
+    labels: np.ndarray,
+    bits: int = 8,
+) -> QuantizationReport:
+    """Quantize a model's weights and measure the accuracy cost.
+
+    The model is restored to its original weights before returning.
+    """
+    features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+    labels = np.asarray(labels, dtype=np.int64)
+    if features.shape[0] != labels.shape[0]:
+        raise ValueError("feature/label count mismatch")
+    original = model.state_dict()
+    before = float((model.predict(features) == labels).mean())
+    try:
+        model.load_state_dict(quantize_state(original, bits))
+        after = float((model.predict(features) == labels).mean())
+    finally:
+        model.load_state_dict(original)
+    num_params = int(sum(v.size for v in original.values()))
+    return QuantizationReport(
+        bits=bits,
+        size_bytes=num_params * bits // 8,
+        float_size_bytes=num_params * 4,
+        accuracy_before=before,
+        accuracy_after=after,
+    )

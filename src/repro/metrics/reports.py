@@ -1,0 +1,30 @@
+"""Report assembly helpers shared by the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.metrics.localization import ErrorSummary
+from repro.utils.tables import format_table
+
+
+def box_whisker_rows(
+    summaries: Dict[str, ErrorSummary],
+) -> List[Tuple[str, float, float, float]]:
+    """Rows of (label, best, mean, worst) — the paper's box-whisker data."""
+    return [
+        (label, summary.best, summary.mean, summary.worst)
+        for label, summary in summaries.items()
+    ]
+
+
+def comparison_table(
+    summaries: Dict[str, ErrorSummary],
+    title: str = "",
+) -> str:
+    """Render framework → error summary as the paper's comparison layout."""
+    return format_table(
+        headers=["framework", "best (m)", "mean (m)", "worst (m)"],
+        rows=box_whisker_rows(summaries),
+        title=title,
+    )

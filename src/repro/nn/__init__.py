@@ -1,0 +1,119 @@
+"""Minimal numpy deep-learning substrate used by the SAFELOC reproduction.
+
+The paper trains its models with a PyTorch-class framework; this package
+provides the equivalent machinery from scratch so the reproduction has no
+dependency beyond numpy:
+
+* :class:`~repro.nn.module.Module` / :class:`~repro.nn.module.Sequential` —
+  composable layers with manual backprop,
+* dense layers and activations (:mod:`repro.nn.layers`),
+* losses with analytic gradients (:mod:`repro.nn.losses`),
+* SGD and Adam optimizers (:mod:`repro.nn.optim`),
+* input-gradient computation (``Module.input_gradient``), which the
+  gradient-based poisoning attacks (FGSM/PGD/MIM/CLB) require,
+* state-dict (de)serialization and numeric gradient checking.
+"""
+
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.layers import (
+    Dropout,
+    Identity,
+    LeakyReLU,
+    Linear,
+    ReLU,
+    Sigmoid,
+    Tanh,
+    TiedLinear,
+)
+from repro.nn.losses import (
+    CompositeLoss,
+    Loss,
+    MSELoss,
+    SparseCrossEntropyLoss,
+)
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.init import (
+    glorot_uniform,
+    he_uniform,
+    normal_init,
+    uniform_init,
+    zeros_init,
+)
+from repro.nn.functional import (
+    accuracy,
+    log_softmax,
+    one_hot,
+    relu,
+    sigmoid,
+    softmax,
+)
+from repro.nn.serialization import (
+    clone_state,
+    load_state,
+    save_state,
+    state_allclose,
+)
+from repro.nn.gradcheck import check_input_gradient, check_parameter_gradients
+from repro.nn.norm import BatchNorm, LayerNorm
+from repro.nn.schedulers import (
+    CosineAnnealing,
+    ExponentialDecay,
+    Scheduler,
+    StepDecay,
+    WarmupWrapper,
+)
+from repro.nn.training import (
+    EarlyStopping,
+    TrainHistory,
+    Trainer,
+    clip_gradients,
+)
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "TiedLinear",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Dropout",
+    "Identity",
+    "Loss",
+    "MSELoss",
+    "SparseCrossEntropyLoss",
+    "CompositeLoss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "glorot_uniform",
+    "he_uniform",
+    "uniform_init",
+    "normal_init",
+    "zeros_init",
+    "softmax",
+    "log_softmax",
+    "relu",
+    "sigmoid",
+    "one_hot",
+    "accuracy",
+    "save_state",
+    "load_state",
+    "clone_state",
+    "state_allclose",
+    "check_parameter_gradients",
+    "check_input_gradient",
+    "BatchNorm",
+    "LayerNorm",
+    "Scheduler",
+    "StepDecay",
+    "ExponentialDecay",
+    "CosineAnnealing",
+    "WarmupWrapper",
+    "Trainer",
+    "TrainHistory",
+    "EarlyStopping",
+    "clip_gradients",
+]

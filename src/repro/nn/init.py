@@ -1,0 +1,70 @@
+"""Weight initializers for the numpy substrate.
+
+All initializers take an explicit ``numpy.random.Generator`` so every model
+build in the reproduction is seedable end to end (the experiment presets pin
+seeds for the benches).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def glorot_uniform(
+    fan_in: int, fan_out: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialization — the default for dense layers."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def he_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """He uniform initialization, suited to ReLU stacks."""
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def uniform_init(
+    fan_in: int,
+    fan_out: int,
+    rng: np.random.Generator,
+    low: float = -0.05,
+    high: float = 0.05,
+) -> np.ndarray:
+    """Plain uniform initialization in ``[low, high]``."""
+    return rng.uniform(low, high, size=(fan_in, fan_out))
+
+
+def normal_init(
+    fan_in: int,
+    fan_out: int,
+    rng: np.random.Generator,
+    std: float = 0.01,
+) -> np.ndarray:
+    """Zero-mean Gaussian initialization."""
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def zeros_init(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """All-zeros initialization (used for biases)."""
+    del rng
+    return np.zeros((fan_in, fan_out))
+
+
+INITIALIZERS = {
+    "glorot_uniform": glorot_uniform,
+    "he_uniform": he_uniform,
+    "uniform": uniform_init,
+    "normal": normal_init,
+    "zeros": zeros_init,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initializer by name, raising ``KeyError`` with choices."""
+    try:
+        return INITIALIZERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown initializer {name!r}; choices: {sorted(INITIALIZERS)}"
+        ) from None

@@ -1,0 +1,238 @@
+"""Dense layers and activations with analytic forward/backward passes."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.init import get_initializer, glorot_uniform
+from repro.nn.module import Module, Parameter
+
+
+def _as_batch(x: np.ndarray) -> np.ndarray:
+    """Promote a single sample to a 1-row batch."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim == 1:
+        return x[None, :]
+    if x.ndim != 2:
+        raise ValueError(f"expected 1-D or 2-D input, got shape {x.shape}")
+    return x
+
+
+class Linear(Module):
+    """Fully connected layer: ``y = x @ W + b``.
+
+    Weights are ``(in_features, out_features)``; the layer caches its input
+    during forward so backward can form the weight gradient.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+        init: str = "glorot_uniform",
+        bias: bool = True,
+    ):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError(
+                f"layer dims must be positive, got ({in_features}, {out_features})"
+            )
+        rng = rng if rng is not None else np.random.default_rng()
+        initializer = get_initializer(init)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(initializer(in_features, out_features, rng), "weight")
+        self.use_bias = bias
+        if bias:
+            self.bias = Parameter(np.zeros(out_features), "bias")
+        self._input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = _as_batch(x)
+        if x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Linear expected {self.in_features} features, got {x.shape[1]}"
+            )
+        self._input = x
+        out = x @ self.weight.data
+        if self.use_bias:
+            out = out + self.bias.data
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        grad_output = _as_batch(grad_output)
+        if self.weight.trainable:
+            self.weight.grad += self._input.T @ grad_output
+        if self.use_bias and self.bias.trainable:
+            self.bias.grad += grad_output.sum(axis=0)
+        return grad_output @ self.weight.data.T
+
+
+class TiedLinear(Module):
+    """Dense layer whose weight is the transpose of a source ``Linear``.
+
+    Implements the fused network's decoder construction from SAFELOC §IV.A:
+    the decoder mirrors the encoder "but in reverse", with no decoder
+    weight matrices of its own — each decoder layer shares its encoder
+    twin's weight (transposed) and owns only a bias.  This is what keeps
+    the fused model's Table I parameter count far below a free decoder.
+    The paper's "freeze the gradients from the encoder and propagate them
+    to their corresponding layers in the decoder" maps to the shared
+    tensor: by default the decoder path's weight gradient flows into the
+    encoder twin (classic tied autoencoder); pass ``train_weight=False``
+    for a hard-frozen view that trains only the bias.
+    """
+
+    def __init__(self, source: Linear, train_weight: bool = True):
+        super().__init__()
+        if not isinstance(source, Linear):
+            raise TypeError("TiedLinear requires a Linear source layer")
+        self.source = source  # NOTE: registered as a submodule but its
+        # parameters are reported by the encoder; we expose only the bias.
+        self._modules.pop("source", None)  # avoid double-counting parameters
+        object.__setattr__(self, "source", source)
+        self.train_weight = bool(train_weight)
+        self.in_features = source.out_features
+        self.out_features = source.in_features
+        self.bias = Parameter(np.zeros(self.out_features), "bias")
+        self._input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = _as_batch(x)
+        if x.shape[1] != self.in_features:
+            raise ValueError(
+                f"TiedLinear expected {self.in_features} features, got {x.shape[1]}"
+            )
+        self._input = x
+        return x @ self.source.weight.data.T + self.bias.data
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        grad_output = _as_batch(grad_output)
+        if self.train_weight and self.source.weight.trainable:
+            # y = x W^T  ⇒  dL/dW = g^T x (accumulated into the shared tensor)
+            self.source.weight.grad += grad_output.T @ self._input
+        if self.bias.trainable:
+            self.bias.grad += grad_output.sum(axis=0)
+        return grad_output @ self.source.weight.data
+
+
+class ReLU(Module):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad_output, 0.0)
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU with configurable negative slope."""
+
+    def __init__(self, negative_slope: float = 0.01):
+        super().__init__()
+        if negative_slope < 0:
+            raise ValueError("negative_slope must be >= 0")
+        self.negative_slope = float(negative_slope)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._mask = x > 0
+        return np.where(self._mask, x, self.negative_slope * x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad_output, self.negative_slope * grad_output)
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._output: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        out = np.empty_like(x)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        expx = np.exp(x[~pos])
+        out[~pos] = expx / (1.0 + expx)
+        self._output = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * self._output * (1.0 - self._output)
+
+
+class Tanh(Module):
+    """Hyperbolic tangent activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._output: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._output = np.tanh(np.asarray(x, dtype=np.float64))
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * (1.0 - self._output**2)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity at inference time."""
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout p must be in [0, 1), got {p}")
+        self.p = float(p)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+
+class Identity(Module):
+    """Pass-through layer, handy as a placeholder."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=np.float64)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output

@@ -1,0 +1,129 @@
+"""Normalization layers for the numpy substrate.
+
+Not used by the paper's §V.A architectures (which are plain dense/ReLU
+stacks) but provided for the ablation studies and for downstream users
+extending the models — e.g. batch-normalized encoders are the standard
+next step when scaling the fused network to larger buildings.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+
+class BatchNorm(Module):
+    """Batch normalization over feature columns (training-time statistics,
+    running estimates at inference).
+
+    Args:
+        num_features: Width of the normalized axis.
+        momentum: Running-statistics update rate.
+        eps: Variance floor.
+    """
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError("num_features must be positive")
+        if not 0.0 < momentum <= 1.0:
+            raise ValueError("momentum must be in (0, 1]")
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        self.num_features = int(num_features)
+        self.momentum = float(momentum)
+        self.eps = float(eps)
+        self.gamma = Parameter(np.ones(num_features), "gamma")
+        self.beta = Parameter(np.zeros(num_features), "beta")
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if x.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected {self.num_features} features, got {x.shape[1]}"
+            )
+        if self.training:
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var
+            )
+        else:
+            mean, var = self.running_mean, self.running_var
+        std = np.sqrt(var + self.eps)
+        normalized = (x - mean) / std
+        self._cache = (normalized, std, x.shape[0])
+        return self.gamma.data * normalized + self.beta.data
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        normalized, std, batch = self._cache
+        grad_output = np.atleast_2d(grad_output)
+        if self.gamma.trainable:
+            self.gamma.grad += (grad_output * normalized).sum(axis=0)
+        if self.beta.trainable:
+            self.beta.grad += grad_output.sum(axis=0)
+        if not self.training:
+            return grad_output * self.gamma.data / std
+        # full training-mode gradient through the batch statistics
+        grad_norm = grad_output * self.gamma.data
+        return (
+            grad_norm
+            - grad_norm.mean(axis=0)
+            - normalized * (grad_norm * normalized).mean(axis=0)
+        ) / std
+
+
+class LayerNorm(Module):
+    """Layer normalization over each row's features."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5):
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError("num_features must be positive")
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        self.num_features = int(num_features)
+        self.eps = float(eps)
+        self.gamma = Parameter(np.ones(num_features), "gamma")
+        self.beta = Parameter(np.zeros(num_features), "beta")
+        self._cache: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if x.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected {self.num_features} features, got {x.shape[1]}"
+            )
+        mean = x.mean(axis=1, keepdims=True)
+        var = x.var(axis=1, keepdims=True)
+        std = np.sqrt(var + self.eps)
+        normalized = (x - mean) / std
+        self._cache = (normalized, std)
+        return self.gamma.data * normalized + self.beta.data
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        normalized, std = self._cache
+        grad_output = np.atleast_2d(grad_output)
+        if self.gamma.trainable:
+            self.gamma.grad += (grad_output * normalized).sum(axis=0)
+        if self.beta.trainable:
+            self.beta.grad += grad_output.sum(axis=0)
+        grad_norm = grad_output * self.gamma.data
+        return (
+            grad_norm
+            - grad_norm.mean(axis=1, keepdims=True)
+            - normalized * (grad_norm * normalized).mean(axis=1, keepdims=True)
+        ) / std

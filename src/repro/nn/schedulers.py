@@ -1,0 +1,97 @@
+"""Learning-rate schedulers for the numpy substrate.
+
+The paper trains at fixed learning rates (1e-3 server / 1e-4 client); the
+schedulers here support the ablation studies and longer paper-preset runs
+where decaying the server rate stabilizes the final rounds.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.nn.optim import Optimizer
+
+
+class Scheduler:
+    """Base class: adjusts an optimizer's ``lr`` once per ``step()``."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = float(optimizer.lr)
+        self.step_count = 0
+
+    def step(self) -> float:
+        """Advance one step and return the new learning rate."""
+        self.step_count += 1
+        lr = self._lr_at(self.step_count)
+        self.optimizer.lr = lr
+        return lr
+
+    def _lr_at(self, step: int) -> float:
+        raise NotImplementedError
+
+
+class StepDecay(Scheduler):
+    """Multiply the learning rate by ``gamma`` every ``period`` steps."""
+
+    def __init__(self, optimizer: Optimizer, period: int, gamma: float = 0.5):
+        super().__init__(optimizer)
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        self.period = int(period)
+        self.gamma = float(gamma)
+
+    def _lr_at(self, step: int) -> float:
+        return self.base_lr * self.gamma ** (step // self.period)
+
+
+class ExponentialDecay(Scheduler):
+    """``lr = base · decay^step``."""
+
+    def __init__(self, optimizer: Optimizer, decay: float = 0.99):
+        super().__init__(optimizer)
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        self.decay = float(decay)
+
+    def _lr_at(self, step: int) -> float:
+        return self.base_lr * self.decay**step
+
+
+class CosineAnnealing(Scheduler):
+    """Cosine ramp from the base rate down to ``min_lr`` over ``horizon``."""
+
+    def __init__(self, optimizer: Optimizer, horizon: int, min_lr: float = 0.0):
+        super().__init__(optimizer)
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if min_lr < 0:
+            raise ValueError("min_lr must be >= 0")
+        self.horizon = int(horizon)
+        self.min_lr = float(min_lr)
+
+    def _lr_at(self, step: int) -> float:
+        import math
+
+        progress = min(step, self.horizon) / self.horizon
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * progress)
+        )
+
+
+class WarmupWrapper(Scheduler):
+    """Linear warm-up for the first ``warmup_steps``, then delegate."""
+
+    def __init__(self, inner: Scheduler, warmup_steps: int):
+        super().__init__(inner.optimizer)
+        if warmup_steps <= 0:
+            raise ValueError("warmup_steps must be positive")
+        self.inner = inner
+        self.warmup_steps = int(warmup_steps)
+
+    def _lr_at(self, step: int) -> float:
+        if step <= self.warmup_steps:
+            return self.base_lr * step / self.warmup_steps
+        return self.inner._lr_at(step - self.warmup_steps)

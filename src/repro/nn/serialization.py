@@ -1,0 +1,53 @@
+"""State-dict persistence and comparison helpers.
+
+FL clients exchange ``state_dict`` mappings (name → array).  These helpers
+save/load them as ``.npz`` archives and provide the copy/compare utilities
+the federation and the tests rely on.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+StateDict = Dict[str, np.ndarray]
+
+
+def save_state(state: StateDict, path: str) -> str:
+    """Persist a state dict as a compressed ``.npz`` archive.
+
+    Returns the path written (with ``.npz`` appended if absent).
+    """
+    if not state:
+        raise ValueError("refusing to save an empty state dict")
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **{k: np.asarray(v) for k, v in state.items()})
+    return path
+
+
+def load_state(path: str) -> StateDict:
+    """Load a state dict previously written by :func:`save_state`."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        return {key: archive[key].copy() for key in archive.files}
+
+
+def clone_state(state: StateDict) -> StateDict:
+    """Deep-copy a state dict (arrays are copied, not aliased)."""
+    return {key: np.array(value, copy=True) for key, value in state.items()}
+
+
+def state_allclose(a: StateDict, b: StateDict, atol: float = 1e-10) -> bool:
+    """True when two state dicts have identical keys and close values."""
+    if set(a) != set(b):
+        return False
+    return all(
+        a[key].shape == b[key].shape and np.allclose(a[key], b[key], atol=atol)
+        for key in a
+    )

@@ -1,0 +1,170 @@
+"""High-level training loop helpers.
+
+`Trainer` packages the epoch/batch loop, gradient clipping, LR scheduling,
+early stopping, and history tracking that the model classes otherwise
+hand-roll — downstream users extending the reproduction get a single
+entry point instead of copying the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.data.datasets import FingerprintDataset, iterate_batches
+from repro.nn.losses import Loss
+from repro.nn.module import Module
+from repro.nn.optim import Optimizer
+from repro.nn.schedulers import Scheduler
+
+
+def clip_gradients(module: Module, max_norm: float) -> float:
+    """Scale all parameter gradients so their global L2 norm ≤ max_norm.
+
+    Returns the pre-clip norm.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    total = np.sqrt(
+        sum(float((p.grad**2).sum()) for p in module.parameters())
+    )
+    if total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for param in module.parameters():
+            param.grad *= scale
+    return float(total)
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch loss trace plus optional validation metric trace."""
+
+    train_losses: List[float] = field(default_factory=list)
+    val_metrics: List[float] = field(default_factory=list)
+
+    @property
+    def best_epoch(self) -> int:
+        """Epoch index (0-based) of the lowest validation metric (falls
+        back to the lowest training loss when no validation ran)."""
+        trace = self.val_metrics or self.train_losses
+        if not trace:
+            raise ValueError("no epochs recorded")
+        return int(np.argmin(trace))
+
+
+class EarlyStopping:
+    """Stop when the monitored metric hasn't improved for ``patience``
+    epochs by at least ``min_delta``."""
+
+    def __init__(self, patience: int = 10, min_delta: float = 0.0):
+        if patience <= 0:
+            raise ValueError("patience must be positive")
+        if min_delta < 0:
+            raise ValueError("min_delta must be >= 0")
+        self.patience = int(patience)
+        self.min_delta = float(min_delta)
+        self.best = float("inf")
+        self.stale = 0
+
+    def update(self, metric: float) -> bool:
+        """Record one epoch's metric; returns True when training should stop."""
+        if metric < self.best - self.min_delta:
+            self.best = metric
+            self.stale = 0
+        else:
+            self.stale += 1
+        return self.stale >= self.patience
+
+
+class Trainer:
+    """Mini-batch classification training loop.
+
+    Args:
+        module: Network producing logits.
+        loss: Loss over (logits, labels).
+        optimizer: Parameter optimizer.
+        scheduler: Optional per-epoch LR scheduler.
+        clip_norm: Optional global gradient-norm clip.
+        early_stopping: Optional stopper driven by the validation metric
+            (or training loss when no validation set is given).
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        loss: Loss,
+        optimizer: Optimizer,
+        scheduler: Optional[Scheduler] = None,
+        clip_norm: Optional[float] = None,
+        early_stopping: Optional[EarlyStopping] = None,
+    ):
+        if clip_norm is not None and clip_norm <= 0:
+            raise ValueError("clip_norm must be positive")
+        self.module = module
+        self.loss = loss
+        self.optimizer = optimizer
+        self.scheduler = scheduler
+        self.clip_norm = clip_norm
+        self.early_stopping = early_stopping
+
+    def fit(
+        self,
+        dataset: FingerprintDataset,
+        epochs: int,
+        rng: np.random.Generator,
+        batch_size: int = 32,
+        validation: Optional[FingerprintDataset] = None,
+        metric: Optional[Callable[[Module, FingerprintDataset], float]] = None,
+    ) -> TrainHistory:
+        """Train for up to ``epochs`` epochs; returns the history.
+
+        Args:
+            dataset: Training data.
+            epochs: Maximum epochs.
+            rng: Shuffling source.
+            batch_size: Mini-batch size.
+            validation: Optional held-out set evaluated each epoch.
+            metric: ``(module, dataset) -> float`` (lower is better);
+                defaults to the training loss evaluated on ``validation``.
+        """
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        history = TrainHistory()
+        self.module.train()
+        for _ in range(epochs):
+            losses = []
+            for features, labels in iterate_batches(dataset, batch_size, rng):
+                self.module.zero_grad()
+                value = self.loss(self.module.forward(features), labels)
+                self.module.backward(self.loss.backward())
+                if self.clip_norm is not None:
+                    clip_gradients(self.module, self.clip_norm)
+                self.optimizer.step()
+                losses.append(value)
+            epoch_loss = float(np.mean(losses))
+            history.train_losses.append(epoch_loss)
+            monitored = epoch_loss
+            if validation is not None:
+                self.module.eval()
+                if metric is not None:
+                    val = float(metric(self.module, validation))
+                else:
+                    val = float(
+                        self.loss(
+                            self.module.forward(validation.features),
+                            validation.labels,
+                        )
+                    )
+                history.val_metrics.append(val)
+                monitored = val
+                self.module.train()
+            if self.scheduler is not None:
+                self.scheduler.step()
+            if self.early_stopping is not None and self.early_stopping.update(
+                monitored
+            ):
+                break
+        self.module.eval()
+        return history

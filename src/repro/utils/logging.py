@@ -1,0 +1,32 @@
+"""Logging configuration for the reproduction.
+
+One package-level logger hierarchy (``repro.*``), quiet by default; the
+experiment drivers raise verbosity when asked.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s: %(message)s"
+_configured = False
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` hierarchy, configured once."""
+    global _configured
+    if not _configured:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT, datefmt="%H:%M:%S"))
+        root = logging.getLogger("repro")
+        root.addHandler(handler)
+        root.setLevel(logging.WARNING)
+        _configured = True
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def set_verbosity(level: int) -> None:
+    """Set the ``repro`` logger level (e.g. ``logging.INFO``)."""
+    get_logger("repro").setLevel(level)

@@ -1,0 +1,54 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows the paper's tables/figures
+report; this module renders them as aligned ascii tables so bench output is
+directly comparable with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+) -> str:
+    """Render rows as an aligned ascii table.
+
+    Args:
+        headers: Column names.
+        rows: Iterable of row sequences; floats are rendered with three
+            decimals.
+        title: Optional title line printed above the table.
+
+    Returns:
+        The formatted multi-line string (no trailing newline).
+    """
+    str_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    for idx, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {idx} has {len(row)} cells but there are "
+                f"{len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for col, cell in enumerate(row):
+            widths[col] = max(widths[col], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Structural tests for the ablation drivers (tiny preset)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    AblationResult,
+    run_aggregation_ablation,
+    run_denoise_ablation,
+    run_self_labeling_ablation,
+)
+from repro.experiments.scenarios import tiny_preset
+
+
+@pytest.fixture(scope="module")
+def preset():
+    return tiny_preset()
+
+
+class TestAblationResult:
+    def test_format_report(self):
+        result = AblationResult(
+            axis="x",
+            errors={("a", "clean"): 1.0, ("a", "atk"): 2.0,
+                    ("b", "clean"): 1.5, ("b", "atk"): 2.5},
+            variants=("a", "b"),
+            scenarios=("clean", "atk"),
+            preset_name="tiny",
+        )
+        report = result.format_report()
+        assert "Ablation [x]" in report
+        assert result.row("a") == [1.0, 2.0]
+
+
+@pytest.mark.slow
+class TestAblationDrivers:
+    def test_denoise_ablation_runs(self, preset):
+        result = run_denoise_ablation(preset)
+        assert result.variants == ("denoise-on", "denoise-off")
+        assert len(result.errors) == 2 * len(result.scenarios)
+        assert all(np.isfinite(v) for v in result.errors.values())
+
+    def test_self_labeling_ablation_runs(self, preset):
+        result = run_self_labeling_ablation(preset)
+        assert result.variants == ("self-labeling", "oracle-labels")
+        assert all(v >= 0 for v in result.errors.values())
+
+    def test_aggregation_ablation_covers_all_rules(self, preset):
+        result = run_aggregation_ablation(preset)
+        assert set(result.variants) == {
+            "saliency-relative",
+            "saliency-absolute",
+            "fedavg",
+            "coordinate-median",
+            "trimmed-mean",
+            "norm-clipping",
+        }
+        report = result.format_report()
+        for variant in result.variants:
+            assert variant in report

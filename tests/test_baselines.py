@@ -1,0 +1,367 @@
+"""Tests for the six baseline frameworks and the framework registry."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ClusteredAggregation,
+    DNNLocalizer,
+    FRAMEWORK_NAMES,
+    KrumAggregation,
+    LatentSpaceAggregation,
+    OnDeviceAnomalyModel,
+    SelectiveAggregation,
+    UpdateAutoencoder,
+    make_framework,
+)
+from repro.baselines.fedcc import two_means
+from repro.baselines.fedls import summarize_delta
+from repro.baselines.registry import COMPARISON_FRAMEWORKS
+from repro.data import FingerprintDataset
+from repro.fl.aggregation import ClientUpdate
+from repro.fl.state import state_sub
+
+D, C = 14, 5
+RNG = np.random.default_rng(21)
+
+
+def _dataset(n=60, seed=0, noise=0.03):
+    rng = np.random.default_rng(seed)
+    centres = rng.uniform(0.2, 0.8, size=(C, D))
+    labels = rng.integers(0, C, size=n)
+    features = np.clip(centres[labels] + rng.normal(0, noise, size=(n, D)), 0, 1)
+    return FingerprintDataset(features, labels)
+
+
+def _gm_state(seed=0):
+    return DNNLocalizer(D, C, hidden=(8,), seed=seed).state_dict()
+
+
+def _update(seed, gm=None, jitter=0.01, n=10, malicious=False):
+    base = gm if gm is not None else _gm_state(0)
+    rng = np.random.default_rng(seed)
+    state = {k: v + jitter * rng.normal(size=v.shape) for k, v in base.items()}
+    return ClientUpdate(f"c{seed}", state, n, is_malicious=malicious)
+
+
+class TestDNNLocalizer:
+    def test_learns_structured_data(self):
+        model = DNNLocalizer(D, C, hidden=(32,), seed=0)
+        ds = _dataset(200)
+        model.train_epochs(ds, epochs=40, lr=0.01, rng=np.random.default_rng(0))
+        assert (model.predict(ds.features) == ds.labels).mean() > 0.9
+
+    def test_clone_identical(self):
+        model = DNNLocalizer(D, C, seed=0)
+        copy = model.clone()
+        x = RNG.uniform(0, 1, size=(4, D))
+        np.testing.assert_allclose(copy.logits(x), model.logits(x))
+
+    def test_parameter_count_formula(self):
+        model = DNNLocalizer(10, 4, hidden=(8, 6), seed=0)
+        expected = 10 * 8 + 8 + 8 * 6 + 6 + 6 * 4 + 4
+        assert model.parameter_count() == expected
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            DNNLocalizer(0, 4)
+
+    def test_oracle_matches_input_dim(self):
+        model = DNNLocalizer(D, C, seed=0)
+        grad = model.gradient_oracle()(
+            RNG.uniform(0, 1, size=(3, D)), np.array([0, 1, 2])
+        )
+        assert grad.shape == (3, D)
+
+
+class TestSelectiveAggregation:
+    def test_identical_updates_pass_through(self):
+        gm = _gm_state(0)
+        u = ClientUpdate("c", {k: v.copy() for k, v in gm.items()}, 10)
+        agg = SelectiveAggregation().aggregate(gm, [u, u])
+        for key in gm:
+            np.testing.assert_allclose(agg[key], gm[key])
+
+    def test_shallow_tensors_keep_gm_values(self):
+        gm = _gm_state(0)  # hidden (8,): layers 0 and 2
+        updates = [_update(i, gm, jitter=1.0) for i in range(1, 4)]
+        agg = SelectiveAggregation(aggregate_fraction=0.5).aggregate(gm, updates)
+        # layer 0 (shallow) untouched, layer 2 (deep) aggregated
+        np.testing.assert_array_equal(agg["0.weight"], gm["0.weight"])
+        assert not np.allclose(agg["2.weight"], gm["2.weight"])
+
+    def test_full_fraction_aggregates_everything(self):
+        gm = _gm_state(0)
+        updates = [_update(i, gm, jitter=1.0) for i in range(1, 4)]
+        agg = SelectiveAggregation(
+            aggregate_fraction=1.0, server_mixing=1.0
+        ).aggregate(gm, updates)
+        for key in gm:
+            mean = np.mean([u.state[key] for u in updates], axis=0)
+            np.testing.assert_allclose(agg[key], mean)
+
+    def test_server_mixing_retains_gm(self):
+        gm = _gm_state(0)
+        updates = [_update(1, gm, jitter=1.0)]
+        agg = SelectiveAggregation(
+            aggregate_fraction=1.0, server_mixing=0.5
+        ).aggregate(gm, updates)
+        for key in gm:
+            expected = 0.5 * gm[key] + 0.5 * updates[0].state[key]
+            np.testing.assert_allclose(agg[key], expected)
+
+    def test_selected_keys_deepest_first(self):
+        gm = _gm_state(0)
+        strategy = SelectiveAggregation(aggregate_fraction=0.5)
+        selected = strategy.selected_keys(gm)
+        assert all(k.startswith("2.") for k in selected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SelectiveAggregation(aggregate_fraction=0.0)
+        with pytest.raises(ValueError):
+            SelectiveAggregation(server_mixing=1.5)
+
+
+class TestTwoMeans:
+    def test_separates_two_blobs(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 0.1, size=(5, 3))
+        b = rng.normal(5, 0.1, size=(3, 3))
+        assignment = two_means(np.vstack([a, b]), rng)
+        assert len(set(assignment[:5])) == 1
+        assert len(set(assignment[5:])) == 1
+        assert assignment[0] != assignment[5]
+
+    def test_identical_points_single_cluster(self):
+        rng = np.random.default_rng(0)
+        assignment = two_means(np.ones((4, 2)), rng)
+        assert set(assignment) == {0}
+
+    def test_single_point(self):
+        assignment = two_means(np.zeros((1, 2)), np.random.default_rng(0))
+        assert assignment.tolist() == [0]
+
+
+class TestClusteredAggregation:
+    def test_majority_cluster_survives_binary_split(self):
+        gm = _gm_state(0)
+        honest = [_update(i, gm, jitter=0.01) for i in range(1, 6)]
+        poisoned = _update(66, gm, jitter=2.0, malicious=True)
+        agg = ClusteredAggregation(num_clusters=2, seed=0).aggregate(
+            gm, honest + [poisoned]
+        )
+        honest_mean = {
+            k: np.mean([u.state[k] for u in honest], axis=0) for k in gm
+        }
+        for key in gm:
+            np.testing.assert_allclose(agg[key], honest_mean[key], atol=1e-8)
+
+    def test_poisoned_update_always_excluded(self):
+        gm = _gm_state(0)
+        honest = [_update(i, gm, jitter=0.01) for i in range(1, 6)]
+        poisoned = _update(66, gm, jitter=2.0, malicious=True)
+        agg = ClusteredAggregation(seed=0).aggregate(gm, honest + [poisoned])
+        # the aggregate must stay near the GM, far from the outlier
+        for key in gm:
+            assert np.abs(agg[key] - gm[key]).max() < 0.5
+
+    def test_k3_drops_minority_honest_clusters(self):
+        """FEDCC's §II heterogeneity weakness: with k=3, a distinct honest
+        device group lands in its own cluster and gets discarded."""
+        gm = _gm_state(0)
+        rng = np.random.default_rng(1)
+        direction_a = {k: 0.05 * rng.normal(size=v.shape) for k, v in gm.items()}
+        direction_b = {k: 0.05 * rng.normal(size=v.shape) for k, v in gm.items()}
+        group_a = [
+            ClientUpdate(
+                f"a{i}",
+                {k: gm[k] + direction_a[k] + 0.001 * rng.normal(size=gm[k].shape)
+                 for k in gm},
+                10,
+            )
+            for i in range(3)
+        ]
+        group_b = [
+            ClientUpdate(
+                f"b{i}",
+                {k: gm[k] + direction_b[k] + 0.001 * rng.normal(size=gm[k].shape)
+                 for k in gm},
+                10,
+            )
+            for i in range(2)
+        ]
+        poisoned = _update(66, gm, jitter=2.0, malicious=True)
+        agg = ClusteredAggregation(num_clusters=3, seed=0).aggregate(
+            gm, group_a + group_b + [poisoned]
+        )
+        # only group A (the largest cluster) survives
+        expected = {k: gm[k] + direction_a[k] for k in gm}
+        for key in gm:
+            np.testing.assert_allclose(agg[key], expected[key], atol=0.01)
+
+    def test_single_update_passthrough(self):
+        gm = _gm_state(0)
+        u = _update(3, gm)
+        agg = ClusteredAggregation().aggregate(gm, [u])
+        for key in gm:
+            np.testing.assert_allclose(agg[key], u.state[key])
+
+    def test_invalid_cluster_count(self):
+        with pytest.raises(ValueError):
+            ClusteredAggregation(num_clusters=1)
+
+
+class TestKrum:
+    def test_scores_rank_outlier_highest(self):
+        gm = _gm_state(0)
+        honest = [_update(i, gm, jitter=0.01) for i in range(1, 5)]
+        outlier = _update(77, gm, jitter=3.0)
+        strategy = KrumAggregation(num_byzantine=1)
+        scores = strategy.krum_scores(honest + [outlier])
+        assert np.argmax(scores) == 4
+
+    def test_selects_central_update(self):
+        gm = _gm_state(0)
+        honest = [_update(i, gm, jitter=0.01) for i in range(1, 5)]
+        outlier = _update(77, gm, jitter=3.0)
+        agg = KrumAggregation().aggregate(gm, honest + [outlier])
+        chosen_is_honest = any(
+            all(np.allclose(agg[k], u.state[k]) for k in gm) for u in honest
+        )
+        assert chosen_is_honest
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KrumAggregation(num_byzantine=-1)
+
+
+class TestUpdateAutoencoder:
+    def test_fit_reduces_reconstruction_error(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(8, 12))
+        ae = UpdateAutoencoder(12, epochs=200, seed=0)
+        before = ae.reconstruction_errors(features).mean()
+        ae.fit(features)
+        assert ae.reconstruction_errors(features).mean() < before
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            UpdateAutoencoder(0)
+
+
+class TestSummarizeDelta:
+    def test_fixed_length_and_order(self):
+        gm = _gm_state(0)
+        delta = state_sub(_update(1, gm).state, gm)
+        summary = summarize_delta(delta)
+        assert summary.shape == (4 * len(gm),)
+
+    def test_zero_delta_summary(self):
+        gm = _gm_state(0)
+        zero = {k: np.zeros_like(v) for k, v in gm.items()}
+        np.testing.assert_allclose(summarize_delta(zero), 0.0)
+
+
+class TestLatentSpaceAggregation:
+    def test_outlier_update_filtered(self):
+        gm = _gm_state(0)
+        honest = [_update(i, gm, jitter=0.01) for i in range(1, 6)]
+        poisoned = _update(88, gm, jitter=2.0, malicious=True)
+        agg = LatentSpaceAggregation(seed=0).aggregate(gm, honest + [poisoned])
+        # result should stay near the honest mean, far from the outlier
+        shift = max(np.abs(agg[k] - gm[k]).max() for k in gm)
+        assert shift < 0.5
+
+    def test_few_updates_fall_back_to_fedavg(self):
+        gm = _gm_state(0)
+        updates = [_update(1, gm), _update(2, gm)]
+        agg = LatentSpaceAggregation(seed=0).aggregate(gm, updates)
+        mean = {k: np.mean([u.state[k] for u in updates], axis=0) for k in gm}
+        for key in gm:
+            np.testing.assert_allclose(agg[key], mean[key])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatentSpaceAggregation(outlier_factor=1.0)
+        with pytest.raises(ValueError):
+            LatentSpaceAggregation(detector_epochs=0)
+
+
+class TestOnDeviceAnomalyModel:
+    def test_state_dict_has_both_networks(self):
+        model = OnDeviceAnomalyModel(D, C, seed=0)
+        keys = set(model.state_dict())
+        assert any(k.startswith("localizer.") for k in keys)
+        assert any(k.startswith("detector.") for k in keys)
+
+    def test_round_trip(self):
+        a = OnDeviceAnomalyModel(D, C, seed=0)
+        b = OnDeviceAnomalyModel(D, C, seed=5)
+        b.load_state_dict(a.state_dict())
+        x = RNG.uniform(0, 1, size=(4, D))
+        np.testing.assert_allclose(a.predict(x), b.predict(x))
+        np.testing.assert_allclose(a.detector_errors(x), b.detector_errors(x))
+
+    def test_trusted_training_skips_detector_filter(self):
+        model = OnDeviceAnomalyModel(D, C, seed=0)
+        ds = _dataset()
+        model.train_epochs(ds, epochs=1, lr=0.001,
+                           rng=np.random.default_rng(0), trusted=True)
+        assert model.last_flagged_count == 0
+
+    def test_detector_flags_perturbed_data_after_training(self):
+        model = OnDeviceAnomalyModel(D, C, tau=0.1, seed=0)
+        ds = _dataset(200)
+        model.train_epochs(ds, epochs=60, lr=0.005,
+                           rng=np.random.default_rng(0), trusted=True)
+        clean_flags = model.flag(ds.features).mean()
+        poisoned = np.clip(ds.features + 0.4, 0, 1)
+        poisoned_flags = model.flag(poisoned).mean()
+        assert poisoned_flags > clean_flags
+
+    def test_all_flagged_skips_update(self):
+        model = OnDeviceAnomalyModel(D, C, tau=0.0, seed=0)  # flag everything
+        ds = _dataset()
+        before = model.state_dict()
+        loss = model.train_epochs(ds, epochs=3, lr=0.01,
+                                  rng=np.random.default_rng(0))
+        assert loss == 0.0
+        after = model.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            OnDeviceAnomalyModel(D, C, tau=-0.1)
+
+
+class TestRegistry:
+    def test_all_frameworks_constructible(self):
+        for name in FRAMEWORK_NAMES:
+            spec = make_framework(name, D, C, seed=0)
+            assert spec.name == name
+            model = spec.model_factory()
+            assert model.input_dim == D
+            assert model.num_classes == C
+
+    def test_comparison_set_matches_figure6(self):
+        assert COMPARISON_FRAMEWORKS == (
+            "safeloc", "onlad", "fedhil", "fedcc", "fedls", "fedloc"
+        )
+
+    def test_unknown_framework(self):
+        with pytest.raises(KeyError):
+            make_framework("sigloc", D, C)
+
+    def test_table1_parameter_ordering(self):
+        """Table I: SAFELOC has the fewest parameters, FEDLS the most, and
+        the full ordering matches the paper."""
+        counts = {
+            name: make_framework(name, 135, 80, seed=0).model_factory().parameter_count()
+            for name in COMPARISON_FRAMEWORKS
+        }
+        assert counts["safeloc"] == min(counts.values())
+        assert counts["fedls"] == max(counts.values())
+        order = sorted(counts, key=counts.get)
+        assert order == ["safeloc", "fedcc", "fedhil", "onlad", "fedloc", "fedls"]

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_info_command(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "safeloc" in out
+        assert "fgsm" in out
+        assert "fast" in out
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["conquer"])
+
+    def test_unknown_artefact_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_unknown_framework_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "skynet"])
+
+    def test_parser_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "safeloc"])
+        assert args.preset == "fast"
+        assert args.epsilon == 0.5
+        assert args.attack is None
+
+
+class TestRunCommand:
+    def test_clean_run_tiny(self, capsys):
+        code = main(["run", "fedloc", "--preset", "tiny"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fedloc / clean" in out
+        assert "parameters:" in out
+
+    def test_attack_run_tiny(self, capsys):
+        code = main([
+            "run", "safeloc", "--preset", "tiny",
+            "--attack", "label_flip", "--epsilon", "1.0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "safeloc / label_flip" in out
+
+
+class TestExperimentCommand:
+    def test_table1_tiny(self, capsys):
+        code = main(["experiment", "table1", "--preset", "tiny"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "regenerated" in out

@@ -1,0 +1,161 @@
+"""Tests for building floorplans and the propagation model."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Building,
+    PathLossModel,
+    get_building,
+    list_buildings,
+    paper_buildings,
+    scaled_building,
+)
+from repro.data.buildings import make_building, _serpentine_path
+
+
+class TestSerpentinePath:
+    def test_one_metre_granularity(self):
+        path = _serpentine_path(40, width=10)
+        steps = np.sqrt((np.diff(path, axis=0) ** 2).sum(axis=1))
+        # Consecutive RPs are 1 m apart except at row turns (3 m corridor gap).
+        assert set(np.round(steps, 6)) <= {1.0, 3.0}
+
+    def test_exact_count(self):
+        for n in [1, 7, 30, 90]:
+            assert _serpentine_path(n, width=10).shape == (n, 2)
+
+    def test_no_duplicate_points(self):
+        path = _serpentine_path(60, width=12)
+        assert len(np.unique(path, axis=0)) == 60
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            _serpentine_path(0, width=10)
+
+
+class TestPaperBuildings:
+    def test_counts_match_section_va(self):
+        expected = {
+            "building1": (60, 203),
+            "building2": (48, 201),
+            "building3": (70, 187),
+            "building4": (80, 135),
+            "building5": (90, 78),
+        }
+        buildings = paper_buildings()
+        assert set(buildings) == set(expected)
+        for name, (rps, aps) in expected.items():
+            assert buildings[name].num_rps == rps
+            assert buildings[name].num_aps == aps
+
+    def test_deterministic_given_seed(self):
+        a = get_building("building1", seed=1)
+        b = get_building("building1", seed=1)
+        np.testing.assert_array_equal(a.ap_positions, b.ap_positions)
+
+    def test_different_seed_changes_aps(self):
+        a = get_building("building1", seed=1)
+        b = get_building("building1", seed=2)
+        assert not np.allclose(a.ap_positions, b.ap_positions)
+
+    def test_buildings_are_distinct(self):
+        buildings = paper_buildings()
+        ap_counts = {b.num_aps for b in buildings.values()}
+        assert len(ap_counts) == 5
+
+    def test_unknown_building_raises(self):
+        with pytest.raises(KeyError):
+            get_building("building9")
+
+    def test_list_order(self):
+        assert list_buildings() == [f"building{i}" for i in range(1, 6)]
+
+
+class TestScaledBuilding:
+    def test_scales_counts(self):
+        b = scaled_building("building1", 0.5, 0.25)
+        assert b.num_rps == 30
+        assert b.num_aps == round(203 * 0.25)
+
+    def test_minimum_floor(self):
+        b = scaled_building("building2", 0.01, 0.01)
+        assert b.num_rps >= 8
+        assert b.num_aps >= 8
+
+    @pytest.mark.parametrize("frac", [0.0, 1.5, -0.2])
+    def test_invalid_fraction(self, frac):
+        with pytest.raises(ValueError):
+            scaled_building("building1", frac, 0.5)
+
+
+class TestBuildingGeometry:
+    def test_distance_matrix_properties(self):
+        b = get_building("building5")
+        dist = b.rp_distance_matrix()
+        assert dist.shape == (90, 90)
+        np.testing.assert_allclose(np.diag(dist), 0.0)
+        np.testing.assert_allclose(dist, dist.T)
+        # adjacent RPs along a row are exactly 1 m apart
+        assert dist[0, 1] == pytest.approx(1.0)
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            Building("x", np.zeros((4, 3)), np.zeros((2, 2)), 10, 10)
+        with pytest.raises(ValueError):
+            Building("x", np.zeros((4, 2)), np.zeros((2, 3)), 10, 10)
+
+
+class TestPathLossModel:
+    def test_rss_decreases_with_distance(self):
+        model = PathLossModel()
+        rss = model.mean_rss(np.array([1.0, 5.0, 20.0, 80.0]))
+        assert np.all(np.diff(rss) < 0)
+
+    def test_floor_is_enforced(self):
+        model = PathLossModel()
+        assert model.mean_rss(np.array([1e9]))[0] == model.floor_dbm
+
+    def test_below_reference_distance_clamped(self):
+        model = PathLossModel()
+        assert model.mean_rss(np.array([0.01]))[0] == model.mean_rss(np.array([1.0]))[0]
+
+    def test_sample_within_bounds(self):
+        model = PathLossModel()
+        b = get_building("building5")
+        rng = np.random.default_rng(0)
+        rss = model.sample_rss(b.rp_coordinates, b.ap_positions, rng)
+        assert rss.shape == (90, 78)
+        assert rss.min() >= model.floor_dbm
+        assert rss.max() <= 0.0
+
+    def test_frozen_shadowing_reduces_visit_variance(self):
+        model = PathLossModel()
+        b = get_building("building5")
+        rng = np.random.default_rng(0)
+        shadow = model.shadowing_field(b.num_rps, b.num_aps, rng)
+        a1 = model.sample_rss(b.rp_coordinates, b.ap_positions,
+                              np.random.default_rng(1), shadowing=shadow)
+        a2 = model.sample_rss(b.rp_coordinates, b.ap_positions,
+                              np.random.default_rng(2), shadowing=shadow)
+        b1 = model.sample_rss(b.rp_coordinates, b.ap_positions,
+                              np.random.default_rng(3))
+        # same walls → visits differ only by multipath noise
+        assert np.abs(a1 - a2).mean() < np.abs(a1 - b1).mean()
+
+    def test_shadowing_shape_mismatch_raises(self):
+        model = PathLossModel()
+        b = get_building("building5")
+        with pytest.raises(ValueError):
+            model.sample_rss(
+                b.rp_coordinates,
+                b.ap_positions,
+                np.random.default_rng(0),
+                shadowing=np.zeros((2, 2)),
+            )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PathLossModel(path_loss_exponent=0.0)
+        with pytest.raises(ValueError):
+            PathLossModel(shadowing_std_db=-1.0)

@@ -1,0 +1,240 @@
+"""Tests for device heterogeneity profiles, normalization, datasets and the
+paper's data-collection protocol."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DeviceProfile,
+    FingerprintCollector,
+    FingerprintDataset,
+    collect_dataset,
+    denormalize_rss,
+    get_device,
+    iterate_batches,
+    list_devices,
+    normalize_rss,
+    paper_devices,
+    paper_protocol,
+    scaled_building,
+)
+from repro.data.devices import ATTACKER_DEVICE, TRAIN_DEVICE
+from repro.utils.rng import SeedSequence
+
+
+class TestNormalization:
+    def test_endpoints(self):
+        assert normalize_rss(np.array([-100.0]))[0] == 0.0
+        assert normalize_rss(np.array([0.0]))[0] == 1.0
+
+    def test_round_trip_in_range(self):
+        rng = np.random.default_rng(0)
+        dbm = rng.uniform(-100, 0, size=50)
+        np.testing.assert_allclose(denormalize_rss(normalize_rss(dbm)), dbm)
+
+    def test_out_of_range_clipped(self):
+        assert normalize_rss(np.array([-150.0]))[0] == 0.0
+        assert normalize_rss(np.array([10.0]))[0] == 1.0
+
+    def test_monotonicity(self):
+        dbm = np.linspace(-100, 0, 101)
+        unit = normalize_rss(dbm)
+        assert np.all(np.diff(unit) > 0)
+
+
+class TestDeviceProfiles:
+    def test_six_paper_devices(self):
+        assert len(list_devices()) == 6
+        assert TRAIN_DEVICE in list_devices()
+        assert ATTACKER_DEVICE in list_devices()
+
+    def test_train_device_is_motorola(self):
+        assert TRAIN_DEVICE == "Motorola Z2"
+
+    def test_attacker_device_is_htc(self):
+        assert ATTACKER_DEVICE == "HTC U11"
+
+    def test_get_device_unknown(self):
+        with pytest.raises(KeyError):
+            get_device("iPhone 27")
+
+    def test_observation_in_dbm_bounds(self):
+        rng = np.random.default_rng(0)
+        true_rss = rng.uniform(-100, 0, size=(20, 30))
+        for profile in paper_devices().values():
+            obs = profile.observe(true_rss, np.random.default_rng(1))
+            assert obs.min() >= -100.0
+            assert obs.max() <= 0.0
+
+    def test_gain_offset_shifts_mean(self):
+        true_rss = np.full((100, 100), -50.0)
+        quiet = DeviceProfile("quiet", noise_std_db=0.0, dropout_prob=0.0,
+                              quantization_db=0.0, sensitivity_dbm=-100.0)
+        shifted = DeviceProfile("shifted", gain_offset_db=-8.0, noise_std_db=0.0,
+                                dropout_prob=0.0, quantization_db=0.0,
+                                sensitivity_dbm=-100.0)
+        rng = np.random.default_rng(0)
+        base = quiet.observe(true_rss, rng)
+        off = shifted.observe(true_rss, rng)
+        assert (base - off).mean() == pytest.approx(8.0)
+
+    def test_sensitivity_floors_weak_signals(self):
+        profile = DeviceProfile("deaf", sensitivity_dbm=-60.0, noise_std_db=0.0,
+                                dropout_prob=0.0)
+        obs = profile.observe(np.array([[-70.0, -50.0]]), np.random.default_rng(0))
+        assert obs[0, 0] == -100.0
+        assert obs[0, 1] == -50.0
+
+    def test_dropout_rate(self):
+        profile = DeviceProfile("flaky", dropout_prob=0.3, noise_std_db=0.0,
+                                sensitivity_dbm=-100.0, quantization_db=0.0)
+        obs = profile.observe(np.full((200, 200), -40.0), np.random.default_rng(0))
+        dropped = (obs == -100.0).mean()
+        assert 0.25 < dropped < 0.35
+
+    def test_quantization(self):
+        profile = DeviceProfile("coarse", quantization_db=2.0, noise_std_db=0.0,
+                                dropout_prob=0.0, sensitivity_dbm=-100.0)
+        obs = profile.observe(np.array([[-43.3]]), np.random.default_rng(0))
+        assert obs[0, 0] % 2.0 == 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DeviceProfile("bad", gain_slope=0.0)
+        with pytest.raises(ValueError):
+            DeviceProfile("bad", dropout_prob=1.0)
+        with pytest.raises(ValueError):
+            DeviceProfile("bad", noise_std_db=-1.0)
+
+    def test_devices_produce_distinct_observations(self):
+        rng = np.random.default_rng(0)
+        true_rss = rng.uniform(-90, -30, size=(10, 20))
+        outputs = [
+            p.observe(true_rss, np.random.default_rng(7))
+            for p in paper_devices().values()
+        ]
+        for i in range(len(outputs)):
+            for j in range(i + 1, len(outputs)):
+                assert not np.allclose(outputs[i], outputs[j])
+
+
+class TestFingerprintDataset:
+    def _dataset(self, n=10, aps=4):
+        rng = np.random.default_rng(0)
+        return FingerprintDataset(
+            rng.random((n, aps)), rng.integers(0, 3, size=n), "b", "d"
+        )
+
+    def test_length_and_dims(self):
+        ds = self._dataset(12, 5)
+        assert len(ds) == 12
+        assert ds.num_aps == 5
+
+    def test_row_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FingerprintDataset(np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+    def test_subset_preserves_metadata(self):
+        ds = self._dataset()
+        sub = ds.subset(np.array([0, 2]))
+        assert len(sub) == 2
+        assert sub.building == "b" and sub.device == "d"
+
+    def test_shuffled_is_permutation(self):
+        ds = self._dataset(20)
+        shuffled = ds.shuffled(np.random.default_rng(1))
+        assert sorted(shuffled.labels.tolist()) == sorted(ds.labels.tolist())
+        assert not np.array_equal(shuffled.features, ds.features)
+
+    def test_merge(self):
+        a, b = self._dataset(5), self._dataset(7)
+        merged = a.merge(b)
+        assert len(merged) == 12
+        assert merged.device == "d"
+
+    def test_merge_ap_mismatch(self):
+        with pytest.raises(ValueError):
+            self._dataset(5, 4).merge(self._dataset(5, 6))
+
+    def test_with_labels_copies_features(self):
+        ds = self._dataset()
+        flipped = ds.with_labels(np.zeros(len(ds), dtype=int))
+        flipped.features[...] = -1
+        assert ds.features.min() >= 0
+
+    def test_iterate_batches_covers_all(self):
+        ds = self._dataset(10)
+        batches = list(iterate_batches(ds, 3))
+        assert [len(b[1]) for b in batches] == [3, 3, 3, 1]
+        total = np.concatenate([b[1] for b in batches])
+        np.testing.assert_array_equal(total, ds.labels)
+
+    def test_iterate_batches_shuffle(self):
+        ds = self._dataset(32)
+        x1 = np.concatenate([b[0] for b in iterate_batches(ds, 8, np.random.default_rng(0))])
+        assert not np.array_equal(x1, ds.features)
+
+    def test_iterate_batches_invalid_size(self):
+        with pytest.raises(ValueError):
+            list(iterate_batches(self._dataset(), 0))
+
+
+class TestPaperProtocol:
+    @pytest.fixture(scope="class")
+    def building(self):
+        return scaled_building("building5", 0.2, 0.3)
+
+    def test_train_device_and_volume(self, building):
+        train, tests = paper_protocol(building, seed=1)
+        assert train.device == TRAIN_DEVICE
+        assert len(train) == building.num_rps * 5
+        assert set(tests) == set(list_devices()) - {TRAIN_DEVICE}
+        for ds in tests.values():
+            assert len(ds) == building.num_rps
+
+    def test_features_normalized(self, building):
+        train, tests = paper_protocol(building, seed=1)
+        for ds in [train, *tests.values()]:
+            assert ds.features.min() >= 0.0
+            assert ds.features.max() <= 1.0
+
+    def test_every_rp_labelled(self, building):
+        train, _ = paper_protocol(building, seed=1)
+        assert set(train.labels.tolist()) == set(range(building.num_rps))
+
+    def test_deterministic(self, building):
+        t1, _ = paper_protocol(building, seed=9)
+        t2, _ = paper_protocol(building, seed=9)
+        np.testing.assert_array_equal(t1.features, t2.features)
+
+    def test_seed_changes_data(self, building):
+        t1, _ = paper_protocol(building, seed=1)
+        t2, _ = paper_protocol(building, seed=2)
+        assert not np.allclose(t1.features, t2.features)
+
+    def test_collect_dataset_helper(self, building):
+        ds = collect_dataset(building, "HTC U11", 2, seed=3)
+        assert ds.device == "HTC U11"
+        assert len(ds) == building.num_rps * 2
+
+    def test_fingerprints_are_position_informative(self, building):
+        """Nearest-neighbour on clean same-device data beats chance easily."""
+        collector = FingerprintCollector(building, seeds=SeedSequence(5))
+        device = paper_devices()[TRAIN_DEVICE]
+        train = collector.collect(device, 3)
+        probe = collector.collect(device, 4)
+        probe = probe.subset(np.arange(len(probe) - building.num_rps, len(probe)))
+        correct = 0
+        for row, label in zip(probe.features, probe.labels):
+            dists = np.abs(train.features - row).sum(axis=1)
+            correct += train.labels[dists.argmin()] == label
+        assert correct / len(probe) > 0.5
+
+    def test_unknown_train_device(self, building):
+        with pytest.raises(KeyError):
+            paper_protocol(building, train_device="Nokia 3310")
+
+    def test_invalid_fingerprint_count(self, building):
+        collector = FingerprintCollector(building)
+        with pytest.raises(ValueError):
+            collector.collect(paper_devices()[TRAIN_DEVICE], 0)

@@ -1,0 +1,94 @@
+"""Tests for temporal environment drift and staleness analysis."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DNNLocalizer
+from repro.data import scaled_building
+from repro.data.devices import paper_devices
+from repro.data.temporal import TemporalDrift, staleness_curve
+from repro.utils.rng import SeedSequence
+
+
+@pytest.fixture(scope="module")
+def building():
+    return scaled_building("building5", 0.2, 0.3)
+
+
+class TestTemporalDrift:
+    def test_day_zero_field_matches_shape(self, building):
+        drift = TemporalDrift(building, seeds=SeedSequence(1))
+        assert drift.shadowing().shape == (building.num_rps, building.num_aps)
+        assert drift.day == 0
+
+    def test_advance_changes_field_gradually(self, building):
+        drift = TemporalDrift(building, correlation=0.97, seeds=SeedSequence(1))
+        day0 = drift.shadowing()
+        day1 = drift.advance()
+        day30 = drift.advance(29)
+        d1 = np.abs(day1 - day0).mean()
+        d30 = np.abs(day30 - day0).mean()
+        assert 0 < d1 < d30  # drift accumulates
+
+    def test_stationary_variance(self, building):
+        """The OU update keeps the field's variance near the propagation
+        model's shadowing variance (no blow-up, no collapse)."""
+        drift = TemporalDrift(building, correlation=0.9, seeds=SeedSequence(2))
+        sigma = drift.propagation.shadowing_std_db
+        drift.advance(50)
+        assert 0.5 * sigma < drift.shadowing().std() < 1.5 * sigma
+
+    def test_correlation_one_is_static_world(self, building):
+        drift = TemporalDrift(building, correlation=1.0, seeds=SeedSequence(1))
+        day0 = drift.shadowing()
+        drift.advance(5)
+        np.testing.assert_allclose(drift.shadowing(), day0)
+
+    def test_deterministic_given_seed(self, building):
+        a = TemporalDrift(building, seeds=SeedSequence(7))
+        b = TemporalDrift(building, seeds=SeedSequence(7))
+        a.advance(3)
+        b.advance(3)
+        np.testing.assert_array_equal(a.shadowing(), b.shadowing())
+
+    def test_collect_valid_dataset(self, building):
+        drift = TemporalDrift(building, seeds=SeedSequence(1))
+        ds = drift.collect(paper_devices()["Motorola Z2"], 2)
+        assert len(ds) == 2 * building.num_rps
+        assert ds.features.min() >= 0.0
+        assert ds.features.max() <= 1.0
+
+    def test_validation(self, building):
+        with pytest.raises(ValueError):
+            TemporalDrift(building, correlation=1.5)
+        drift = TemporalDrift(building, seeds=SeedSequence(1))
+        with pytest.raises(ValueError):
+            drift.advance(0)
+        with pytest.raises(ValueError):
+            drift.collect(paper_devices()["Motorola Z2"], 0)
+
+
+class TestStalenessCurve:
+    def test_frozen_model_ages(self, building):
+        """A model trained on day 0 degrades as the environment drifts —
+        the §II motivation for FL's continual adaptation."""
+        drift = TemporalDrift(building, correlation=0.8, seeds=SeedSequence(3))
+        device = paper_devices()["Motorola Z2"]
+        train = drift.collect(device, 5)
+        model = DNNLocalizer(building.num_aps, building.num_rps,
+                             hidden=(48,), seed=0)
+        model.train_epochs(train, epochs=80, lr=0.005,
+                           rng=np.random.default_rng(0))
+        curve = staleness_curve(model, drift, device, days=30, step=10)
+        days = sorted(curve)
+        assert days[0] == 0
+        assert days[-1] == 30
+        assert curve[30] > curve[0]  # errors grow as the world drifts
+
+    def test_validation(self, building):
+        drift = TemporalDrift(building, seeds=SeedSequence(1))
+        model = DNNLocalizer(building.num_aps, building.num_rps,
+                             hidden=(8,), seed=0)
+        with pytest.raises(ValueError):
+            staleness_curve(model, drift, paper_devices()["Motorola Z2"],
+                            days=0)

@@ -1,0 +1,120 @@
+"""Tests for the classical robust aggregation rules (ablation baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dnn import DNNLocalizer
+from repro.fl.aggregation import ClientUpdate
+from repro.fl.robust import CoordinateMedian, NormClipping, TrimmedMean
+from repro.fl.state import state_norm, state_sub
+
+D, C = 8, 3
+
+
+def _gm():
+    return DNNLocalizer(D, C, hidden=(4,), seed=0).state_dict()
+
+
+def _update(seed, gm, jitter=0.01, n=10):
+    rng = np.random.default_rng(seed)
+    return ClientUpdate(
+        f"c{seed}",
+        {k: v + jitter * rng.normal(size=v.shape) for k, v in gm.items()},
+        n,
+    )
+
+
+class TestCoordinateMedian:
+    def test_resists_single_outlier(self):
+        gm = _gm()
+        honest = [_update(i, gm, jitter=0.01) for i in range(1, 6)]
+        outlier = _update(99, gm, jitter=100.0)
+        agg = CoordinateMedian().aggregate(gm, honest + [outlier])
+        for key in gm:
+            assert np.abs(agg[key] - gm[key]).max() < 1.0
+
+    def test_identical_updates_identity(self):
+        gm = _gm()
+        u = ClientUpdate("c", {k: v.copy() for k, v in gm.items()}, 5)
+        agg = CoordinateMedian().aggregate(gm, [u, u, u])
+        for key in gm:
+            np.testing.assert_allclose(agg[key], gm[key])
+
+    def test_odd_cohort_median_is_a_member_value(self):
+        gm = {"w": np.zeros((1,))}
+        updates = [
+            ClientUpdate("a", {"w": np.array([1.0])}, 1),
+            ClientUpdate("b", {"w": np.array([5.0])}, 1),
+            ClientUpdate("c", {"w": np.array([9.0])}, 1),
+        ]
+        agg = CoordinateMedian().aggregate(gm, updates)
+        assert agg["w"][0] == 5.0
+
+
+class TestTrimmedMean:
+    def test_trims_extremes_both_sides(self):
+        gm = {"w": np.zeros((1,))}
+        updates = [
+            ClientUpdate(str(i), {"w": np.array([v])}, 1)
+            for i, v in enumerate([-100.0, 1.0, 2.0, 3.0, 100.0])
+        ]
+        agg = TrimmedMean(trim=1).aggregate(gm, updates)
+        assert agg["w"][0] == pytest.approx(2.0)
+
+    def test_trim_clamped_for_small_cohorts(self):
+        gm = {"w": np.zeros((1,))}
+        updates = [
+            ClientUpdate("a", {"w": np.array([2.0])}, 1),
+            ClientUpdate("b", {"w": np.array([4.0])}, 1),
+        ]
+        agg = TrimmedMean(trim=5).aggregate(gm, updates)
+        assert agg["w"][0] == pytest.approx(3.0)
+
+    def test_zero_trim_is_mean(self):
+        gm = _gm()
+        updates = [_update(i, gm) for i in range(1, 4)]
+        agg = TrimmedMean(trim=0).aggregate(gm, updates)
+        mean = {k: np.mean([u.state[k] for u in updates], axis=0) for k in gm}
+        for key in gm:
+            np.testing.assert_allclose(agg[key], mean[key])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrimmedMean(trim=-1)
+
+
+class TestNormClipping:
+    def test_outlier_influence_bounded(self):
+        gm = _gm()
+        honest = [_update(i, gm, jitter=0.01) for i in range(1, 6)]
+        outlier = _update(99, gm, jitter=10.0)
+        clipped = NormClipping().aggregate(gm, honest + [outlier])
+        unclipped = {
+            k: np.mean([u.state[k] for u in honest + [outlier]], axis=0)
+            for k in gm
+        }
+        clip_shift = state_norm(state_sub(clipped, gm))
+        raw_shift = state_norm(state_sub(unclipped, gm))
+        assert clip_shift < 0.2 * raw_shift
+
+    def test_fixed_budget_respected(self):
+        gm = _gm()
+        updates = [_update(1, gm, jitter=5.0)]
+        agg = NormClipping(clip_norm=0.1).aggregate(gm, updates)
+        assert state_norm(state_sub(agg, gm)) <= 0.1 + 1e-9
+
+    def test_small_updates_unchanged(self):
+        gm = _gm()
+        updates = [_update(i, gm, jitter=0.001) for i in range(1, 4)]
+        agg = NormClipping(clip_norm=100.0).aggregate(gm, updates)
+        mean = {k: np.mean([u.state[k] for u in updates], axis=0) for k in gm}
+        for key in gm:
+            np.testing.assert_allclose(agg[key], mean[key])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NormClipping(clip_norm=0.0)
+
+    def test_no_updates_rejected(self):
+        with pytest.raises(ValueError):
+            NormClipping().aggregate(_gm(), [])

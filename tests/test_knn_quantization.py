@@ -1,0 +1,178 @@
+"""Tests for the WkNN baseline and post-training quantization."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.knn import WknnLocalizer
+from repro.core import SafeLocModel
+from repro.data import FingerprintDataset, paper_protocol, scaled_building
+from repro.metrics.quantization import (
+    QuantizationReport,
+    quantization_report,
+    quantize_state,
+    quantize_tensor,
+)
+
+D, C = 12, 5
+
+
+_CENTRES = np.random.default_rng(2024).uniform(0.2, 0.8, size=(C, D))
+
+
+def _dataset(n=100, seed=0, noise=0.02):
+    """Class-clustered fingerprints drawn around shared centres, so
+    different seeds give fresh samples of the *same* classes."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, C, size=n)
+    feats = np.clip(_CENTRES[labels] + rng.normal(0, noise, (n, D)), 0, 1)
+    return FingerprintDataset(feats, labels)
+
+
+class TestWknn:
+    def test_memorizes_radio_map(self):
+        model = WknnLocalizer(D, C, k=1)
+        ds = _dataset()
+        model.train_epochs(ds, 1, 0.0, np.random.default_rng(0))
+        np.testing.assert_array_equal(model.predict(ds.features), ds.labels)
+
+    def test_generalizes_on_structured_data(self):
+        model = WknnLocalizer(D, C, k=3)
+        model.train_epochs(_dataset(seed=0), 1, 0.0, np.random.default_rng(0))
+        probe = _dataset(seed=9)
+        acc = (model.predict(probe.features) == probe.labels).mean()
+        assert acc > 0.9
+
+    def test_train_appends(self):
+        model = WknnLocalizer(D, C)
+        model.train_epochs(_dataset(n=10), 1, 0.0, np.random.default_rng(0))
+        model.train_epochs(_dataset(n=15), 1, 0.0, np.random.default_rng(0))
+        assert model.radio_map_size == 25
+
+    def test_state_round_trip(self):
+        a = WknnLocalizer(D, C)
+        a.train_epochs(_dataset(), 1, 0.0, np.random.default_rng(0))
+        b = WknnLocalizer(D, C)
+        b.load_state_dict(a.state_dict())
+        probe = _dataset(seed=3)
+        np.testing.assert_array_equal(
+            a.predict(probe.features), b.predict(probe.features)
+        )
+
+    def test_clone(self):
+        model = WknnLocalizer(D, C, k=5, distance="manhattan")
+        model.train_epochs(_dataset(), 1, 0.0, np.random.default_rng(0))
+        copy = model.clone()
+        assert copy.k == 5
+        assert copy.distance == "manhattan"
+        assert copy.radio_map_size == model.radio_map_size
+
+    def test_empty_map_raises(self):
+        with pytest.raises(RuntimeError):
+            WknnLocalizer(D, C).predict(np.zeros((1, D)))
+
+    def test_no_gradient_oracle(self):
+        with pytest.raises(NotImplementedError):
+            WknnLocalizer(D, C).gradient_oracle()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WknnLocalizer(0, C)
+        with pytest.raises(ValueError):
+            WknnLocalizer(D, C, k=0)
+        with pytest.raises(ValueError):
+            WknnLocalizer(D, C, distance="cosine")
+
+    def test_wknn_localizes_cross_device(self):
+        """The classical baseline stays in the low-metre regime across the
+        paper's heterogeneous test devices (clean data)."""
+        building = scaled_building("building5", 0.2, 0.3)
+        train, tests = paper_protocol(building, seed=5)
+        wknn = WknnLocalizer(building.num_aps, building.num_rps, k=3)
+        wknn.train_epochs(train, 1, 0.0, np.random.default_rng(0))
+        dist = building.rp_distance_matrix()
+        for probe in tests.values():
+            err = dist[wknn.predict(probe.features), probe.labels].mean()
+            assert err < 3.0
+
+    def test_wknn_has_no_poison_defense(self):
+        """Motivation for learned defenses: feature perturbations poison
+        the radio-map match directly."""
+        ds = _dataset(seed=0)
+        wknn = WknnLocalizer(D, C, k=1)
+        wknn.train_epochs(ds, 1, 0.0, np.random.default_rng(0))
+        probe = _dataset(seed=3, n=50)
+        clean_acc = (wknn.predict(probe.features) == probe.labels).mean()
+        perturbed = np.clip(
+            probe.features
+            + 0.4 * np.sign(np.random.default_rng(1).normal(
+                size=probe.features.shape)),
+            0, 1,
+        )
+        poisoned_acc = (wknn.predict(perturbed) == probe.labels).mean()
+        assert poisoned_acc < clean_acc
+
+
+class TestQuantizeTensor:
+    def test_identity_at_high_bits(self):
+        x = np.random.default_rng(0).normal(size=(5, 5))
+        np.testing.assert_allclose(quantize_tensor(x, bits=16), x, atol=1e-3)
+
+    def test_coarse_at_two_bits(self):
+        x = np.linspace(-1, 1, 100)
+        q = quantize_tensor(x, bits=2)
+        assert len(np.unique(q)) <= 3  # −1, 0, +1 levels
+
+    def test_zero_tensor_unchanged(self):
+        np.testing.assert_array_equal(quantize_tensor(np.zeros(4)), np.zeros(4))
+
+    def test_max_magnitude_preserved(self):
+        x = np.array([-2.0, 0.5, 2.0])
+        q = quantize_tensor(x, bits=8)
+        assert q.max() == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quantize_tensor(np.ones(3), bits=1)
+        with pytest.raises(ValueError):
+            quantize_tensor(np.ones(3), bits=32)
+
+
+class TestQuantizationReport:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        model = SafeLocModel(D, C, seed=0, encoder_widths=(16, 8))
+        ds = _dataset(200)
+        model.train_epochs(ds, epochs=60, lr=0.005,
+                           rng=np.random.default_rng(0), trusted=True)
+        return model, ds
+
+    def test_int8_nearly_free(self, trained):
+        model, ds = trained
+        report = quantization_report(model, ds.features, ds.labels, bits=8)
+        assert report.compression == pytest.approx(4.0)
+        assert report.accuracy_drop < 0.05
+
+    def test_model_restored_after_report(self, trained):
+        model, ds = trained
+        before = model.state_dict()
+        quantization_report(model, ds.features, ds.labels, bits=4)
+        after = model.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+    def test_lower_bits_smaller_size(self, trained):
+        model, ds = trained
+        r8 = quantization_report(model, ds.features, ds.labels, bits=8)
+        r4 = quantization_report(model, ds.features, ds.labels, bits=4)
+        assert r4.size_bytes < r8.size_bytes
+
+    def test_quantize_state_covers_all_tensors(self, trained):
+        model, _ = trained
+        state = model.state_dict()
+        quantized = quantize_state(state, bits=8)
+        assert set(quantized) == set(state)
+
+    def test_mismatched_probe_rejected(self, trained):
+        model, ds = trained
+        with pytest.raises(ValueError):
+            quantization_report(model, ds.features, ds.labels[:-1])

@@ -1,0 +1,54 @@
+"""Tests for multi-building summary pooling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import ErrorSummary, merge_summaries, summarize_errors
+
+
+class TestMergeSummaries:
+    def test_single_summary_identity(self):
+        s = ErrorSummary(2.0, 8.0, 0.5, 1.5, 10)
+        merged = merge_summaries([s])
+        assert merged == s
+
+    def test_count_weighted_mean(self):
+        a = ErrorSummary(mean=1.0, worst=2.0, best=0.0, median=1.0, count=10)
+        b = ErrorSummary(mean=4.0, worst=5.0, best=3.0, median=4.0, count=30)
+        merged = merge_summaries([a, b])
+        assert merged.mean == pytest.approx((1.0 * 10 + 4.0 * 30) / 40)
+        assert merged.worst == 5.0
+        assert merged.best == 0.0
+        assert merged.count == 40
+
+    def test_matches_pooled_samples_for_mean_and_extremes(self):
+        rng = np.random.default_rng(0)
+        a = rng.uniform(0, 5, size=40)
+        b = rng.uniform(1, 9, size=25)
+        merged = merge_summaries([summarize_errors(a), summarize_errors(b)])
+        pooled = summarize_errors(np.concatenate([a, b]))
+        assert merged.mean == pytest.approx(pooled.mean)
+        assert merged.worst == pooled.worst
+        assert merged.best == pooled.best
+        assert merged.count == pooled.count
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_summaries([])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seeds=st.lists(st.integers(0, 2**31 - 1), min_size=1, max_size=5),
+)
+def test_property_merge_mean_within_bounds(seeds):
+    """The pooled mean lies between the min and max per-summary means."""
+    summaries = []
+    for seed in seeds:
+        rng = np.random.default_rng(seed)
+        summaries.append(summarize_errors(rng.uniform(0, 10, size=rng.integers(1, 30))))
+    merged = merge_summaries(summaries)
+    assert min(s.mean for s in summaries) - 1e-9 <= merged.mean
+    assert merged.mean <= max(s.mean for s in summaries) + 1e-9

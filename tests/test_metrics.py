@@ -1,0 +1,162 @@
+"""Tests for localization error, latency, footprint and MAC metrics."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DNNLocalizer, OnDeviceAnomalyModel
+from repro.core import SafeLocModel
+from repro.data import FingerprintDataset, get_building, scaled_building
+from repro.metrics import (
+    ErrorSummary,
+    box_whisker_rows,
+    comparison_table,
+    count_parameters,
+    evaluate_model,
+    inference_macs,
+    localization_errors,
+    macs_of_state,
+    measure_inference_latency,
+    model_size_bytes,
+    summarize_errors,
+)
+
+
+class TestLocalizationErrors:
+    @pytest.fixture(scope="class")
+    def building(self):
+        return scaled_building("building5", 0.2, 0.2)
+
+    def test_perfect_prediction_zero_error(self, building):
+        labels = np.arange(building.num_rps)
+        errors = localization_errors(labels, labels, building)
+        np.testing.assert_allclose(errors, 0.0)
+
+    def test_adjacent_rp_one_metre(self, building):
+        preds = np.array([1])
+        labels = np.array([0])
+        errors = localization_errors(preds, labels, building)
+        assert errors[0] == pytest.approx(1.0)
+
+    def test_symmetry(self, building):
+        a = localization_errors(np.array([0]), np.array([5]), building)
+        b = localization_errors(np.array([5]), np.array([0]), building)
+        assert a[0] == b[0]
+
+    def test_shape_mismatch(self, building):
+        with pytest.raises(ValueError):
+            localization_errors(np.zeros(3, int), np.zeros(4, int), building)
+
+    def test_out_of_range_indices(self, building):
+        n = building.num_rps
+        with pytest.raises(ValueError):
+            localization_errors(np.array([n]), np.array([0]), building)
+        with pytest.raises(ValueError):
+            localization_errors(np.array([0]), np.array([-1]), building)
+
+
+class TestErrorSummary:
+    def test_statistics(self):
+        summary = summarize_errors([1.0, 2.0, 3.0, 10.0])
+        assert summary.mean == pytest.approx(4.0)
+        assert summary.worst == 10.0
+        assert summary.best == 1.0
+        assert summary.median == pytest.approx(2.5)
+        assert summary.count == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_errors([])
+
+    def test_str_contains_units(self):
+        assert "m" in str(summarize_errors([1.0]))
+
+
+class TestEvaluateModel:
+    def test_pools_all_devices(self):
+        building = scaled_building("building5", 0.2, 0.2)
+        model = DNNLocalizer(building.num_aps, building.num_rps,
+                             hidden=(16,), seed=0)
+        rng = np.random.default_rng(0)
+        tests = {
+            f"dev{i}": FingerprintDataset(
+                rng.uniform(0, 1, (building.num_rps, building.num_aps)),
+                np.arange(building.num_rps),
+            )
+            for i in range(3)
+        }
+        summary = evaluate_model(model, tests, building)
+        assert summary.count == 3 * building.num_rps
+
+    def test_empty_test_sets_rejected(self):
+        building = scaled_building("building5", 0.2, 0.2)
+        model = DNNLocalizer(building.num_aps, building.num_rps, seed=0)
+        with pytest.raises(ValueError):
+            evaluate_model(model, {}, building)
+
+
+class TestLatency:
+    def test_report_fields(self):
+        model = DNNLocalizer(20, 5, hidden=(8,), seed=0)
+        report = measure_inference_latency(model, 20, repeats=5, warmup=1)
+        assert report.median_ms > 0
+        assert report.p95_ms >= report.median_ms * 0.5
+        assert report.repeats == 5
+
+    def test_invalid_args(self):
+        model = DNNLocalizer(4, 2, hidden=(4,), seed=0)
+        with pytest.raises(ValueError):
+            measure_inference_latency(model, 4, repeats=0)
+        with pytest.raises(ValueError):
+            measure_inference_latency(model, 4, repeats=5, batch_size=0)
+
+
+class TestFootprint:
+    def test_count_matches_module(self):
+        model = DNNLocalizer(10, 4, hidden=(8,), seed=0)
+        assert count_parameters(model) == model.network.parameter_count()
+
+    def test_model_size_bytes(self):
+        model = DNNLocalizer(10, 4, hidden=(8,), seed=0)
+        assert model_size_bytes(model) == 4 * count_parameters(model)
+        with pytest.raises(ValueError):
+            model_size_bytes(model, bytes_per_weight=0)
+
+
+class TestMacs:
+    def test_macs_of_state_counts_2d_only(self):
+        state = {"w": np.zeros((10, 5)), "b": np.zeros(5)}
+        assert macs_of_state(state) == 50
+
+    def test_plain_model_macs(self):
+        model = DNNLocalizer(10, 4, hidden=(8,), seed=0)
+        assert inference_macs(model) == 10 * 8 + 8 * 4
+
+    def test_safeloc_macs_count_tied_decoder(self):
+        """The fused model's inference runs encoder twice (RCE check) plus
+        the classifier — the tied decoder costs MACs but no parameters."""
+        model = SafeLocModel(30, 10, seed=0, encoder_widths=(16, 8))
+        encoder = 30 * 16 + 16 * 8
+        assert inference_macs(model) == 2 * encoder + 8 * 10
+
+    def test_onlad_macs_count_both_networks(self):
+        model = OnDeviceAnomalyModel(30, 10, seed=0)
+        loc = macs_of_state(model.localizer.state_dict())
+        det = macs_of_state(model.detector.state_dict())
+        assert inference_macs(model) == loc + det
+
+
+class TestReports:
+    def test_box_whisker_rows(self):
+        summaries = {"fw": ErrorSummary(2.0, 5.0, 1.0, 2.0, 10)}
+        rows = box_whisker_rows(summaries)
+        assert rows == [("fw", 1.0, 2.0, 5.0)]
+
+    def test_comparison_table_renders(self):
+        summaries = {
+            "a": ErrorSummary(1.0, 2.0, 0.5, 1.0, 4),
+            "b": ErrorSummary(3.0, 6.0, 1.0, 3.0, 4),
+        }
+        table = comparison_table(summaries, title="T")
+        assert "T" in table
+        assert "a" in table and "b" in table
+        assert "mean (m)" in table

@@ -1,0 +1,112 @@
+"""Robustness tests with multiple simultaneous attackers and mixed attacks.
+
+The Fig. 7 sweep scales poisoned clients to half the federation; these
+tests pin the mechanisms behind it at the tiny preset.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import create_attack
+from repro.baselines import make_framework
+from repro.core.saliency import SaliencyAggregation
+from repro.data.fingerprints import paper_protocol
+from repro.experiments.scenarios import tiny_preset
+from repro.fl import build_federation
+from repro.fl.aggregation import ClientUpdate
+from repro.metrics import evaluate_model
+from repro.utils.rng import SeedSequence
+
+
+@pytest.fixture(scope="module")
+def preset():
+    return tiny_preset()
+
+
+@pytest.fixture(scope="module")
+def building(preset):
+    return preset.building("building5")
+
+
+@pytest.fixture(scope="module")
+def data(building, preset):
+    return paper_protocol(building, seed=preset.seed)
+
+
+def _run(framework, preset, building, data, attack, epsilon,
+         num_clients, num_malicious):
+    train, tests = data
+    spec = make_framework(framework, building.num_aps, building.num_rps,
+                          seed=preset.seed)
+    config = preset.federation_config(
+        num_clients=num_clients, num_malicious=num_malicious
+    )
+    server = build_federation(
+        building, spec.model_factory, spec.strategy, config,
+        SeedSequence(preset.seed),
+        lambda: create_attack(attack, epsilon, num_classes=building.num_rps),
+    )
+    server.pretrain(train, epochs=config.pretrain_epochs,
+                    lr=config.pretrain_lr)
+    server.run_rounds(config.num_rounds)
+    return evaluate_model(server.model, tests, building)
+
+
+@pytest.mark.slow
+class TestMultiAttacker:
+    def test_safeloc_survives_one_third_malicious(self, preset, building, data):
+        summary = _run("safeloc", preset, building, data,
+                       "label_flip", 1.0, num_clients=6, num_malicious=2)
+        assert summary.mean < 6.0
+
+    def test_safeloc_scales_with_attacker_count(self, preset, building, data):
+        one = _run("safeloc", preset, building, data,
+                   "fgsm", 0.5, num_clients=8, num_malicious=1)
+        three = _run("safeloc", preset, building, data,
+                     "fgsm", 0.5, num_clients=8, num_malicious=3)
+        # more attackers must not blow the defense up disproportionately
+        assert three.mean < max(3.0 * one.mean, one.mean + 3.0)
+
+
+class TestSaliencyWithAttackerMajorityElements:
+    def test_two_coordinated_outliers_still_discounted(self):
+        """Cohort-relative saliency holds when two of six clients deviate
+        together (they shift the median less than they shift the mean)."""
+        rng = np.random.default_rng(0)
+        gm = {"w": rng.normal(size=(6, 6))}
+        honest = [
+            ClientUpdate(f"h{i}", {"w": gm["w"] + 0.01 * rng.normal(size=(6, 6))}, 10)
+            for i in range(4)
+        ]
+        poison_direction = rng.normal(size=(6, 6))
+        attackers = [
+            ClientUpdate(f"a{i}", {"w": gm["w"] + 0.5 * poison_direction}, 10)
+            for i in range(2)
+        ]
+        agg = SaliencyAggregation().aggregate(gm, honest + attackers)
+        fedavg = {
+            "w": np.mean([u.state["w"] for u in honest + attackers], axis=0)
+        }
+        saliency_shift = np.abs(agg["w"] - gm["w"]).mean()
+        fedavg_shift = np.abs(fedavg["w"] - gm["w"]).mean()
+        assert saliency_shift < 0.35 * fedavg_shift
+
+    def test_majority_attackers_defeat_relative_saliency(self):
+        """Honest documentation of the defense boundary: when attackers
+        are the majority, the cohort median follows them and the defense
+        inverts — the same boundary every median-based rule has."""
+        rng = np.random.default_rng(0)
+        gm = {"w": rng.normal(size=(4, 4))}
+        honest = [
+            ClientUpdate("h0", {"w": gm["w"] + 0.01 * rng.normal(size=(4, 4))}, 10)
+        ]
+        direction = rng.normal(size=(4, 4))
+        attackers = [
+            ClientUpdate(f"a{i}", {"w": gm["w"] + 0.5 * direction}, 10)
+            for i in range(4)
+        ]
+        agg = SaliencyAggregation().aggregate(gm, honest + attackers)
+        # the aggregate now tracks the (malicious) majority direction
+        shift = agg["w"] - gm["w"]
+        alignment = np.sign(shift) == np.sign(direction)
+        assert alignment.mean() > 0.7

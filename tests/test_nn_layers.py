@@ -1,0 +1,292 @@
+"""Unit tests for repro.nn layers: forward semantics and analytic backward
+passes verified against central-difference gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dropout,
+    Identity,
+    LeakyReLU,
+    Linear,
+    MSELoss,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    TiedLinear,
+    check_input_gradient,
+    check_parameter_gradients,
+)
+
+RNG = np.random.default_rng(1234)
+
+
+def _mse_closures(target):
+    loss = MSELoss()
+
+    def loss_fn(out):
+        return loss(out, target)
+
+    def grad_fn(out):
+        loss(out, target)
+        return loss.backward()
+
+    return loss_fn, grad_fn
+
+
+class TestLinear:
+    def test_forward_matches_matmul(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        x = RNG.normal(size=(5, 4))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(x), expected)
+
+    def test_forward_promotes_single_sample(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        out = layer(RNG.normal(size=4))
+        assert out.shape == (1, 3)
+
+    def test_rejects_wrong_feature_count(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="expected 4 features"):
+            layer(RNG.normal(size=(2, 5)))
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+        with pytest.raises(ValueError):
+            Linear(3, -1)
+
+    def test_backward_before_forward_raises(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 3)))
+
+    def test_parameter_gradients_numeric(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        x = RNG.normal(size=(6, 4))
+        target = RNG.normal(size=(6, 3))
+        loss_fn, grad_fn = _mse_closures(target)
+        check_parameter_gradients(layer, x, loss_fn, grad_fn)
+
+    def test_input_gradient_numeric(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        x = RNG.normal(size=(6, 4))
+        target = RNG.normal(size=(6, 3))
+        loss_fn, grad_fn = _mse_closures(target)
+        check_input_gradient(layer, x, loss_fn, grad_fn)
+
+    def test_no_bias_option(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0), bias=False)
+        assert len(layer.parameters()) == 1
+        x = RNG.normal(size=(2, 4))
+        np.testing.assert_allclose(layer(x), x @ layer.weight.data)
+
+    def test_gradients_accumulate_across_backwards(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(0))
+        x = RNG.normal(size=(4, 3))
+        g = RNG.normal(size=(4, 2))
+        layer(x)
+        layer.backward(g)
+        first = layer.weight.grad.copy()
+        layer(x)
+        layer.backward(g)
+        np.testing.assert_allclose(layer.weight.grad, 2 * first)
+
+
+class TestTiedLinear:
+    def test_weight_is_transposed_source(self):
+        enc = Linear(6, 4, rng=np.random.default_rng(0))
+        dec = TiedLinear(enc)
+        x = RNG.normal(size=(3, 4))
+        np.testing.assert_allclose(dec(x), x @ enc.weight.data.T + dec.bias.data)
+
+    def test_only_bias_is_trainable(self):
+        enc = Linear(6, 4, rng=np.random.default_rng(0))
+        dec = TiedLinear(enc)
+        names = [name for name, _ in dec.named_parameters()]
+        assert names == ["bias"]
+
+    def test_frozen_mode_does_not_touch_encoder_weight(self):
+        enc = Linear(6, 4, rng=np.random.default_rng(0))
+        dec = TiedLinear(enc, train_weight=False)
+        x = RNG.normal(size=(3, 4))
+        dec(x)
+        dec.backward(np.ones((3, 6)))
+        np.testing.assert_array_equal(enc.weight.grad, 0.0)
+        assert np.any(dec.bias.grad != 0.0)
+
+    def test_tied_mode_accumulates_into_source_weight(self):
+        enc = Linear(6, 4, rng=np.random.default_rng(0))
+        dec = TiedLinear(enc)
+        x = RNG.normal(size=(3, 4))
+        g = RNG.normal(size=(3, 6))
+        dec(x)
+        dec.backward(g)
+        np.testing.assert_allclose(enc.weight.grad, g.T @ x)
+
+    def test_tied_gradient_matches_numeric(self):
+        """Shared-weight gradient: encoder forward + decoder forward both
+        contribute; verify against numeric differentiation of the full
+        autoencoder path."""
+        enc = Linear(5, 3, rng=np.random.default_rng(0))
+        dec = TiedLinear(enc)
+        mse = MSELoss()
+        x = RNG.normal(size=(4, 5))
+
+        def run():
+            return mse(dec(enc(x)), x)
+
+        enc.zero_grad()
+        dec.zero_grad()
+        run()
+        grad_out = mse.backward()
+        enc.backward(dec.backward(grad_out))
+        analytic = enc.weight.grad.copy()
+        eps = 1e-6
+        numeric = np.zeros_like(analytic)
+        for idx in np.ndindex(analytic.shape):
+            enc.weight.data[idx] += eps
+            up = run()
+            enc.weight.data[idx] -= 2 * eps
+            down = run()
+            enc.weight.data[idx] += eps
+            numeric[idx] = (up - down) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-7)
+
+    def test_input_gradient_numeric(self):
+        enc = Linear(5, 3, rng=np.random.default_rng(0))
+        dec = TiedLinear(enc)
+        x = RNG.normal(size=(4, 3))
+        target = RNG.normal(size=(4, 5))
+        loss_fn, grad_fn = _mse_closures(target)
+        check_input_gradient(dec, x, loss_fn, grad_fn)
+
+    def test_tracks_source_weight_updates(self):
+        enc = Linear(5, 3, rng=np.random.default_rng(0))
+        dec = TiedLinear(enc)
+        x = np.ones((1, 3))
+        before = dec(x).copy()
+        enc.weight.data += 1.0
+        after = dec(x)
+        assert not np.allclose(before, after)
+
+    def test_requires_linear_source(self):
+        with pytest.raises(TypeError):
+            TiedLinear(ReLU())
+
+
+@pytest.mark.parametrize(
+    "activation",
+    [ReLU(), LeakyReLU(0.1), Sigmoid(), Tanh(), Identity()],
+    ids=["relu", "leaky", "sigmoid", "tanh", "identity"],
+)
+class TestActivations:
+    def test_input_gradient_numeric(self, activation):
+        x = RNG.normal(size=(5, 7)) + 0.01  # avoid relu kink at exactly 0
+        target = RNG.normal(size=(5, 7))
+        loss_fn, grad_fn = _mse_closures(target)
+        check_input_gradient(activation, x, loss_fn, grad_fn)
+
+    def test_shape_preserved(self, activation):
+        x = RNG.normal(size=(3, 9))
+        assert activation(x).shape == x.shape
+
+
+class TestActivationSemantics:
+    def test_relu_zeroes_negatives(self):
+        out = ReLU()(np.array([[-1.0, 0.0, 2.0]]))
+        np.testing.assert_allclose(out, [[0.0, 0.0, 2.0]])
+
+    def test_leaky_relu_scales_negatives(self):
+        out = LeakyReLU(0.2)(np.array([[-10.0, 5.0]]))
+        np.testing.assert_allclose(out, [[-2.0, 5.0]])
+
+    def test_leaky_relu_rejects_negative_slope(self):
+        with pytest.raises(ValueError):
+            LeakyReLU(-0.1)
+
+    def test_sigmoid_range_and_extremes(self):
+        out = Sigmoid()(np.array([[-1000.0, 0.0, 1000.0]]))
+        np.testing.assert_allclose(out, [[0.0, 0.5, 1.0]], atol=1e-12)
+
+    def test_tanh_odd_symmetry(self):
+        act = Tanh()
+        x = RNG.normal(size=(2, 4))
+        np.testing.assert_allclose(act(x), -act(-x))
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(7))
+        layer.eval()
+        x = RNG.normal(size=(10, 10))
+        np.testing.assert_array_equal(layer(x), x)
+
+    def test_training_mode_zeroes_and_rescales(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(7))
+        layer.train()
+        x = np.ones((2000, 10))
+        out = layer(x)
+        dropped = (out == 0).mean()
+        assert 0.45 < dropped < 0.55
+        kept = out[out != 0]
+        np.testing.assert_allclose(kept, 2.0)
+
+    def test_backward_uses_same_mask(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(7))
+        layer.train()
+        x = np.ones((50, 4))
+        out = layer(x)
+        grad = layer.backward(np.ones_like(x))
+        np.testing.assert_array_equal((out == 0), (grad == 0))
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+    def test_p_zero_is_identity_in_training(self):
+        layer = Dropout(0.0)
+        layer.train()
+        x = RNG.normal(size=(5, 5))
+        np.testing.assert_array_equal(layer(x), x)
+
+
+class TestSequential:
+    def test_end_to_end_gradients(self):
+        rng = np.random.default_rng(3)
+        model = Sequential(Linear(4, 8, rng), Tanh(), Linear(8, 2, rng))
+        x = RNG.normal(size=(5, 4))
+        target = RNG.normal(size=(5, 2))
+        loss_fn, grad_fn = _mse_closures(target)
+        check_parameter_gradients(model, x, loss_fn, grad_fn)
+        check_input_gradient(model, x, loss_fn, grad_fn)
+
+    def test_len_getitem_iter(self):
+        rng = np.random.default_rng(3)
+        layers = [Linear(2, 2, rng), ReLU(), Linear(2, 2, rng)]
+        model = Sequential(*layers)
+        assert len(model) == 3
+        assert model[1] is layers[1]
+        assert list(model) == layers
+
+    def test_append(self):
+        model = Sequential()
+        model.append(Identity())
+        assert len(model) == 1
+        with pytest.raises(TypeError):
+            model.append("not a layer")
+
+    def test_rejects_non_module(self):
+        with pytest.raises(TypeError):
+            Sequential(Identity(), 42)
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Dropout(0.5), Identity())
+        model.eval()
+        assert not model[0].training
+        model.train()
+        assert model[0].training

@@ -1,0 +1,96 @@
+"""Property-based tests (hypothesis) on the data substrate invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    DeviceProfile,
+    PathLossModel,
+    denormalize_rss,
+    normalize_rss,
+)
+from repro.data.buildings import make_building
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    dbm=st.lists(
+        st.floats(min_value=-100.0, max_value=0.0), min_size=1, max_size=50
+    )
+)
+def test_property_normalize_round_trip(dbm):
+    """denormalize ∘ normalize is the identity on in-range dBm values."""
+    arr = np.asarray(dbm)
+    np.testing.assert_allclose(
+        denormalize_rss(normalize_rss(arr)), arr, atol=1e-9
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=-500.0, max_value=500.0), min_size=1, max_size=50
+    )
+)
+def test_property_normalize_always_unit_interval(values):
+    out = normalize_rss(np.asarray(values))
+    assert out.min() >= 0.0
+    assert out.max() <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    exponent=st.floats(min_value=1.5, max_value=4.5),
+    tx=st.floats(min_value=0.0, max_value=30.0),
+)
+def test_property_path_loss_monotone_in_distance(exponent, tx):
+    model = PathLossModel(
+        tx_power_dbm=tx,
+        path_loss_exponent=exponent,
+        shadowing_std_db=0.0,
+        multipath_std_db=0.0,
+    )
+    distances = np.array([1.0, 2.0, 5.0, 10.0, 50.0, 200.0])
+    rss = model.mean_rss(distances)
+    assert np.all(np.diff(rss) <= 0)
+    assert rss.min() >= model.floor_dbm
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    offset=st.floats(min_value=-10.0, max_value=10.0),
+    slope=st.floats(min_value=0.8, max_value=1.2),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_device_observation_bounded(offset, slope, seed):
+    """Any affine device profile keeps observations inside [−100, 0] dBm."""
+    profile = DeviceProfile(
+        "prop", gain_offset_db=offset, gain_slope=slope,
+        noise_std_db=3.0, dropout_prob=0.1,
+    )
+    rng = np.random.default_rng(seed)
+    true_rss = rng.uniform(-100, 0, size=(10, 20))
+    observed = profile.observe(true_rss, rng)
+    assert observed.min() >= -100.0
+    assert observed.max() <= 0.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    num_rps=st.integers(min_value=2, max_value=120),
+    num_aps=st.integers(min_value=1, max_value=50),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_building_construction(num_rps, num_aps, seed):
+    """Any RP/AP count yields a consistent floorplan: exact counts,
+    symmetric zero-diagonal distance matrix, adjacent path RPs ≤ 3 m."""
+    building = make_building("prop", num_rps, num_aps, seed=seed)
+    assert building.num_rps == num_rps
+    assert building.num_aps == num_aps
+    dist = building.rp_distance_matrix()
+    np.testing.assert_allclose(dist, dist.T)
+    np.testing.assert_allclose(np.diag(dist), 0.0)
+    steps = np.array([dist[i, i + 1] for i in range(num_rps - 1)])
+    assert steps.max() <= 3.0 + 1e-9

@@ -1,0 +1,95 @@
+"""Tests for seeding, logging and table utilities."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.utils.logging import get_logger, set_verbosity
+from repro.utils.rng import SeedSequence, spawn_rng
+from repro.utils.tables import format_table
+
+
+class TestSpawnRng:
+    def test_same_seed_same_stream(self):
+        a = spawn_rng(7, "x").normal(size=5)
+        b = spawn_rng(7, "x").normal(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_streams_differ(self):
+        a = spawn_rng(7, "x").normal(size=5)
+        b = spawn_rng(7, "y").normal(size=5)
+        assert not np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = spawn_rng(7, "x").normal(size=5)
+        b = spawn_rng(8, "x").normal(size=5)
+        assert not np.allclose(a, b)
+
+    def test_empty_stream_label(self):
+        a = spawn_rng(7).normal(size=3)
+        b = spawn_rng(7).normal(size=3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSeedSequence:
+    def test_rng_reproducible(self):
+        seeds = SeedSequence(42)
+        a = seeds.rng("model").normal(size=4)
+        b = seeds.rng("model").normal(size=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_child_derivation_deterministic(self):
+        a = SeedSequence(42).child("client-0").rng("train").normal(size=4)
+        b = SeedSequence(42).child("client-0").rng("train").normal(size=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_children_independent(self):
+        root = SeedSequence(42)
+        a = root.child("client-0").rng("train").normal(size=4)
+        b = root.child("client-1").rng("train").normal(size=4)
+        assert not np.allclose(a, b)
+
+    def test_child_differs_from_root(self):
+        root = SeedSequence(42)
+        a = root.rng("train").normal(size=4)
+        b = root.child("x").rng("train").normal(size=4)
+        assert not np.allclose(a, b)
+
+
+class TestLogging:
+    def test_logger_namespaced(self):
+        logger = get_logger("fl.server")
+        assert logger.name == "repro.fl.server"
+
+    def test_existing_namespace_kept(self):
+        logger = get_logger("repro.core")
+        assert logger.name == "repro.core"
+
+    def test_set_verbosity(self):
+        set_verbosity(logging.DEBUG)
+        assert get_logger("repro").level == logging.DEBUG
+        set_verbosity(logging.WARNING)
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(["name", "v"], [("a", 1.5), ("bb", 20)], title="T")
+        lines = out.split("\n")
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "1.500" in out
+        assert "20" in out
+
+    def test_column_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [(0.123456,)])
+        assert "0.123" in out
+        assert "0.1235" not in out
