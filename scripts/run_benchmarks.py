@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Run the aggregation performance benchmarks and record the trajectory.
+
+Times every aggregation strategy on the packed engine vs the legacy dict
+path (6/32/128-client cohorts at three model scales), plus one federation
+round sequential vs threaded, and writes ``BENCH_aggregation.json`` at
+the repo root so the perf trajectory is tracked PR over PR.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_benchmarks.py [--quick] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
+
+from bench_perf_aggregation import (  # noqa: E402
+    JSON_PATH,
+    format_report,
+    run_all,
+    write_json,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced sweep (ci+experiment scales, 6/32 clients)",
+    )
+    parser.add_argument(
+        "--output",
+        default=JSON_PATH,
+        help="where to write the JSON record (default: repo-root "
+        "BENCH_aggregation.json)",
+    )
+    args = parser.parse_args(argv)
+    results = run_all(quick=args.quick)
+    print(format_report(results))
+    path = write_json(results, args.output)
+    print(f"\n[written to {path}]")
+    headline = results["headline"]
+    if headline["max_abs_diff"] >= 1e-10:
+        print("WARNING: packed/legacy disagreement above 1e-10")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

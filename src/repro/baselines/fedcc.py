@@ -9,6 +9,10 @@ heterogeneous environments" (§II) — emerges naturally: with k > 2,
 heterogeneous honest devices split into separate clusters and every
 cluster but the largest is thrown away, so the GM loses device diversity
 even though the poisoned update is correctly excluded.
+
+All distance computations go through Gram-matrix identities
+(``‖x−y‖² = ‖x‖² + ‖y‖² − 2⟨x,y⟩``), so clustering an ``(n, p)`` cohort
+never materializes an ``(n, n, p)`` or ``(n, k, p)`` broadcast tensor.
 """
 
 from __future__ import annotations
@@ -20,10 +24,29 @@ import numpy as np
 from repro.baselines.dnn import DNNLocalizer
 from repro.fl.aggregation import AggregationStrategy, ClientUpdate
 from repro.fl.interfaces import FrameworkSpec
+from repro.fl.packed import PackedStates, pairwise_sq_distances
 from repro.fl.state import StateDict, flatten_state, state_sub, state_weighted_mean
 
 #: FEDCC's compact DNN per Table I (42,993 params in the paper).
 FEDCC_HIDDEN = (160, 80)
+
+
+def _distances_to_centroids(
+    vectors: np.ndarray,
+    centroids: np.ndarray,
+    vector_sq_norms: np.ndarray,
+) -> np.ndarray:
+    """``(n, k)`` Euclidean distances via the Gram identity.
+
+    ``vector_sq_norms`` is the precomputed ``‖v_i‖²`` row — the vectors
+    never change across k-means iterations, so callers hoist it.
+    """
+    sq = (
+        vector_sq_norms[:, None]
+        + (centroids**2).sum(axis=1)[None, :]
+        - 2.0 * vectors @ centroids.T
+    )
+    return np.sqrt(np.maximum(sq, 0.0))
 
 
 def k_means(
@@ -41,7 +64,7 @@ def k_means(
     k = min(num_clusters, n)
     if k <= 1:
         return np.zeros(n, dtype=int)
-    dists = np.linalg.norm(vectors[:, None, :] - vectors[None, :, :], axis=-1)
+    dists = np.sqrt(pairwise_sq_distances(vectors))
     if dists.max() == 0:  # all points identical
         return np.zeros(n, dtype=int)
     # farthest-point init: start from the mutually farthest pair, then add
@@ -56,8 +79,9 @@ def k_means(
         seeds.append(next_seed)
     centroids = vectors[seeds].copy()
     assignment = np.zeros(n, dtype=int)
+    sq_norms = (vectors**2).sum(axis=1)
     for _ in range(num_iters):
-        d = np.linalg.norm(vectors[:, None, :] - centroids[None, :, :], axis=-1)
+        d = _distances_to_centroids(vectors, centroids, sq_norms)
         new_assignment = d.argmin(axis=1)
         if np.array_equal(new_assignment, assignment):
             break
@@ -94,16 +118,8 @@ class ClusteredAggregation(AggregationStrategy):
         self.num_clusters = int(num_clusters)
         self._rng = np.random.default_rng(seed)
 
-    def aggregate(
-        self,
-        global_state: StateDict,
-        updates: Sequence[ClientUpdate],
-    ) -> StateDict:
-        updates = self._require_updates(updates)
-        if len(updates) == 1:
-            return {k: v.copy() for k, v in updates[0].state.items()}
-        deltas = [state_sub(u.state, global_state) for u in updates]
-        vectors = np.stack([flatten_state(d)[0] for d in deltas])
+    def _keep_cluster(self, vectors: np.ndarray) -> np.ndarray:
+        """Cluster the delta vectors, return the kept clients' row mask."""
         assignment = k_means(vectors, self.num_clusters, self._rng)
         counts = np.bincount(assignment, minlength=assignment.max() + 1)
         largest = counts.max()
@@ -118,7 +134,36 @@ class ClusteredAggregation(AggregationStrategy):
             keep = int(candidates[int(np.argmin(norms))])
         else:
             keep = int(candidates[0])
-        kept = [u for u, a in zip(updates, assignment) if a == keep]
+        return assignment == keep
+
+    def packed_aggregate(
+        self,
+        gm_vector: np.ndarray,
+        packed: PackedStates,
+        updates: Sequence[ClientUpdate],
+    ) -> np.ndarray:
+        if packed.n_clients == 1:
+            return packed.matrix[0].copy()
+        kept = self._keep_cluster(packed.deltas(gm_vector))
+        weights = np.asarray(
+            [max(1, u.num_samples) for u, k in zip(updates, kept) if k],
+            dtype=np.float64,
+        )
+        weights = (weights / weights.sum()).astype(packed.matrix.dtype)
+        return weights @ packed.matrix[kept]
+
+    def aggregate_dict(
+        self,
+        global_state: StateDict,
+        updates: Sequence[ClientUpdate],
+    ) -> StateDict:
+        updates = self._require_updates(updates)
+        if len(updates) == 1:
+            return {k: v.copy() for k, v in updates[0].state.items()}
+        deltas = [state_sub(u.state, global_state) for u in updates]
+        vectors = np.stack([flatten_state(d)[0] for d in deltas])
+        kept_mask = self._keep_cluster(vectors)
+        kept = [u for u, k in zip(updates, kept_mask) if k]
         return state_weighted_mean(
             [u.state for u in kept], [max(1, u.num_samples) for u in kept]
         )

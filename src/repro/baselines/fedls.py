@@ -18,7 +18,8 @@ import numpy as np
 from repro.baselines.dnn import DNNLocalizer
 from repro.fl.aggregation import AggregationStrategy, ClientUpdate
 from repro.fl.interfaces import FrameworkSpec
-from repro.fl.state import StateDict, state_sub, state_weighted_mean
+from repro.fl.packed import PackedStates, PackLayout
+from repro.fl.state import StateDict, state_weighted_mean
 from repro.nn import Adam, Linear, MSELoss, ReLU, Sequential
 from repro.utils.rng import spawn_rng
 
@@ -92,6 +93,30 @@ def summarize_delta(delta: StateDict) -> np.ndarray:
     return np.asarray(stats)
 
 
+def summarize_packed_deltas(
+    deltas: np.ndarray, layout: PackLayout
+) -> np.ndarray:
+    """Per-client summaries straight from a packed delta matrix.
+
+    Same statistics as :func:`summarize_delta`, computed from the flat
+    per-tensor column slices of an ``(n_clients, n_params)`` delta matrix
+    — no per-client dict intermediates.
+    """
+    columns = []
+    for key, _ in layout.spec:  # layout.spec is already name-sorted
+        block = deltas[:, layout.slice_of(key)]
+        abs_block = np.abs(block)
+        columns.extend(
+            [
+                abs_block.mean(axis=1),
+                block.std(axis=1),
+                abs_block.max(axis=1),
+                np.linalg.norm(block, axis=1),
+            ]
+        )
+    return np.stack(columns, axis=1)
+
+
 class LatentSpaceAggregation(AggregationStrategy):
     """Drop latent-space-anomalous LM updates, FedAvg the rest.
 
@@ -138,8 +163,9 @@ class LatentSpaceAggregation(AggregationStrategy):
                 [u.state for u in updates],
                 [max(1, u.num_samples) for u in updates],
             )
-        summaries = np.stack(
-            [summarize_delta(state_sub(u.state, global_state)) for u in updates]
+        packed = PackedStates.from_updates(updates)
+        summaries = summarize_packed_deltas(
+            packed.deltas(packed.layout.flatten(global_state)), packed.layout
         )
         # robust column normalization (median/MAD) so the outlier cannot
         # dominate the feature scale

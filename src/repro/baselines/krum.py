@@ -6,6 +6,11 @@ sum of squared distances to its n − f − 2 nearest peers; the LM with the
 lowest score becomes the new GM.  Because only one client's update
 survives each round, KRUM "fails to incorporate collaborative learning
 from all clients" — the heterogeneity weakness §II describes.
+
+The packed path computes all pairwise distances through one Gram matrix
+(``‖x−y‖² = ‖x‖² + ‖y‖² − 2⟨x,y⟩``) instead of materializing the
+``(n, n, p)`` broadcast difference tensor; the dict path keeps the
+original O(n²) ``state_distance`` formulation as the reference.
 """
 
 from __future__ import annotations
@@ -17,10 +22,21 @@ import numpy as np
 from repro.baselines.dnn import DNNLocalizer
 from repro.fl.aggregation import AggregationStrategy, ClientUpdate
 from repro.fl.interfaces import FrameworkSpec
-from repro.fl.state import StateDict, flatten_state
+from repro.fl.packed import PackedStates, pairwise_sq_distances
+from repro.fl.state import StateDict, state_distance
 
 #: KRUM used "a simple Multi-Layer Perceptron" (§II).
 KRUM_HIDDEN = (64,)
+
+
+def _scores_from_sq_distances(sq_dists: np.ndarray, num_byzantine: int) -> np.ndarray:
+    """Krum scores from an ``(n, n)`` squared-distance matrix."""
+    n = sq_dists.shape[0]
+    closest = max(1, n - num_byzantine - 2)
+    scored = sq_dists.copy()
+    np.fill_diagonal(scored, np.inf)  # a client is not its own peer
+    scored.sort(axis=1)
+    return scored[:, :closest].sum(axis=1)
 
 
 class KrumAggregation(AggregationStrategy):
@@ -40,18 +56,36 @@ class KrumAggregation(AggregationStrategy):
         self.num_byzantine = int(num_byzantine)
 
     def krum_scores(self, updates: Sequence[ClientUpdate]) -> np.ndarray:
-        """Per-client Krum score (lower = more central)."""
-        vectors = np.stack([flatten_state(u.state)[0] for u in updates])
-        n = len(updates)
-        closest = max(1, n - self.num_byzantine - 2)
-        dists = ((vectors[:, None, :] - vectors[None, :, :]) ** 2).sum(axis=-1)
-        scores = np.empty(n)
-        for i in range(n):
-            others = np.delete(dists[i], i)
-            scores[i] = np.sort(others)[:closest].sum()
-        return scores
+        """Per-client Krum score (lower = more central), packed path."""
+        packed = PackedStates.from_updates(updates)
+        return _scores_from_sq_distances(
+            pairwise_sq_distances(packed.matrix), self.num_byzantine
+        )
 
-    def aggregate(
+    def krum_scores_dict(self, updates: Sequence[ClientUpdate]) -> np.ndarray:
+        """Reference scores via O(n²) pairwise ``state_distance`` calls."""
+        n = len(updates)
+        sq_dists = np.zeros((n, n))
+        for i in range(n):
+            for j in range(i + 1, n):
+                d = state_distance(updates[i].state, updates[j].state)
+                sq_dists[i, j] = sq_dists[j, i] = d * d
+        return _scores_from_sq_distances(sq_dists, self.num_byzantine)
+
+    def packed_aggregate(
+        self,
+        gm_vector: np.ndarray,
+        packed: PackedStates,
+        updates: Sequence[ClientUpdate],
+    ) -> np.ndarray:
+        if packed.n_clients == 1:
+            return packed.matrix[0].copy()
+        scores = _scores_from_sq_distances(
+            pairwise_sq_distances(packed.matrix), self.num_byzantine
+        )
+        return packed.matrix[int(np.argmin(scores))].copy()
+
+    def aggregate_dict(
         self,
         global_state: StateDict,
         updates: Sequence[ClientUpdate],
@@ -60,7 +94,7 @@ class KrumAggregation(AggregationStrategy):
         if len(updates) == 1:
             chosen = updates[0]
         else:
-            chosen = updates[int(np.argmin(self.krum_scores(updates)))]
+            chosen = updates[int(np.argmin(self.krum_scores_dict(updates)))]
         return {k: v.copy() for k, v in chosen.state.items()}
 
 

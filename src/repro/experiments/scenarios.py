@@ -12,7 +12,7 @@ Three scales, identical code paths:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.data.buildings import Building, get_building, scaled_building
 from repro.fl.simulation import FederationConfig
@@ -65,6 +65,8 @@ class Preset:
     default_epsilon: float = 0.5
     scalability_grid: Tuple[Tuple[int, int], ...] = ((6, 1), (12, 3), (18, 6), (24, 12))
     latency_repeats: int = 30
+    #: client-update thread count per round (None = sequential reference)
+    max_workers: Optional[int] = None
 
     def building(self, name: str) -> Building:
         """Materialize one of the preset's buildings at the preset scale."""
@@ -93,6 +95,7 @@ class Preset:
             num_rounds=self.num_rounds,
             pretrain_epochs=self.pretrain_epochs,
             pretrain_lr=self.pretrain_lr,
+            max_workers=self.max_workers,
         )
 
 

@@ -9,6 +9,15 @@ back into the GM through a pluggable
 :class:`~repro.fl.aggregation.AggregationStrategy`.
 """
 
+from repro.fl.packed import (
+    PackedStates,
+    PackLayout,
+    clear_workspaces,
+    cohort_median,
+    cohort_sort,
+    cosine_similarity_matrix,
+    pairwise_sq_distances,
+)
 from repro.fl.state import (
     flatten_state,
     state_add,
@@ -33,6 +42,13 @@ from repro.fl.simulation import (
 )
 
 __all__ = [
+    "PackedStates",
+    "PackLayout",
+    "pairwise_sq_distances",
+    "cosine_similarity_matrix",
+    "cohort_median",
+    "cohort_sort",
+    "clear_workspaces",
     "flatten_state",
     "unflatten_state",
     "state_add",

@@ -4,6 +4,13 @@ The strategy is the locus of every defense compared in the paper: FedAvg
 (FEDLOC), selective tensors (FEDHIL), clustering (FEDCC), latent-space
 filtering (FEDLS), Krum selection, and SAFELOC's saliency-map aggregation —
 all implement :class:`AggregationStrategy`.
+
+Strategies run on the **packed path** by default: the cohort is flattened
+once into a ``(n_clients, n_params)`` matrix (:mod:`repro.fl.packed`) and
+the defense becomes a handful of vectorized ops over axis 0.  Every
+converted strategy keeps its original per-key dict implementation as
+``aggregate_dict`` — the reference the equivalence tests and the
+aggregation benchmarks compare the packed path against.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.fl.packed import PackedStates
 from repro.fl.state import StateDict, state_weighted_mean
 
 
@@ -52,15 +60,53 @@ class AggregationStrategy:
         """Return the new global state.
 
         Implementations must not mutate ``global_state`` or the update
-        states in place.
+        states in place.  The default packs the cohort once and delegates
+        to :meth:`packed_aggregate`; strategies without a packed form
+        override this method directly.
         """
+        updates = self._require_updates(updates)
+        # scratch pack: the matrix lives only for this call, so it reuses
+        # the thread-local workspace instead of a fresh multi-MB allocation
+        packed = PackedStates.from_updates(updates, scratch=True)
+        gm_vector = packed.layout.flatten(global_state)
+        new_vector = self.packed_aggregate(gm_vector, packed, updates)
+        return packed.layout.unflatten(new_vector)
+
+    def packed_aggregate(
+        self,
+        gm_vector: np.ndarray,
+        packed: PackedStates,
+        updates: Sequence[ClientUpdate],
+    ) -> np.ndarray:
+        """Vectorized form: flat GM + packed cohort → new flat GM."""
         raise NotImplementedError
+
+    def aggregate_dict(
+        self,
+        global_state: StateDict,
+        updates: Sequence[ClientUpdate],
+    ) -> StateDict:
+        """Legacy per-key reference path (equivalence tests, benchmarks).
+
+        Strategies converted to the packed engine keep their original
+        dict implementation here; the default falls through to
+        :meth:`aggregate` for strategies that only have one path.
+        """
+        return self.aggregate(global_state, updates)
 
     @staticmethod
     def _require_updates(updates: Sequence[ClientUpdate]) -> Sequence[ClientUpdate]:
         if not updates:
             raise ValueError("aggregation requires at least one client update")
         return updates
+
+    @staticmethod
+    def _sample_weights(updates: Sequence[ClientUpdate]) -> np.ndarray:
+        """Normalized FedAvg weights from local sample counts."""
+        weights = np.asarray(
+            [max(1, u.num_samples) for u in updates], dtype=np.float64
+        )
+        return weights / weights.sum()
 
 
 class FedAvg(AggregationStrategy):
@@ -80,7 +126,20 @@ class FedAvg(AggregationStrategy):
             )
         self.server_momentum = float(server_momentum)
 
-    def aggregate(
+    def packed_aggregate(
+        self,
+        gm_vector: np.ndarray,
+        packed: PackedStates,
+        updates: Sequence[ClientUpdate],
+    ) -> np.ndarray:
+        weights = self._sample_weights(updates).astype(packed.matrix.dtype)
+        averaged = weights @ packed.matrix
+        if self.server_momentum == 0.0:
+            return averaged
+        m = self.server_momentum
+        return m * gm_vector + (1.0 - m) * averaged
+
+    def aggregate_dict(
         self,
         global_state: StateDict,
         updates: Sequence[ClientUpdate],

@@ -1,0 +1,333 @@
+"""Packed-tensor aggregation engine.
+
+Every aggregation strategy in the repo reasons about a *cohort* of client
+models.  Doing that over Python dicts of per-layer tensors costs one
+Python loop per key per client and a list-of-dict intermediate per
+pipeline stage.  This module flattens the whole cohort **once** into a
+contiguous ``(n_clients, n_params)`` matrix so each defense collapses
+into a handful of vectorized NumPy ops over axis 0:
+
+* saliency aggregation → one ``np.median``, one power/blend expression,
+  one mean;
+* coordinate median / trimmed mean → one ``np.median`` /
+  ``np.partition``;
+* Krum and the cosine defenses → a single Gram-matrix ``einsum``.
+
+The flat layout (sorted key order, C-contiguous ravel per tensor) is the
+one :func:`repro.fl.state.flatten_state` defines; :class:`PackLayout`
+caches it per model architecture so repeated rounds over the same
+network skip the spec rebuild.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.dtype import default_dtype
+
+StateDict = Dict[str, np.ndarray]
+
+# Cohort-sized temporaries are several MB, which numpy serves from fresh
+# mmap'd (page-faulting) memory on every call; over hundreds of federation
+# rounds those faults dominate the vectorized math.  The engine therefore
+# recycles its internal scratch buffers through a thread-local pool keyed
+# by (site, shape, dtype).  Pooled buffers NEVER escape into results —
+# every public return value is freshly allocated.
+_SCRATCH = threading.local()
+
+
+def _workspace(site: str, shape: tuple, dtype) -> np.ndarray:
+    """A reusable uninitialized buffer for one internal call site."""
+    pool = getattr(_SCRATCH, "pool", None)
+    if pool is None:
+        pool = _SCRATCH.pool = {}
+    key = (site, shape, dtype)
+    buffer = pool.get(key)
+    if buffer is None:
+        buffer = pool[key] = np.empty(shape, dtype)
+    return buffer
+
+
+def clear_workspaces() -> None:
+    """Drop this thread's pooled scratch buffers (frees their memory)."""
+    if getattr(_SCRATCH, "pool", None):
+        _SCRATCH.pool = {}
+
+#: architecture signature → PackLayout (an architecture is the sorted
+#: (name, shape) tuple, which is exactly what the flat layout depends on)
+_LAYOUT_CACHE: Dict[tuple, "PackLayout"] = {}
+
+
+class PackLayout:
+    """Canonical flat layout for one model architecture.
+
+    Attributes:
+        spec: Ordered ``(name, shape)`` pairs, sorted by name — the same
+            spec :func:`repro.fl.state.flatten_state` returns.
+        size: Total scalar parameter count.
+    """
+
+    __slots__ = ("spec", "size", "_slices")
+
+    def __init__(self, spec: Sequence[Tuple[str, tuple]]):
+        if not spec:
+            raise ValueError("cannot build a layout for an empty state dict")
+        self.spec: List[Tuple[str, tuple]] = [
+            (name, tuple(shape)) for name, shape in spec
+        ]
+        self._slices: Dict[str, slice] = {}
+        offset = 0
+        for name, shape in self.spec:
+            size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            self._slices[name] = slice(offset, offset + size)
+            offset += size
+        self.size = offset
+
+    @classmethod
+    def for_state(cls, state: StateDict) -> "PackLayout":
+        """The (cached) layout matching ``state``'s architecture."""
+        key = tuple(sorted((name, np.shape(v)) for name, v in state.items()))
+        layout = _LAYOUT_CACHE.get(key)
+        if layout is None:
+            layout = cls(key)
+            _LAYOUT_CACHE[key] = layout
+        return layout
+
+    def slice_of(self, name: str) -> slice:
+        """Flat-index range of one named tensor."""
+        return self._slices[name]
+
+    def _check_keys(self, state: StateDict) -> None:
+        if len(state) != len(self.spec) or any(
+            name not in state for name in self._slices
+        ):
+            raise ValueError(
+                "state keys differ from layout: "
+                f"{sorted(set(state) ^ set(self._slices))}"
+            )
+
+    def flatten(self, state: StateDict, out: np.ndarray = None) -> np.ndarray:
+        """One state dict → flat vector (canonical key order)."""
+        self._check_keys(state)
+        if out is None:
+            out = np.empty(self.size, dtype=default_dtype())
+        elif out.shape != (self.size,):
+            raise ValueError(
+                f"out has shape {out.shape}, layout needs ({self.size},)"
+            )
+        for name, shape in self.spec:
+            tensor = np.asarray(state[name])
+            if tensor.shape != shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"expected {shape}, got {tensor.shape}"
+                )
+            out[self._slices[name]] = tensor.reshape(-1)
+        return out
+
+    def pack(
+        self, states: Sequence[StateDict], dtype=None, scratch: bool = False
+    ) -> np.ndarray:
+        """A cohort of state dicts → ``(n, size)`` matrix.
+
+        ``scratch=True`` packs into a pooled workspace (valid until the
+        next scratch pack of the same shape on this thread) — used by the
+        strategy-internal aggregation flow, where the matrix never
+        outlives the call.
+        """
+        if not states:
+            raise ValueError("need at least one state dict to pack")
+        dtype = dtype or default_dtype()
+        if scratch:
+            matrix = _workspace("pack-matrix", (len(states), self.size), dtype)
+        else:
+            matrix = np.empty((len(states), self.size), dtype=dtype)
+        self.flatten(states[0], out=matrix[0])
+        spec_len = len(self.spec)
+        for row, state in zip(matrix[1:], states[1:]):
+            if len(state) != spec_len:
+                self._check_keys(state)
+            try:
+                for name, shape in self.spec:
+                    tensor = state[name]
+                    if tensor.shape != shape:
+                        raise ValueError(
+                            f"shape mismatch for {name}: "
+                            f"expected {shape}, got {tensor.shape}"
+                        )
+                    row[self._slices[name]] = tensor.reshape(-1)
+            except KeyError:
+                self._check_keys(state)  # raises with the key diff
+                raise
+        return matrix
+
+    def unflatten(self, vector: np.ndarray) -> StateDict:
+        """Flat vector → state dict (inverse of :meth:`flatten`)."""
+        vector = np.asarray(vector, dtype=default_dtype())
+        if vector.shape != (self.size,):
+            raise ValueError(
+                f"vector has shape {vector.shape}, layout needs ({self.size},)"
+            )
+        return {
+            name: vector[self._slices[name]].reshape(shape).copy()
+            for name, shape in self.spec
+        }
+
+
+class PackedStates:
+    """A cohort of client states as one ``(n_clients, n_params)`` matrix.
+
+    Rows follow the input order (client order); columns follow the
+    layout's canonical key order.  The matrix owns copies — mutating it
+    never aliases the client states.
+    """
+
+    __slots__ = ("layout", "matrix")
+
+    def __init__(self, layout: PackLayout, matrix: np.ndarray):
+        if matrix.ndim != 2 or matrix.shape[1] != layout.size:
+            raise ValueError(
+                f"matrix shape {matrix.shape} does not match layout "
+                f"size {layout.size}"
+            )
+        self.layout = layout
+        self.matrix = matrix
+
+    @classmethod
+    def from_states(
+        cls, states: Sequence[StateDict], dtype=None, scratch: bool = False
+    ) -> "PackedStates":
+        """Pack a cohort of state dicts (all sharing one architecture)."""
+        if not states:
+            raise ValueError("need at least one state dict to pack")
+        layout = PackLayout.for_state(states[0])
+        return cls(layout, layout.pack(states, dtype=dtype, scratch=scratch))
+
+    @classmethod
+    def from_updates(
+        cls, updates: Sequence, dtype=None, scratch: bool = False
+    ) -> "PackedStates":
+        """Pack the ``.state`` of a sequence of :class:`ClientUpdate`."""
+        return cls.from_states(
+            [u.state for u in updates], dtype=dtype, scratch=scratch
+        )
+
+    @property
+    def n_clients(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def n_params(self) -> int:
+        return self.matrix.shape[1]
+
+    def state(self, index: int) -> StateDict:
+        """Unpack one row back into a state dict."""
+        return self.layout.unflatten(self.matrix[index])
+
+    def deltas(self, reference: np.ndarray) -> np.ndarray:
+        """``matrix - reference`` (reference is a flat GM vector)."""
+        return self.matrix - reference
+
+
+def cohort_sort(matrix: np.ndarray) -> np.ndarray:
+    """Per-parameter sort across clients, returned as ``(p, n)``.
+
+    Order statistics across the cohort (median, trimmed mean) need each
+    parameter's ``n`` client values sorted.  Sorting ``(n, p)`` along the
+    strided axis 0 is cache-hostile and ``np.partition``'s introselect is
+    several times slower than a full sort at federation-sized ``n``; the
+    fastest route is a transposed contiguous copy sorted along its last
+    axis, which is what every caller gets back.
+
+    The returned array is a pooled scratch buffer: read it before the
+    next ``cohort_sort`` call on this thread, and copy anything you keep.
+    """
+    transposed = _workspace(
+        "cohort-sort", (matrix.shape[1], matrix.shape[0]), matrix.dtype
+    )
+    np.copyto(transposed, matrix.T)
+    transposed.sort(axis=1)
+    return transposed
+
+
+def _sort_nonnegative_rows(transposed: np.ndarray) -> None:
+    """In-place row sort for non-negative float rows.
+
+    Non-negative IEEE-754 floats order exactly like their bit patterns
+    read as signed integers, and the integer sort skips the NaN handling
+    of the float kernel — a measurable win on the hot median path.
+    """
+    if transposed.dtype == np.float64:
+        transposed.view(np.int64).sort(axis=1)
+    elif transposed.dtype == np.float32:
+        transposed.view(np.int32).sort(axis=1)
+    else:
+        transposed.sort(axis=1)
+
+
+def cohort_median(matrix: np.ndarray) -> np.ndarray:
+    """Per-parameter median across clients (row vector of length p).
+
+    Matches ``np.median(matrix, axis=0)`` exactly — mean of the two
+    middle order statistics for even cohorts — via :func:`cohort_sort`.
+    """
+    srt = cohort_sort(matrix)
+    n = matrix.shape[0]
+    half = n // 2
+    if n % 2:
+        return srt[:, half].copy()
+    return (srt[:, half - 1] + srt[:, half]) * 0.5
+
+
+def cohort_median_abs(matrix: np.ndarray) -> np.ndarray:
+    """Per-parameter median of ``|matrix|`` across clients.
+
+    Fuses the absolute value into the transposed copy so callers that
+    only need the deviation median (saliency aggregation) skip one full
+    ``(n, p)`` temporary.
+    """
+    transposed = _workspace(
+        "cohort-sort", (matrix.shape[1], matrix.shape[0]), matrix.dtype
+    )
+    np.abs(matrix.T, out=transposed)
+    _sort_nonnegative_rows(transposed)
+    n = matrix.shape[0]
+    half = n // 2
+    if n % 2:
+        return transposed[:, half].copy()
+    return (transposed[:, half - 1] + transposed[:, half]) * 0.5
+
+
+def pairwise_sq_distances(matrix: np.ndarray) -> np.ndarray:
+    """All pairwise squared L2 distances via one Gram matrix.
+
+    ``‖x−y‖² = ‖x‖² + ‖y‖² − 2⟨x,y⟩`` — O(n²·p) flops through BLAS with
+    O(n²) memory, instead of the O(n²·p) *memory* a broadcast difference
+    tensor needs.  Clamped at 0 against cancellation noise.
+    """
+    gram = matrix @ matrix.T
+    sq_norms = np.diagonal(gram)
+    dists = sq_norms[:, None] + sq_norms[None, :] - 2.0 * gram
+    np.maximum(dists, 0.0, out=dists)
+    np.fill_diagonal(dists, 0.0)
+    return dists
+
+
+def cosine_similarity_matrix(matrix: np.ndarray) -> np.ndarray:
+    """All pairwise cosine similarities as one normalized matmul.
+
+    Zero rows get similarity 0 against everything (matching
+    :func:`repro.fl.state.state_cosine_similarity`'s convention).
+    """
+    norms = np.linalg.norm(matrix, axis=1)
+    safe = np.where(norms == 0.0, 1.0, norms)
+    unit = matrix / safe[:, None]
+    sims = unit @ unit.T
+    zero = norms == 0.0
+    if zero.any():
+        sims[zero, :] = 0.0
+        sims[:, zero] = 0.0
+    return np.clip(sims, -1.0, 1.0)

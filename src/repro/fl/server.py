@@ -8,6 +8,7 @@ their LMs back through the configured aggregation strategy.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -43,6 +44,13 @@ class FederatedServer:
         clients: Participating clients (honest and malicious alike; the
             server does not know which is which).
         seeds: Server-side seed sequence (pre-training shuffles).
+        max_workers: Thread count for concurrent client updates.  ``None``
+            or ``1`` keeps the strictly sequential loop (the default, and
+            the bit-for-bit reproducibility reference).  Parallel rounds
+            stay deterministic because every client draws from its own
+            per-client :class:`SeedSequence` and trains a private model
+            copy — results are identical to the sequential loop, in the
+            same client order, regardless of scheduling.
     """
 
     def __init__(
@@ -51,13 +59,17 @@ class FederatedServer:
         strategy: AggregationStrategy,
         clients: Sequence[FederatedClient],
         seeds: Optional[SeedSequence] = None,
+        max_workers: Optional[int] = None,
     ):
         if not clients:
             raise ValueError("federation needs at least one client")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.model = model
         self.strategy = strategy
         self.clients = list(clients)
         self.seeds = seeds or SeedSequence(1)
+        self.max_workers = max_workers
         self.history: List[RoundRecord] = []
 
     def pretrain(
@@ -76,10 +88,25 @@ class FederatedServer:
         logger.info("pretrain finished, loss=%.4f", loss)
         return float(loss)
 
+    def _collect_updates(self, global_state: StateDict) -> List[ClientUpdate]:
+        """All client updates for one round, in client order."""
+        workers = self.max_workers
+        if workers is None or workers <= 1 or len(self.clients) == 1:
+            return [client.local_update(global_state) for client in self.clients]
+        with ThreadPoolExecutor(
+            max_workers=min(workers, len(self.clients))
+        ) as executor:
+            return list(
+                executor.map(
+                    lambda client: client.local_update(global_state),
+                    self.clients,
+                )
+            )
+
     def run_round(self) -> RoundRecord:
         """One synchronous round: broadcast → local updates → aggregate."""
         global_state = self.model.state_dict()
-        updates = [client.local_update(global_state) for client in self.clients]
+        updates = self._collect_updates(global_state)
         new_state = self.strategy.aggregate(global_state, updates)
         self.model.load_state_dict(new_state)
         record = RoundRecord(

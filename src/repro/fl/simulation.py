@@ -44,6 +44,10 @@ class FederationConfig:
         num_rounds: Federation rounds to run.
         pretrain_epochs / pretrain_lr: Server warm-up schedule (the paper
             uses 700 Adam epochs at 1e-3; fast presets shrink this).
+        max_workers: Thread count for concurrent client updates per round
+            (``None`` = strictly sequential, the reproducibility default;
+            parallel rounds produce identical results — see
+            :class:`~repro.fl.server.FederatedServer`).
     """
 
     num_clients: int = 6
@@ -57,10 +61,13 @@ class FederationConfig:
     num_rounds: int = 3
     pretrain_epochs: int = 60
     pretrain_lr: float = 0.001
+    max_workers: Optional[int] = None
 
     def __post_init__(self):
         if self.num_clients <= 0:
             raise ValueError("num_clients must be positive")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1 when set")
         if not 0 <= self.num_malicious <= self.num_clients:
             raise ValueError(
                 "num_malicious must be between 0 and num_clients, got "
@@ -159,4 +166,5 @@ def build_federation(
         strategy=strategy,
         clients=clients,
         seeds=seeds.child("server"),
+        max_workers=config.max_workers,
     )

@@ -3,6 +3,12 @@
 Aggregation strategies manipulate whole models as vectors; these helpers
 implement that vector algebra while preserving the named-tensor structure
 the saliency-map aggregation needs (it works per weight tensor, eq. 6-8).
+
+The flat layout behind :func:`flatten_state` is cached per model
+architecture (see :mod:`repro.fl.packed`), and the cohort reductions
+(:func:`state_mean`, :func:`state_weighted_mean`) run as one pack + one
+matrix reduction instead of per-key Python loops over per-client
+temporaries.
 """
 
 from __future__ import annotations
@@ -10,6 +16,9 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
+
+from repro.fl.packed import PackLayout
+from repro.nn.dtype import default_dtype
 
 StateDict = Dict[str, np.ndarray]
 
@@ -49,17 +58,24 @@ def state_scale(state: StateDict, factor: float) -> StateDict:
 
 
 def state_mean(states: Sequence[StateDict]) -> StateDict:
-    """Unweighted elementwise mean of several states."""
+    """Unweighted elementwise mean of several states.
+
+    Packs the cohort into one ``(n, p)`` matrix and reduces along axis 0
+    — no per-key temporaries.
+    """
     _check_same_keys(states)
-    return {
-        k: np.mean([s[k] for s in states], axis=0) for k in states[0]
-    }
+    layout = PackLayout.for_state(states[0])
+    return layout.unflatten(layout.pack(states).mean(axis=0))
 
 
 def state_weighted_mean(
     states: Sequence[StateDict], weights: Sequence[float]
 ) -> StateDict:
-    """Weighted elementwise mean (FedAvg with sample-count weights)."""
+    """Weighted elementwise mean (FedAvg with sample-count weights).
+
+    One pack + one ``weights @ matrix`` matvec replaces the Python-level
+    ``sum()`` of per-client scaled copies.
+    """
     _check_same_keys(states)
     if len(states) != len(weights):
         raise ValueError(f"{len(states)} states but {len(weights)} weights")
@@ -70,10 +86,9 @@ def state_weighted_mean(
     if total == 0:
         raise ValueError("weights sum to zero")
     weights = weights / total
-    return {
-        k: sum(w * s[k] for w, s in zip(weights, states))
-        for k in states[0]
-    }
+    layout = PackLayout.for_state(states[0])
+    matrix = layout.pack(states)
+    return layout.unflatten(weights.astype(matrix.dtype) @ matrix)
 
 
 def flatten_state(state: StateDict) -> Tuple[np.ndarray, List[Tuple[str, tuple]]]:
@@ -81,18 +96,19 @@ def flatten_state(state: StateDict) -> Tuple[np.ndarray, List[Tuple[str, tuple]]
 
     Returns the vector and a spec (ordered name/shape list) that
     :func:`unflatten_state` uses to rebuild the dict.  Keys are sorted so
-    the layout is canonical regardless of insertion order.
+    the layout is canonical regardless of insertion order; the spec is
+    cached per architecture, so repeated calls over the same model skip
+    the spec rebuild.
     """
-    spec = [(k, state[k].shape) for k in sorted(state)]
-    if not spec:
-        raise ValueError("cannot flatten an empty state dict")
-    vector = np.concatenate([state[k].ravel() for k, _ in spec])
-    return vector, spec
+    layout = PackLayout.for_state(state)
+    # fresh list: the layout (and its spec) are cached per architecture,
+    # so callers must not receive a mutable view of the cache
+    return layout.flatten(state), list(layout.spec)
 
 
 def unflatten_state(vector: np.ndarray, spec: List[Tuple[str, tuple]]) -> StateDict:
     """Inverse of :func:`flatten_state`."""
-    vector = np.asarray(vector, dtype=np.float64)
+    vector = np.asarray(vector, dtype=default_dtype())
     expected = sum(int(np.prod(shape)) for _, shape in spec)
     if vector.size != expected:
         raise ValueError(
@@ -118,10 +134,20 @@ def state_distance(a: StateDict, b: StateDict) -> float:
 
 
 def state_cosine_similarity(a: StateDict, b: StateDict) -> float:
-    """Cosine similarity of the flattened states (FEDCC/FEDHIL metric)."""
-    va, _ = flatten_state(a)
-    vb, _ = flatten_state(b)
-    denom = np.linalg.norm(va) * np.linalg.norm(vb)
+    """Cosine similarity of the flattened states (FEDCC/FEDHIL metric).
+
+    Accumulates the dot product and norms tensor by tensor, so neither
+    state is materialized as a concatenated vector.
+    """
+    _check_same_keys([a, b])
+    dot = norm_a = norm_b = 0.0
+    for key in a:
+        va = np.asarray(a[key]).ravel()
+        vb = np.asarray(b[key]).ravel()
+        dot += float(va @ vb)
+        norm_a += float(va @ va)
+        norm_b += float(vb @ vb)
+    denom = np.sqrt(norm_a) * np.sqrt(norm_b)
     if denom == 0:
         return 0.0
-    return float(np.dot(va, vb) / denom)
+    return float(dot / denom)

@@ -14,6 +14,11 @@ dependency beyond numpy:
 * state-dict (de)serialization and numeric gradient checking.
 """
 
+from repro.nn.dtype import (
+    compute_dtype,
+    default_dtype,
+    set_default_dtype,
+)
 from repro.nn.module import Module, Parameter, Sequential
 from repro.nn.layers import (
     Dropout,
@@ -70,6 +75,9 @@ from repro.nn.training import (
 )
 
 __all__ = [
+    "compute_dtype",
+    "default_dtype",
+    "set_default_dtype",
     "Module",
     "Parameter",
     "Sequential",

@@ -2,12 +2,16 @@
 
 All initializers take an explicit ``numpy.random.Generator`` so every model
 build in the reproduction is seedable end to end (the experiment presets pin
-seeds for the benches).
+seeds for the benches).  Draws happen at float64 (so a given seed produces
+the same weights regardless of compute width) and are cast to the compute
+dtype on the way out.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.nn.dtype import default_dtype
 
 
 def glorot_uniform(
@@ -15,13 +19,15 @@ def glorot_uniform(
 ) -> np.ndarray:
     """Glorot/Xavier uniform initialization — the default for dense layers."""
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+    draw = rng.uniform(-limit, limit, size=(fan_in, fan_out))
+    return draw.astype(default_dtype(), copy=False)
 
 
 def he_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
     """He uniform initialization, suited to ReLU stacks."""
     limit = np.sqrt(6.0 / fan_in)
-    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+    draw = rng.uniform(-limit, limit, size=(fan_in, fan_out))
+    return draw.astype(default_dtype(), copy=False)
 
 
 def uniform_init(
@@ -32,7 +38,8 @@ def uniform_init(
     high: float = 0.05,
 ) -> np.ndarray:
     """Plain uniform initialization in ``[low, high]``."""
-    return rng.uniform(low, high, size=(fan_in, fan_out))
+    draw = rng.uniform(low, high, size=(fan_in, fan_out))
+    return draw.astype(default_dtype(), copy=False)
 
 
 def normal_init(
@@ -42,13 +49,14 @@ def normal_init(
     std: float = 0.01,
 ) -> np.ndarray:
     """Zero-mean Gaussian initialization."""
-    return rng.normal(0.0, std, size=(fan_in, fan_out))
+    draw = rng.normal(0.0, std, size=(fan_in, fan_out))
+    return draw.astype(default_dtype(), copy=False)
 
 
 def zeros_init(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
     """All-zeros initialization (used for biases)."""
     del rng
-    return np.zeros((fan_in, fan_out))
+    return np.zeros((fan_in, fan_out), dtype=default_dtype())
 
 
 INITIALIZERS = {

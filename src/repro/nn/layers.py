@@ -6,13 +6,16 @@ from typing import Optional
 
 import numpy as np
 
+from repro.nn.dtype import default_dtype
+from repro.nn.functional import sigmoid
 from repro.nn.init import get_initializer, glorot_uniform
 from repro.nn.module import Module, Parameter
+from repro.utils.rng import fallback_rng
 
 
 def _as_batch(x: np.ndarray) -> np.ndarray:
     """Promote a single sample to a 1-row batch."""
-    x = np.asarray(x, dtype=np.float64)
+    x = np.asarray(x, dtype=default_dtype())
     if x.ndim == 1:
         return x[None, :]
     if x.ndim != 2:
@@ -40,7 +43,9 @@ class Linear(Module):
             raise ValueError(
                 f"layer dims must be positive, got ({in_features}, {out_features})"
             )
-        rng = rng if rng is not None else np.random.default_rng()
+        # no silent OS-entropy fallback: an omitted rng routes through the
+        # deterministic fallback stream so runs reproduce by construction
+        rng = rng if rng is not None else fallback_rng("linear")
         initializer = get_initializer(init)
         self.in_features = in_features
         self.out_features = out_features
@@ -131,7 +136,7 @@ class ReLU(Module):
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=default_dtype())
         self._mask = x > 0
         return np.where(self._mask, x, 0.0)
 
@@ -152,7 +157,7 @@ class LeakyReLU(Module):
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=default_dtype())
         self._mask = x > 0
         return np.where(self._mask, x, self.negative_slope * x)
 
@@ -170,14 +175,8 @@ class Sigmoid(Module):
         self._output: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
-        out = np.empty_like(x)
-        pos = x >= 0
-        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
-        expx = np.exp(x[~pos])
-        out[~pos] = expx / (1.0 + expx)
-        self._output = out
-        return out
+        self._output = sigmoid(x)
+        return self._output
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._output is None:
@@ -193,7 +192,7 @@ class Tanh(Module):
         self._output: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._output = np.tanh(np.asarray(x, dtype=np.float64))
+        self._output = np.tanh(np.asarray(x, dtype=default_dtype()))
         return self._output
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -210,16 +209,16 @@ class Dropout(Module):
         if not 0.0 <= p < 1.0:
             raise ValueError(f"dropout p must be in [0, 1), got {p}")
         self.p = float(p)
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else fallback_rng("dropout")
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=default_dtype())
         if not self.training or self.p == 0.0:
             self._mask = None
             return x
         keep = 1.0 - self.p
-        self._mask = (self._rng.random(x.shape) < keep) / keep
+        self._mask = (self._rng.random(x.shape) < keep).astype(x.dtype) / x.dtype.type(keep)
         return x * self._mask
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -232,7 +231,7 @@ class Identity(Module):
     """Pass-through layer, handy as a placeholder."""
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        return np.asarray(x, dtype=np.float64)
+        return np.asarray(x, dtype=default_dtype())
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         return grad_output

@@ -15,6 +15,8 @@ from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
+from repro.nn.dtype import default_dtype
+
 
 class Parameter:
     """A named trainable tensor with an accumulated gradient.
@@ -22,7 +24,9 @@ class Parameter:
     Attributes:
         name: Dotted path assigned when the owning module tree is built
             (e.g. ``"encoder.0.weight"``).
-        data: The parameter value, a float64 numpy array.
+        data: The parameter value, a numpy array at the compute dtype
+            (float64 unless :func:`repro.nn.dtype.set_default_dtype`
+            lowered it).
         grad: Accumulated gradient of the same shape, zeroed by
             :meth:`zero_grad`.
         trainable: When False, optimizers skip the parameter and
@@ -31,7 +35,7 @@ class Parameter:
     """
 
     def __init__(self, data: np.ndarray, name: str = "", trainable: bool = True):
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = np.asarray(data, dtype=default_dtype())
         self.grad = np.zeros_like(self.data)
         self.name = name
         self.trainable = trainable
@@ -146,7 +150,7 @@ class Module:
         for name, param in own.items():
             if name not in state:
                 continue
-            value = np.asarray(state[name], dtype=np.float64)
+            value = np.asarray(state[name], dtype=default_dtype())
             if value.shape != param.data.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: "

@@ -8,6 +8,7 @@ bit-reproducible given the preset seed.
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict
 
 import numpy as np
@@ -53,3 +54,40 @@ class SeedSequence:
             ).generate_state(1)[0]
         )
         return SeedSequence(derived)
+
+
+# -- deterministic fallback for components built without an explicit rng ----
+#
+# np.random.default_rng() with no seed draws OS entropy, so a Linear or
+# Dropout built without an rng silently made the whole federation run
+# unreproducible.  The fallback below replaces that: generators are spawned
+# off a process-global root seed with an incrementing per-call stream, so
+# (a) two components built in sequence still get independent streams, and
+# (b) re-running the same construction order reproduces the same weights
+# bit for bit.
+
+_FALLBACK_ROOT_SEED = 0
+_FALLBACK_COUNTER = itertools.count()
+
+
+def fallback_rng(component: str = "component") -> np.random.Generator:
+    """A deterministic generator for a component built without an rng.
+
+    Each call returns a fresh, independent stream derived from the
+    process-global fallback seed and a call counter — reproducible by
+    construction, never shared between components.
+    """
+    return spawn_rng(
+        _FALLBACK_ROOT_SEED, f"{component}/fallback-{next(_FALLBACK_COUNTER)}"
+    )
+
+
+def seed_fallback_rng(seed: int = 0) -> None:
+    """Reset the fallback stream (root seed and call counter).
+
+    Call at the top of a script/test to make subsequent rng-less component
+    construction reproduce exactly.
+    """
+    global _FALLBACK_ROOT_SEED, _FALLBACK_COUNTER
+    _FALLBACK_ROOT_SEED = int(seed)
+    _FALLBACK_COUNTER = itertools.count()

@@ -1,0 +1,375 @@
+"""Packed-engine equivalence, parallel-round determinism, dtype policy.
+
+Every aggregation strategy now runs on the packed ``(n_clients,
+n_params)`` matrix; these tests pin the packed path to the legacy
+per-key dict path within 1e-10 for random cohorts (honest-only,
+single-attacker, and the coordinated multi-attacker shapes from
+``test_multi_attacker``), and pin the new execution knobs: threaded
+client rounds must be bit-identical to the sequential loop, and the
+compute-dtype switch must thread float32 end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dnn import DNNLocalizer
+from repro.baselines.fedcc import ClusteredAggregation
+from repro.baselines.fedhil import SelectiveAggregation
+from repro.baselines.fedls import summarize_delta, summarize_packed_deltas
+from repro.baselines.krum import KrumAggregation
+from repro.core.saliency import SaliencyAggregation
+from repro.data.datasets import FingerprintDataset
+from repro.fl import FedAvg, FederatedClient, FederatedServer, PackedStates, PackLayout
+from repro.fl.aggregation import ClientUpdate
+from repro.fl.client import ClientConfig
+from repro.fl.packed import cosine_similarity_matrix, pairwise_sq_distances
+from repro.fl.robust import CoordinateMedian, NormClipping, TrimmedMean
+from repro.fl.state import state_cosine_similarity, state_sub
+from repro.nn import Linear, Sigmoid, compute_dtype, default_dtype, sigmoid
+from repro.utils.rng import SeedSequence, fallback_rng, seed_fallback_rng
+
+TOL = 1e-10
+
+
+def _gm(seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "0.weight": rng.normal(size=(8, 16)),
+        "0.bias": rng.normal(size=16),
+        "2.weight": rng.normal(size=(16, 6)),
+        "2.bias": rng.normal(size=6),
+        "4.weight": rng.normal(size=(6, 4)),
+        "4.bias": rng.normal(size=4),
+    }
+
+
+def _cohort(gm, n_clients, n_attackers=0, seed=1, coordinated=False):
+    """Random cohort: honest jitter, attackers deviate 50× harder.
+
+    ``coordinated=True`` reproduces the multi-attacker fixture shape —
+    all attackers push the same poison direction (they shift the
+    cross-client median together).
+    """
+    rng = np.random.default_rng(seed)
+    poison = {k: rng.normal(size=v.shape) for k, v in gm.items()}
+    updates = []
+    for i in range(n_clients):
+        if i < n_attackers:
+            if coordinated:
+                state = {k: gm[k] + 0.5 * poison[k] for k in gm}
+            else:
+                state = {
+                    k: gm[k] + 0.5 * rng.normal(size=v.shape)
+                    for k, v in gm.items()
+                }
+        else:
+            state = {
+                k: gm[k] + 0.01 * rng.normal(size=v.shape)
+                for k, v in gm.items()
+            }
+        updates.append(
+            ClientUpdate(f"c{i}", state, num_samples=10 + 3 * i,
+                         is_malicious=i < n_attackers)
+        )
+    return updates
+
+
+def _assert_states_close(a, b, tol=TOL):
+    assert set(a) == set(b)
+    for key in a:
+        np.testing.assert_allclose(a[key], b[key], rtol=0, atol=tol)
+
+
+STRATEGY_FACTORIES = [
+    pytest.param(lambda: FedAvg(), id="fedavg"),
+    pytest.param(lambda: FedAvg(server_momentum=0.4), id="fedavg-momentum"),
+    pytest.param(lambda: CoordinateMedian(), id="coordinate-median"),
+    pytest.param(lambda: TrimmedMean(trim=1), id="trimmed-mean-1"),
+    pytest.param(lambda: TrimmedMean(trim=2), id="trimmed-mean-2"),
+    pytest.param(lambda: NormClipping(), id="norm-clipping-adaptive"),
+    pytest.param(lambda: NormClipping(clip_norm=0.5), id="norm-clipping-fixed"),
+    pytest.param(lambda: SaliencyAggregation(), id="saliency-relative-blend"),
+    pytest.param(
+        lambda: SaliencyAggregation(
+            mode="absolute", adjustment="scale", server_mixing=0.7
+        ),
+        id="saliency-absolute-scale",
+    ),
+    pytest.param(lambda: KrumAggregation(num_byzantine=2), id="krum"),
+    pytest.param(lambda: SelectiveAggregation(), id="fedhil-selective"),
+    pytest.param(
+        lambda: SelectiveAggregation(aggregate_fraction=1.0, server_mixing=0.6),
+        id="fedhil-all-layers",
+    ),
+    pytest.param(lambda: ClusteredAggregation(seed=3), id="fedcc-cluster"),
+]
+
+COHORTS = [
+    pytest.param({"n_clients": 5, "n_attackers": 0}, id="honest-5"),
+    pytest.param({"n_clients": 6, "n_attackers": 1}, id="one-attacker-6"),
+    pytest.param(
+        {"n_clients": 6, "n_attackers": 2, "coordinated": True},
+        id="coordinated-2-of-6",
+    ),
+    pytest.param({"n_clients": 12, "n_attackers": 4}, id="multi-attacker-12"),
+]
+
+
+class TestPackedEquivalence:
+    @pytest.mark.parametrize("make_strategy", STRATEGY_FACTORIES)
+    @pytest.mark.parametrize("cohort_kw", COHORTS)
+    def test_packed_matches_dict_path(self, make_strategy, cohort_kw):
+        gm = _gm()
+        updates = _cohort(gm, **cohort_kw)
+        # two instances: stateful strategies (FedCC's tie-break rng) must
+        # not share consumed state between the two paths
+        packed_out = make_strategy().aggregate(gm, updates)
+        dict_out = make_strategy().aggregate_dict(gm, updates)
+        _assert_states_close(packed_out, dict_out)
+
+    @pytest.mark.parametrize("make_strategy", STRATEGY_FACTORIES)
+    def test_single_client_cohort(self, make_strategy):
+        gm = _gm()
+        updates = _cohort(gm, 1)
+        _assert_states_close(
+            make_strategy().aggregate(gm, updates),
+            make_strategy().aggregate_dict(gm, updates),
+        )
+
+    def test_krum_scores_match_reference(self):
+        gm = _gm()
+        updates = _cohort(gm, 8, 2)
+        strategy = KrumAggregation(num_byzantine=2)
+        np.testing.assert_allclose(
+            strategy.krum_scores(updates),
+            strategy.krum_scores_dict(updates),
+            rtol=1e-9,
+        )
+
+    def test_inputs_not_mutated(self):
+        gm = _gm()
+        updates = _cohort(gm, 6, 1)
+        gm_before = {k: v.copy() for k, v in gm.items()}
+        states_before = [
+            {k: v.copy() for k, v in u.state.items()} for u in updates
+        ]
+        SaliencyAggregation().aggregate(gm, updates)
+        _assert_states_close(gm, gm_before, tol=0)
+        for update, before in zip(updates, states_before):
+            _assert_states_close(update.state, before, tol=0)
+
+
+class TestPackedStates:
+    def test_round_trip(self):
+        gm = _gm()
+        packed = PackedStates.from_states([gm])
+        _assert_states_close(packed.state(0), gm, tol=0)
+
+    def test_row_order_and_shape(self):
+        gm = _gm()
+        updates = _cohort(gm, 4)
+        packed = PackedStates.from_updates(updates)
+        assert packed.n_clients == 4
+        assert packed.n_params == sum(v.size for v in gm.values())
+        for i, update in enumerate(updates):
+            _assert_states_close(packed.state(i), update.state, tol=0)
+
+    def test_layout_cached_per_architecture(self):
+        a, b = _gm(0), _gm(1)
+        assert PackLayout.for_state(a) is PackLayout.for_state(b)
+        other = {"w": np.zeros((2, 2))}
+        assert PackLayout.for_state(other) is not PackLayout.for_state(a)
+
+    def test_key_mismatch_rejected(self):
+        gm = _gm()
+        layout = PackLayout.for_state(gm)
+        bad = dict(gm)
+        del bad["0.bias"]
+        with pytest.raises(ValueError):
+            layout.flatten(bad)
+
+    def test_shape_mismatch_rejected(self):
+        gm = _gm()
+        layout = PackLayout.for_state(gm)
+        bad = dict(gm)
+        bad["0.bias"] = np.zeros(17)
+        with pytest.raises(ValueError):
+            layout.flatten(bad)
+
+    def test_pairwise_distances_match_norms(self):
+        rng = np.random.default_rng(0)
+        m = rng.normal(size=(5, 40))
+        sq = pairwise_sq_distances(m)
+        for i in range(5):
+            for j in range(5):
+                expected = np.sum((m[i] - m[j]) ** 2)
+                assert sq[i, j] == pytest.approx(expected, rel=1e-9, abs=1e-12)
+
+    def test_cosine_matrix_matches_state_metric(self):
+        states = [_gm(s) for s in range(4)]
+        packed = PackedStates.from_states(states)
+        sims = cosine_similarity_matrix(packed.matrix)
+        for i in range(4):
+            for j in range(4):
+                assert sims[i, j] == pytest.approx(
+                    state_cosine_similarity(states[i], states[j]), abs=1e-9
+                )
+
+    def test_fedls_packed_summaries_match(self):
+        gm = _gm()
+        updates = _cohort(gm, 5, 1)
+        packed = PackedStates.from_updates(updates)
+        fast = summarize_packed_deltas(
+            packed.deltas(packed.layout.flatten(gm)), packed.layout
+        )
+        slow = np.stack(
+            [summarize_delta(state_sub(u.state, gm)) for u in updates]
+        )
+        np.testing.assert_allclose(fast, slow, rtol=1e-9, atol=1e-12)
+
+
+NUM_APS, NUM_RPS = 10, 6
+
+
+def _dataset(seed, n=24):
+    rng = np.random.default_rng(seed)
+    return FingerprintDataset(
+        rng.uniform(0, 1, size=(n, NUM_APS)),
+        rng.integers(0, NUM_RPS, size=n),
+        building="b",
+        device="d",
+    )
+
+
+def _federation(max_workers, strategy=None, num_clients=4):
+    clients = [
+        FederatedClient(
+            f"c{i}",
+            DNNLocalizer(NUM_APS, NUM_RPS, hidden=(12,), seed=i),
+            _dataset(i),
+            ClientConfig(epochs=2, lr=0.01),
+            seeds=SeedSequence(i),
+        )
+        for i in range(num_clients)
+    ]
+    return FederatedServer(
+        DNNLocalizer(NUM_APS, NUM_RPS, hidden=(12,), seed=99),
+        strategy or FedAvg(),
+        clients,
+        SeedSequence(7),
+        max_workers=max_workers,
+    )
+
+
+class TestParallelRounds:
+    def test_parallel_matches_sequential_bit_for_bit(self):
+        sequential = _federation(max_workers=None)
+        parallel = _federation(max_workers=4)
+        for _ in range(2):
+            sequential.run_round()
+            parallel.run_round()
+        seq_state = sequential.model.state_dict()
+        par_state = parallel.model.state_dict()
+        for key in seq_state:
+            np.testing.assert_array_equal(seq_state[key], par_state[key])
+
+    def test_parallel_preserves_client_order(self):
+        record = _federation(max_workers=3).run_round()
+        assert [u.client_name for u in record.updates] == [
+            "c0", "c1", "c2", "c3",
+        ]
+
+    def test_parallel_with_saliency_strategy(self):
+        seq = _federation(None, SaliencyAggregation())
+        par = _federation(2, SaliencyAggregation())
+        seq.run_round()
+        par.run_round()
+        for key, value in seq.model.state_dict().items():
+            np.testing.assert_array_equal(value, par.model.state_dict()[key])
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            _federation(max_workers=0)
+
+
+class TestComputeDtype:
+    def test_default_is_float64(self):
+        assert default_dtype() is np.float64
+
+    def test_float32_threads_through_layers(self):
+        with compute_dtype(np.float32):
+            layer = Linear(4, 3, rng=np.random.default_rng(0))
+            out = layer.forward(np.ones(4))
+            assert layer.weight.data.dtype == np.float32
+            assert out.dtype == np.float32
+        assert default_dtype() is np.float64
+
+    def test_float32_packed_aggregation(self):
+        gm64 = _gm()
+        updates = _cohort(gm64, 6, 1)
+        with compute_dtype(np.float32):
+            out = SaliencyAggregation().aggregate(gm64, updates)
+            assert all(v.dtype == np.float32 for v in out.values())
+        reference = SaliencyAggregation().aggregate(gm64, updates)
+        for key in reference:
+            np.testing.assert_allclose(
+                out[key], reference[key], rtol=0, atol=1e-5
+            )
+
+    def test_float32_model_halves_state_memory(self):
+        with compute_dtype(np.float32):
+            model = DNNLocalizer(NUM_APS, NUM_RPS, hidden=(8,), seed=0)
+            state = model.state_dict()
+        assert all(v.dtype == np.float32 for v in state.values())
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            compute_dtype(np.int32).__enter__()
+
+    def test_init_draws_are_width_invariant(self):
+        """A given seed yields the same weights at either width (init
+        draws at float64, casts on the way out)."""
+        w64 = Linear(6, 5, rng=np.random.default_rng(5)).weight.data
+        with compute_dtype(np.float32):
+            w32 = Linear(6, 5, rng=np.random.default_rng(5)).weight.data
+        np.testing.assert_allclose(w64.astype(np.float32), w32, rtol=0, atol=0)
+
+
+class TestDeterministicDefaults:
+    def test_rngless_linear_reproducible(self):
+        seed_fallback_rng(123)
+        first = Linear(5, 4).weight.data
+        seed_fallback_rng(123)
+        second = Linear(5, 4).weight.data
+        np.testing.assert_array_equal(first, second)
+
+    def test_sequential_rngless_layers_differ(self):
+        seed_fallback_rng(0)
+        a = Linear(5, 4).weight.data
+        b = Linear(5, 4).weight.data
+        assert not np.array_equal(a, b)
+
+    def test_fallback_streams_independent(self):
+        seed_fallback_rng(0)
+        a = fallback_rng("x").random(8)
+        b = fallback_rng("x").random(8)
+        assert not np.array_equal(a, b)
+
+
+class TestSigmoidDedup:
+    def test_layer_delegates_to_functional(self):
+        x = np.linspace(-30, 30, 101).reshape(1, -1)
+        np.testing.assert_array_equal(Sigmoid().forward(x), sigmoid(x))
+
+    def test_extreme_values_stable(self):
+        x = np.array([-1e4, -745.0, 0.0, 745.0, 1e4])
+        out = sigmoid(x)
+        assert np.all(np.isfinite(out))
+        assert out[0] == 0.0 and out[-1] == 1.0
+        assert out[2] == 0.5
+
+    def test_symmetry(self):
+        x = np.linspace(-20, 20, 201)
+        np.testing.assert_allclose(
+            sigmoid(x) + sigmoid(-x), np.ones_like(x), atol=1e-12
+        )
