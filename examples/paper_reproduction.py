@@ -6,12 +6,17 @@ uses the full §V.A configuration (all five buildings at full size, 700
 pre-train epochs, full ε/τ grids) and takes hours of CPU; ``tiny`` is a
 seconds-scale smoke run.
 
+All artefacts share one scenario engine, so a building's fingerprint
+survey and each framework's centralized pre-train are computed once and
+reused by every figure that needs them.
+
 Run:  python examples/paper_reproduction.py [tiny|fast|paper]
 """
 
 import sys
 import time
 
+from repro.experiments.engine import SweepEngine
 from repro.experiments.fig1_motivation import run_fig1
 from repro.experiments.fig4_threshold import run_fig4
 from repro.experiments.fig5_heatmap import run_fig5
@@ -32,12 +37,15 @@ ARTEFACTS = (
 
 def main(preset_name: str = "fast") -> None:
     preset = get_preset(preset_name)
+    engine = SweepEngine()
     print(f"Reproducing all paper artefacts at the {preset.name!r} preset\n")
     for label, driver in ARTEFACTS:
         start = time.time()
-        result = driver(preset)
+        result = driver(preset, engine=engine)
         elapsed = time.time() - start
         print(result.format_report())
+        if result.sweep is not None:
+            print(f"[{result.sweep.format_stats()}]")
         print(f"[{label} regenerated in {elapsed:.0f}s]\n")
 
 

@@ -1,14 +1,21 @@
 #!/usr/bin/env python
-"""Run the aggregation performance benchmarks and record the trajectory.
+"""Run the performance benchmarks and record the trajectory.
 
-Times every aggregation strategy on the packed engine vs the legacy dict
-path (6/32/128-client cohorts at three model scales), plus one federation
-round sequential vs threaded, and writes ``BENCH_aggregation.json`` at
-the repo root so the perf trajectory is tracked PR over PR.
+Two suites, each writing a JSON record at the repo root so the perf
+trajectory is tracked PR over PR:
+
+* ``aggregation`` — every aggregation strategy on the packed engine vs
+  the legacy dict path (6/32/128-client cohorts at three model scales),
+  plus one federation round sequential vs threaded
+  → ``BENCH_aggregation.json``;
+* ``sweep`` — the scenario engine's staged pipeline (shared data +
+  pre-train artifacts, warm resume) vs the pre-refactor per-cell loop
+  → ``BENCH_sweep.json``.
 
 Usage::
 
-    PYTHONPATH=src python scripts/run_benchmarks.py [--quick] [--output PATH]
+    PYTHONPATH=src python scripts/run_benchmarks.py \
+        [--suite aggregation|sweep|all] [--quick] [--output PATH]
 """
 
 from __future__ import annotations
@@ -21,37 +28,69 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
 
-from bench_perf_aggregation import (  # noqa: E402
-    JSON_PATH,
-    format_report,
-    run_all,
-    write_json,
-)
+import bench_perf_aggregation  # noqa: E402
+import bench_perf_sweep  # noqa: E402
+
+
+def _run_aggregation(quick: bool, output: str) -> int:
+    results = bench_perf_aggregation.run_all(quick=quick)
+    print(bench_perf_aggregation.format_report(results))
+    path = bench_perf_aggregation.write_json(
+        results, output or bench_perf_aggregation.JSON_PATH
+    )
+    print(f"\n[written to {path}]")
+    if results["headline"]["max_abs_diff"] >= 1e-10:
+        print("WARNING: packed/legacy disagreement above 1e-10")
+        return 1
+    return 0
+
+
+def _run_sweep(quick: bool, output: str) -> int:
+    results = bench_perf_sweep.run_all(quick=quick)
+    print(bench_perf_sweep.format_report(results))
+    path = bench_perf_sweep.write_json(
+        results, output or bench_perf_sweep.JSON_PATH
+    )
+    print(f"\n[written to {path}]")
+    if not (
+        results["headline"]["identical_summaries"]
+        and results["resume"]["identical_summaries"]
+    ):
+        print("WARNING: engine/naive or resume disagreement")
+        return 1
+    return 0
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
+        "--suite",
+        choices=("aggregation", "sweep", "all"),
+        default="all",
+        help="which benchmark suite(s) to run (default: all)",
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
-        help="reduced sweep (ci+experiment scales, 6/32 clients)",
+        help="reduced sweeps (smaller grids and schedules)",
     )
     parser.add_argument(
         "--output",
-        default=JSON_PATH,
-        help="where to write the JSON record (default: repo-root "
-        "BENCH_aggregation.json)",
+        default=None,
+        help="where to write the JSON record (only valid with a single "
+        "suite; defaults to the repo-root BENCH_<suite>.json)",
     )
     args = parser.parse_args(argv)
-    results = run_all(quick=args.quick)
-    print(format_report(results))
-    path = write_json(results, args.output)
-    print(f"\n[written to {path}]")
-    headline = results["headline"]
-    if headline["max_abs_diff"] >= 1e-10:
-        print("WARNING: packed/legacy disagreement above 1e-10")
-        return 1
-    return 0
+    if args.output and args.suite == "all":
+        parser.error("--output needs a single --suite")
+    code = 0
+    if args.suite in ("aggregation", "all"):
+        code |= _run_aggregation(args.quick, args.output)
+    if args.suite in ("sweep", "all"):
+        if args.suite == "all":
+            print()
+        code |= _run_sweep(args.quick, args.output)
+    return code
 
 
 if __name__ == "__main__":

@@ -9,6 +9,11 @@ Commands:
 * ``run <framework> [--attack fgsm --epsilon 0.5]`` — one federation and
   its error summary;
 * ``info`` — package, framework and preset inventory.
+
+``experiment`` and ``ablation`` run through the scenario engine and
+accept ``--jobs N`` (parallel cells, bit-identical to sequential),
+``--cache-dir PATH`` (on-disk artifact cache shared across invocations)
+and ``--resume`` (skip cells already finished in the cache dir).
 """
 
 from __future__ import annotations
@@ -45,13 +50,26 @@ def _artefact_driver(name: str):
     }[name]
 
 
+def _make_engine(args: argparse.Namespace):
+    from repro.experiments.engine import SweepEngine
+
+    return SweepEngine(
+        jobs=args.jobs, cache_dir=args.cache_dir, resume=args.resume
+    )
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     preset = get_preset(args.preset, seed=args.seed)
     names = _ARTEFACTS if args.artefact == "all" else (args.artefact,)
+    # one engine for all artefacts: pre-trains cached by one figure are
+    # reused by every later figure that shares them
+    engine = _make_engine(args)
     for name in names:
         start = time.time()
-        result = _artefact_driver(name)(preset)
+        result = _artefact_driver(name)(preset, engine=engine)
         print(result.format_report())
+        if result.sweep is not None:
+            print(f"[{result.sweep.format_stats()}]")
         print(f"[{name} regenerated in {time.time() - start:.0f}s]\n")
     return 0
 
@@ -69,7 +87,10 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
         "self-labeling": run_self_labeling_ablation,
     }[args.axis]
     preset = get_preset(args.preset, seed=args.seed)
-    print(driver(preset).format_report())
+    result = driver(preset, engine=_make_engine(args))
+    print(result.format_report())
+    if result.sweep is not None:
+        print(f"[{result.sweep.format_stats()}]")
     return 0
 
 
@@ -104,6 +125,28 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="run sweep cells on N threads (results are bit-identical "
+        "to sequential; default sequential)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="on-disk artifact cache: fingerprint data, pre-trained GMs "
+        "and finished cells persist here across invocations",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells whose results already sit in --cache-dir "
+        "(resume a partially completed sweep; requires --cache-dir)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -116,12 +159,14 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("artefact", choices=(*_ARTEFACTS, "all"))
     exp.add_argument("--preset", default="fast", choices=tuple(PRESETS))
     exp.add_argument("--seed", type=int, default=42)
+    _add_engine_options(exp)
     exp.set_defaults(func=_cmd_experiment)
 
     abl = sub.add_parser("ablation", help="run an ablation study")
     abl.add_argument("axis", choices=_ABLATIONS)
     abl.add_argument("--preset", default="fast", choices=tuple(PRESETS))
     abl.add_argument("--seed", type=int, default=42)
+    _add_engine_options(abl)
     abl.set_defaults(func=_cmd_ablation)
 
     run = sub.add_parser("run", help="one federation under one scenario")
@@ -141,6 +186,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "resume", False) and not args.cache_dir:
+        parser.error("--resume requires --cache-dir")
+    if getattr(args, "jobs", None) is not None and args.jobs < 1:
+        parser.error("--jobs must be >= 1")
     return args.func(args)
 
 

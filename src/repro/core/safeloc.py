@@ -242,18 +242,24 @@ def make_safeloc(
     num_classes: int,
     seed: int = 0,
     tau: float = DEFAULT_TAU,
+    denoise_training_data: bool = True,
     **strategy_kwargs,
 ) -> FrameworkSpec:
     """The complete SAFELOC framework: fused model + saliency aggregation.
 
-    Extra keyword arguments configure
+    ``denoise_training_data`` gates the client-side de-noising defense
+    (the ablation knob).  Extra keyword arguments configure
     :class:`~repro.core.saliency.SaliencyAggregation` (``mode``,
     ``tolerance``, ``power``, ``server_mixing``, ``adjustment``).
     """
     return FrameworkSpec(
         name="safeloc",
         model_factory=lambda: SafeLocModel(
-            input_dim, num_classes, tau=tau, seed=seed
+            input_dim,
+            num_classes,
+            tau=tau,
+            seed=seed,
+            denoise_training_data=denoise_training_data,
         ),
         strategy=SaliencyAggregation(**strategy_kwargs),
         description="SAFELOC: fused AE+classifier with saliency aggregation (this paper)",

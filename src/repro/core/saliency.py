@@ -92,7 +92,10 @@ def relative_saliency_matrices(
         stack = np.stack([dev[key] for dev in deviations])
         median = np.median(stack, axis=0)
         relative = stack / (tolerance * median + _EPS)
-        saliency = 1.0 / (1.0 + relative**power)
+        # float32 compute: x^p may saturate to inf, which reciprocates to
+        # the correct saliency limit of 0 — not an error
+        with np.errstate(over="ignore"):
+            saliency = 1.0 / (1.0 + relative**power)
         for idx in range(len(deviations)):
             out[idx][key] = saliency[idx]
     return out
@@ -207,15 +210,19 @@ class SaliencyAggregation(AggregationStrategy):
                     inv_scale,
                     out=_workspace("saliency-term", delta.shape, delta.dtype),
                 )
-                for _ in range(int_power.bit_length() - 1):
-                    np.multiply(term, term, out=term)
+                # float32 compute: the squaring chain may saturate to inf,
+                # which reciprocates to the correct saliency limit of 0
+                with np.errstate(over="ignore"):
+                    for _ in range(int_power.bit_length() - 1):
+                        np.multiply(term, term, out=term)
             else:
                 term = np.abs(
                     delta,
                     out=_workspace("saliency-term", delta.shape, delta.dtype),
                 )
                 np.multiply(term, inv_scale, out=term)
-                np.power(term, power, out=term)
+                with np.errstate(over="ignore"):
+                    np.power(term, power, out=term)
         np.add(term, 1.0, out=term)
         np.reciprocal(term, out=term)
         return term

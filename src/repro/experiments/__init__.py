@@ -1,4 +1,5 @@
-"""Experiment drivers — one module per paper artefact.
+"""Experiment drivers — one module per paper artefact, one engine behind
+them all.
 
 ==========================  =======================================
 Module                      Paper artefact
@@ -9,21 +10,49 @@ Module                      Paper artefact
 ``fig6_comparison``         Fig. 6 — SAFELOC vs state of the art
 ``table1_overheads``        Table I — latency and parameters
 ``fig7_scalability``        Fig. 7 — client-count scaling
+``ablations``               design-choice ablation studies
 ==========================  =======================================
 
-Every driver takes a :class:`~repro.experiments.scenarios.Preset`; the
-``fast`` preset keeps runtimes bench-friendly while exercising the exact
-code paths of the ``paper`` preset.
+Every driver expands its artefact into a declarative
+:class:`~repro.experiments.engine.SweepPlan` (``plan_figX``) and executes
+it through a :class:`~repro.experiments.engine.SweepEngine`
+(``run_figX``), which dedupes the shared data/pre-train stages, runs
+cells optionally in parallel, and supports on-disk caching + resumption.
+The ``fast`` preset keeps runtimes bench-friendly while exercising the
+exact code paths of the ``paper`` preset.
 """
 
-from repro.experiments.scenarios import Preset, fast_preset, paper_preset, tiny_preset
+from repro.experiments.engine import (
+    CellResult,
+    ScenarioSpec,
+    SweepEngine,
+    SweepPlan,
+    SweepResult,
+    run_plan,
+    scenario,
+)
 from repro.experiments.runner import ExperimentResult, run_framework
+from repro.experiments.scenarios import (
+    Preset,
+    fast32_preset,
+    fast_preset,
+    paper_preset,
+    tiny_preset,
+)
 
 __all__ = [
     "Preset",
     "fast_preset",
+    "fast32_preset",
     "paper_preset",
     "tiny_preset",
     "ExperimentResult",
     "run_framework",
+    "ScenarioSpec",
+    "scenario",
+    "SweepPlan",
+    "SweepEngine",
+    "SweepResult",
+    "CellResult",
+    "run_plan",
 ]

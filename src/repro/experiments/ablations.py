@@ -10,42 +10,34 @@ module quantifies each one:
 * **self-labeling** — the §III pseudo-label loop vs oracle labels
   (how much of the attack surface comes from the FL formulation itself).
 
-Every ablation runs the same federation scenario (one boosted attacker)
-and reports the final GM's mean localization error.
+Every ablation is a declarative :class:`SweepPlan` over the same
+federation scenario (one boosted attacker) reporting the final GM's mean
+localization error.  None of the ablated knobs touch the trusted
+centralized pre-train, so all variants of all three axes share **one**
+cached pre-train per building.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.attacks import create_attack
-from repro.core.safeloc import SafeLocModel
-from repro.core.saliency import SaliencyAggregation
-from repro.data.fingerprints import paper_protocol
+from repro.experiments.engine import (
+    STRATEGY_VARIANT_NAMES,
+    ScenarioSpec,
+    SweepEngine,
+    SweepPlan,
+    SweepResult,
+    scenario,
+)
 from repro.experiments.scenarios import Preset
-from repro.fl.aggregation import AggregationStrategy, FedAvg
-from repro.fl.robust import CoordinateMedian, NormClipping, TrimmedMean
-from repro.fl.simulation import build_federation
-from repro.metrics.localization import evaluate_model
-from repro.utils.rng import SeedSequence
 from repro.utils.tables import format_table
 
 #: the attack pair used by every ablation cell (one backdoor + label flip)
 ABLATION_ATTACKS = (("fgsm", None), ("label_flip", 1.0))
 
-
-def _aggregation_variants() -> Dict[str, Callable[[], AggregationStrategy]]:
-    return {
-        "saliency-relative": lambda: SaliencyAggregation(),
-        "saliency-absolute": lambda: SaliencyAggregation(
-            mode="absolute", sharpness=50.0, server_mixing=0.5
-        ),
-        "fedavg": lambda: FedAvg(),
-        "coordinate-median": lambda: CoordinateMedian(),
-        "trimmed-mean": lambda: TrimmedMean(trim=1),
-        "norm-clipping": lambda: NormClipping(),
-    }
+#: aggregation-axis variants == the engine's named-strategy registry
+AGGREGATION_VARIANTS = STRATEGY_VARIANT_NAMES
 
 
 @dataclass
@@ -57,6 +49,7 @@ class AblationResult:
     variants: Tuple[str, ...]
     scenarios: Tuple[str, ...]
     preset_name: str
+    sweep: Optional[SweepResult] = None
 
     def row(self, variant: str) -> List[float]:
         return [self.errors[(variant, s)] for s in self.scenarios]
@@ -70,42 +63,6 @@ class AblationResult:
         )
 
 
-def _run_cell(
-    preset: Preset,
-    strategy: AggregationStrategy,
-    attack: Optional[str],
-    epsilon: float,
-    denoise: bool = True,
-    self_labeling: bool = True,
-) -> float:
-    building = preset.building(preset.buildings[0])
-    train, tests = paper_protocol(building, seed=preset.seed)
-    model_factory = lambda: SafeLocModel(
-        building.num_aps,
-        building.num_rps,
-        seed=preset.seed,
-        denoise_training_data=denoise,
-    )
-    config = preset.federation_config(
-        num_malicious=preset.num_malicious if attack else 0
-    )
-    attack_factory = None
-    if attack:
-        attack_factory = lambda: create_attack(
-            attack, epsilon, num_classes=building.num_rps
-        )
-    server = build_federation(
-        building, model_factory, strategy, config,
-        SeedSequence(preset.seed), attack_factory,
-    )
-    if not self_labeling:
-        for client in server.clients:
-            client.self_labeling = False
-    server.pretrain(train, epochs=config.pretrain_epochs, lr=config.pretrain_lr)
-    server.run_rounds(config.num_rounds)
-    return evaluate_model(server.model, tests, building).mean
-
-
 def _scenarios(preset: Preset) -> List[Tuple[str, Optional[str], float]]:
     out: List[Tuple[str, Optional[str], float]] = [("clean", None, 0.0)]
     for attack, eps in ABLATION_ATTACKS:
@@ -114,57 +71,120 @@ def _scenarios(preset: Preset) -> List[Tuple[str, Optional[str], float]]:
     return out
 
 
-def run_aggregation_ablation(preset: Preset) -> AblationResult:
+def _ablation_cell(
+    preset: Preset,
+    variant: str,
+    scenario_label: str,
+    attack: Optional[str],
+    epsilon: float,
+    strategy: str,
+    denoise: bool = True,
+    self_labeling: bool = True,
+) -> ScenarioSpec:
+    """One SAFELOC ablation cell; ``label`` carries "variant/scenario"."""
+    kwargs = {} if denoise else {"denoise_training_data": False}
+    return scenario(
+        "safeloc",
+        attack=attack,
+        epsilon=epsilon,
+        framework_kwargs=kwargs,
+        strategy=strategy,
+        self_labeling=self_labeling,
+        label=f"{variant}/{scenario_label}",
+    )
+
+
+def _collect(
+    preset: Preset,
+    axis: str,
+    plan: SweepPlan,
+    variants: Tuple[str, ...],
+    engine: Optional[SweepEngine],
+) -> AblationResult:
+    """Run an ablation plan and index errors by (variant, scenario)."""
+    sweep = (engine or SweepEngine()).run(plan)
+    errors = {}
+    for cell in sweep.cells:
+        variant, scenario_label = cell.spec.label.split("/", 1)
+        errors[(variant, scenario_label)] = cell.error_summary.mean
+    return AblationResult(
+        axis=axis,
+        errors=errors,
+        variants=variants,
+        scenarios=tuple(label for label, _, _ in _scenarios(preset)),
+        preset_name=preset.name,
+        sweep=sweep,
+    )
+
+
+def plan_aggregation_ablation(preset: Preset) -> SweepPlan:
+    cells = tuple(
+        _ablation_cell(preset, variant, label, attack, eps, strategy=variant)
+        for variant in AGGREGATION_VARIANTS
+        for label, attack, eps in _scenarios(preset)
+    )
+    return SweepPlan(name="ablation-aggregation", preset=preset, cells=cells)
+
+
+def run_aggregation_ablation(
+    preset: Preset, engine: Optional[SweepEngine] = None
+) -> AblationResult:
     """Saliency aggregation vs FedAvg and the classical robust rules."""
-    scenarios = _scenarios(preset)
-    variants = _aggregation_variants()
-    errors: Dict[Tuple[str, str], float] = {}
-    for variant, make_strategy in variants.items():
-        for label, attack, eps in scenarios:
-            errors[(variant, label)] = _run_cell(
-                preset, make_strategy(), attack, eps
-            )
-    return AblationResult(
-        axis="aggregation",
-        errors=errors,
-        variants=tuple(variants),
-        scenarios=tuple(label for label, _, _ in scenarios),
-        preset_name=preset.name,
+    return _collect(
+        preset,
+        "aggregation",
+        plan_aggregation_ablation(preset),
+        AGGREGATION_VARIANTS,
+        engine,
     )
 
 
-def run_denoise_ablation(preset: Preset) -> AblationResult:
+def plan_denoise_ablation(preset: Preset) -> SweepPlan:
+    cells = tuple(
+        _ablation_cell(
+            preset, variant, label, attack, eps,
+            strategy="saliency-relative", denoise=denoise,
+        )
+        for variant, denoise in (("denoise-on", True), ("denoise-off", False))
+        for label, attack, eps in _scenarios(preset)
+    )
+    return SweepPlan(name="ablation-denoise", preset=preset, cells=cells)
+
+
+def run_denoise_ablation(
+    preset: Preset, engine: Optional[SweepEngine] = None
+) -> AblationResult:
     """Client-side de-noising on vs off (saliency aggregation fixed)."""
-    scenarios = _scenarios(preset)
-    errors: Dict[Tuple[str, str], float] = {}
-    for variant, denoise in (("denoise-on", True), ("denoise-off", False)):
-        for label, attack, eps in scenarios:
-            errors[(variant, label)] = _run_cell(
-                preset, SaliencyAggregation(), attack, eps, denoise=denoise
-            )
-    return AblationResult(
-        axis="client-denoise",
-        errors=errors,
-        variants=("denoise-on", "denoise-off"),
-        scenarios=tuple(label for label, _, _ in scenarios),
-        preset_name=preset.name,
+    return _collect(
+        preset,
+        "client-denoise",
+        plan_denoise_ablation(preset),
+        ("denoise-on", "denoise-off"),
+        engine,
     )
 
 
-def run_self_labeling_ablation(preset: Preset) -> AblationResult:
+def plan_self_labeling_ablation(preset: Preset) -> SweepPlan:
+    cells = tuple(
+        _ablation_cell(
+            preset, variant, label, attack, eps,
+            strategy="fedavg", self_labeling=flag,
+        )
+        for variant, flag in (("self-labeling", True), ("oracle-labels", False))
+        for label, attack, eps in _scenarios(preset)
+    )
+    return SweepPlan(name="ablation-self-labeling", preset=preset, cells=cells)
+
+
+def run_self_labeling_ablation(
+    preset: Preset, engine: Optional[SweepEngine] = None
+) -> AblationResult:
     """§III pseudo-label loop vs oracle labels (FedAvg, no server defense,
     so the loop's amplification is visible in isolation)."""
-    scenarios = _scenarios(preset)
-    errors: Dict[Tuple[str, str], float] = {}
-    for variant, flag in (("self-labeling", True), ("oracle-labels", False)):
-        for label, attack, eps in scenarios:
-            errors[(variant, label)] = _run_cell(
-                preset, FedAvg(), attack, eps, self_labeling=flag
-            )
-    return AblationResult(
-        axis="self-labeling",
-        errors=errors,
-        variants=("self-labeling", "oracle-labels"),
-        scenarios=tuple(label for label, _, _ in scenarios),
-        preset_name=preset.name,
+    return _collect(
+        preset,
+        "self-labeling",
+        plan_self_labeling_ablation(preset),
+        ("self-labeling", "oracle-labels"),
+        engine,
     )

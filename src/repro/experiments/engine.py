@@ -1,0 +1,670 @@
+"""Declarative scenario engine: sweep planning, staged caching, execution.
+
+Every paper artefact is a grid of *cells* — (framework, attack, ε,
+building, overrides) combinations that each used to hand-roll nested
+loops around a monolithic ``run_framework``.  Here the grid is **data**:
+
+* a :class:`ScenarioSpec` describes one cell declaratively;
+* a :class:`SweepPlan` is an artefact's full cell grid;
+* a :class:`SweepEngine` executes plans through a staged pipeline
+  (data → pre-train → federate → evaluate) whose first two stages are
+  deduplicated through a content-keyed
+  :class:`~repro.experiments.artifacts.ArtifactCache` — the building
+  survey and the 350–700-epoch centralized pre-train are computed once
+  per (building, preset, seed) and reused by every framework/attack/ε
+  cell that shares them;
+* cells run sequentially or on a thread pool (``jobs``); results are
+  bit-identical either way because every cell derives all randomness
+  from named :class:`~repro.utils.rng.SeedSequence` streams and shares
+  no mutable state;
+* with a ``cache_dir``, finished cells persist as JSON and a
+  re-invoked, partially completed sweep skips straight to the missing
+  cells (``resume=True``).
+
+Stage correctness: the pre-train artifact is the GM ``state_dict`` after
+``server.pretrain`` — for every framework that is the *complete*
+training-mutated state (the models expose all trained tensors through
+``state_dict``), so loading it into a fresh model is bit-identical to
+having pre-trained in place.  The artifact is keyed on the initial
+weight signature plus the training recipe, so e.g. the Fig. 4 τ sweep
+(τ only gates the untrusted-data defense, never the trusted pre-train)
+and the Fig. 7 client-count sweep (clients don't participate in
+pre-training) all share one pre-train per building.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.attacks import create_attack
+from repro.baselines.registry import make_framework
+from repro.data.buildings import Building
+from repro.data.datasets import FingerprintDataset
+from repro.data.fingerprints import paper_protocol
+from repro.experiments.artifacts import (
+    ArtifactCache,
+    StageStats,
+    content_key,
+    state_signature,
+)
+from repro.experiments.scenarios import Preset
+from repro.fl.simulation import build_federation
+from repro.metrics.localization import ErrorSummary, evaluate_model
+from repro.nn.dtype import compute_dtype
+from repro.utils.logging import get_logger
+from repro.utils.rng import SeedSequence
+
+logger = get_logger("experiments.engine")
+
+#: framework kwargs that provably do not alter the pre-trained weights —
+#: they configure the untrusted-data defense or the aggregation strategy,
+#: neither of which runs during the trusted centralized pre-train.  Cells
+#: differing only in these share one pre-train artifact.
+PRETRAIN_NEUTRAL_KWARGS: Dict[str, frozenset] = {
+    "safeloc": frozenset(
+        {
+            "tau",
+            "denoise_training_data",
+            "mode",
+            "tolerance",
+            "power",
+            "sharpness",
+            "server_mixing",
+            "adjustment",
+        }
+    ),
+}
+
+#: preset fields that cannot influence a single cell's numbers (grids the
+#: drivers expand into explicit spec fields, display metadata, and the
+#: scheduling knob that is bit-neutral by construction).
+_CELL_NEUTRAL_PRESET_FIELDS = frozenset(
+    {
+        "name",
+        "buildings",
+        "epsilon_grid",
+        "tau_grid",
+        "attacks",
+        "default_epsilon",
+        "scalability_grid",
+        "latency_repeats",
+        "max_workers",
+    }
+)
+
+
+#: strategy overrides addressable from a ScenarioSpec (the
+#: aggregation-ablation variants); the single authoritative name list —
+#: :func:`_named_strategies` builds the matching factories.
+STRATEGY_VARIANT_NAMES = (
+    "saliency-relative",
+    "saliency-absolute",
+    "fedavg",
+    "coordinate-median",
+    "trimmed-mean",
+    "norm-clipping",
+)
+
+
+def _named_strategies() -> Dict[str, Callable[[], object]]:
+    """Factories for :data:`STRATEGY_VARIANT_NAMES`.
+
+    Imported lazily so the engine stays importable without the core
+    package; covers SAFELOC's saliency modes, plain FedAvg and the
+    classical robust rules.
+    """
+    from repro.core.saliency import SaliencyAggregation
+    from repro.fl.aggregation import FedAvg
+    from repro.fl.robust import CoordinateMedian, NormClipping, TrimmedMean
+
+    factories = {
+        "saliency-relative": lambda: SaliencyAggregation(),
+        "saliency-absolute": lambda: SaliencyAggregation(
+            mode="absolute", sharpness=50.0, server_mixing=0.5
+        ),
+        "fedavg": lambda: FedAvg(),
+        "coordinate-median": lambda: CoordinateMedian(),
+        "trimmed-mean": lambda: TrimmedMean(trim=1),
+        "norm-clipping": lambda: NormClipping(),
+    }
+    assert tuple(factories) == STRATEGY_VARIANT_NAMES
+    return factories
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative cell of a sweep.
+
+    Attributes:
+        framework: Registry name ("safeloc", "fedloc", …).
+        attack: Attack name, or ``None`` for the clean scenario.
+        epsilon: Attack strength (meaningful only with ``attack``).
+        building: Building name; ``None`` = the preset's first building.
+        num_clients / num_malicious: Federation-shape overrides
+            (``None`` = preset defaults; malicious forced to 0 when clean).
+        framework_kwargs: Extra factory arguments as a sorted
+            ``((key, value), …)`` tuple so specs stay hashable (e.g.
+            ``(("tau", 0.2),)`` for the Fig. 4 sweep).
+        strategy: Named aggregation override from
+            :data:`STRATEGY_VARIANT_NAMES` (ablations), or ``None`` for
+            the framework's own strategy.
+        self_labeling: §III pseudo-label loop on clients (ablation knob).
+        input_dim / num_classes: Explicit problem shape for footprint
+            (Table I) cells measured outside any building survey.
+        label: Free-form driver tag; carried through results, never part
+            of the cell's cache identity.
+    """
+
+    framework: str = "safeloc"
+    attack: Optional[str] = None
+    epsilon: float = 0.0
+    building: Optional[str] = None
+    num_clients: Optional[int] = None
+    num_malicious: Optional[int] = None
+    framework_kwargs: Tuple[Tuple[str, object], ...] = ()
+    strategy: Optional[str] = None
+    self_labeling: bool = True
+    input_dim: Optional[int] = None
+    num_classes: Optional[int] = None
+    label: str = ""
+
+    @property
+    def kwargs(self) -> Dict[str, object]:
+        return dict(self.framework_kwargs)
+
+    def identity(self) -> Dict[str, object]:
+        """The spec fields that determine the cell's numbers (no label)."""
+        payload = asdict(self)
+        payload.pop("label")
+        payload["framework_kwargs"] = list(
+            map(list, payload["framework_kwargs"])
+        )
+        return payload
+
+
+def scenario(
+    framework: str = "safeloc",
+    *,
+    attack: Optional[str] = None,
+    epsilon: float = 0.0,
+    building: Optional[str] = None,
+    num_clients: Optional[int] = None,
+    num_malicious: Optional[int] = None,
+    framework_kwargs: Optional[Dict[str, object]] = None,
+    strategy: Optional[str] = None,
+    self_labeling: bool = True,
+    input_dim: Optional[int] = None,
+    num_classes: Optional[int] = None,
+    label: str = "",
+) -> ScenarioSpec:
+    """Ergonomic :class:`ScenarioSpec` constructor (kwargs as a dict);
+    validates the strategy name against :data:`STRATEGY_VARIANT_NAMES`."""
+    if strategy is not None and strategy not in STRATEGY_VARIANT_NAMES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; "
+            f"choices: {STRATEGY_VARIANT_NAMES}"
+        )
+    return ScenarioSpec(
+        framework=framework,
+        attack=attack,
+        epsilon=float(epsilon) if attack else 0.0,
+        building=building,
+        num_clients=num_clients,
+        num_malicious=num_malicious,
+        framework_kwargs=tuple(sorted((framework_kwargs or {}).items())),
+        strategy=strategy,
+        self_labeling=self_labeling,
+        input_dim=input_dim,
+        num_classes=num_classes,
+        label=label,
+    )
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """An artefact expanded into its full cell grid.
+
+    Attributes:
+        name: Artefact label ("fig5", "ablation-aggregation", …).
+        preset: The preset every cell is sized by.
+        cells: The grid, in report order.
+        kind: ``"federation"`` (train + evaluate a federation per cell)
+            or ``"footprint"`` (Table I latency/parameter measurements).
+    """
+
+    name: str
+    preset: Preset
+    cells: Tuple[ScenarioSpec, ...]
+    kind: str = "federation"
+
+    def __post_init__(self):
+        if not self.cells:
+            raise ValueError(f"plan {self.name!r} has no cells")
+        if self.kind not in ("federation", "footprint"):
+            raise ValueError(f"unknown plan kind {self.kind!r}")
+
+
+@dataclass
+class CellResult:
+    """Outcome of one executed (or resumed) cell."""
+
+    spec: ScenarioSpec
+    building: str = ""
+    error_summary: Optional[ErrorSummary] = None
+    flagged_per_round: List[int] = field(default_factory=list)
+    parameter_count: int = 0
+    metrics: Dict[str, float] = field(default_factory=dict)
+    duration_s: float = 0.0
+    pretrain_cache_hit: bool = False
+    resumed: bool = False
+
+    def to_json_dict(self) -> Dict:
+        spec = asdict(self.spec)
+        spec["framework_kwargs"] = list(map(list, spec["framework_kwargs"]))
+        return {
+            "spec": spec,
+            "building": self.building,
+            "error_summary": (
+                asdict(self.error_summary) if self.error_summary else None
+            ),
+            "flagged_per_round": list(self.flagged_per_round),
+            "parameter_count": self.parameter_count,
+            "metrics": self.metrics,
+            "duration_s": self.duration_s,
+            "pretrain_cache_hit": self.pretrain_cache_hit,
+        }
+
+    @classmethod
+    def from_json_dict(cls, record: Dict, resumed: bool = False) -> "CellResult":
+        spec_fields = dict(record["spec"])
+        spec_fields["framework_kwargs"] = tuple(
+            (k, v) for k, v in spec_fields.get("framework_kwargs", [])
+        )
+        summary = record.get("error_summary")
+        return cls(
+            spec=ScenarioSpec(**spec_fields),
+            building=record.get("building", ""),
+            error_summary=ErrorSummary(**summary) if summary else None,
+            flagged_per_round=list(record.get("flagged_per_round", [])),
+            parameter_count=int(record.get("parameter_count", 0)),
+            metrics=dict(record.get("metrics", {})),
+            duration_s=float(record.get("duration_s", 0.0)),
+            pretrain_cache_hit=bool(record.get("pretrain_cache_hit", False)),
+            resumed=resumed,
+        )
+
+
+@dataclass
+class SweepResult:
+    """Uniform result store for one executed plan.
+
+    ``cells`` are in plan order; ``stats`` holds this sweep's share of
+    the stage cache counters, which is how the "exactly one pre-train
+    per (building, preset, seed)" guarantee is observable:
+    ``stats["pretrain"]["misses"]`` counts actual pre-trains,
+    ``stats["pretrain"]["hits"]`` the reuses.
+    """
+
+    plan_name: str
+    preset_name: str
+    seed: int
+    kind: str
+    cells: List[CellResult]
+    stats: Dict[str, Dict[str, int]]
+    duration_s: float
+    jobs: int = 1
+
+    @property
+    def cells_per_second(self) -> float:
+        if self.duration_s <= 0:
+            return float("inf")
+        return len(self.cells) / self.duration_s
+
+    def pretrain_counts(self) -> Tuple[int, int]:
+        """(trained, reused) pre-train counts for this sweep."""
+        entry = self.stats.get("pretrain", {})
+        return entry.get("misses", 0), entry.get("hits", 0)
+
+    def resumed_count(self) -> int:
+        return sum(cell.resumed for cell in self.cells)
+
+    def format_stats(self) -> str:
+        """One-line sweep report with the cache-hit counters."""
+        trained, reused = self.pretrain_counts()
+        data = self.stats.get("data", {})
+        parts = [
+            f"{self.plan_name} [{self.preset_name}]: "
+            f"{len(self.cells)} cells in {self.duration_s:.1f}s "
+            f"({self.cells_per_second:.2f} cells/s, jobs={self.jobs})"
+        ]
+        if self.kind == "federation":
+            parts.append(f"pretrain: {trained} trained, {reused} reused")
+            parts.append(
+                f"data: {data.get('misses', 0)} generated, "
+                f"{data.get('hits', 0)} reused"
+            )
+        parts.append(f"{self.resumed_count()} cells resumed")
+        return " | ".join(parts)
+
+    def to_json_dict(self) -> Dict:
+        return {
+            "plan": self.plan_name,
+            "preset": self.preset_name,
+            "seed": self.seed,
+            "kind": self.kind,
+            "jobs": self.jobs,
+            "duration_s": self.duration_s,
+            "cells_per_second": self.cells_per_second,
+            "stats": self.stats,
+            "cells": [cell.to_json_dict() for cell in self.cells],
+        }
+
+
+class SweepEngine:
+    """Executes :class:`SweepPlan`\\ s through the staged, cached pipeline.
+
+    Args:
+        jobs: Cell-level thread count (``None``/1 = sequential; results
+            are bit-identical either way).
+        cache_dir: On-disk artifact store; enables cross-process reuse of
+            data/pre-train artifacts and (with ``resume``) cell skipping.
+        resume: Skip cells whose results already sit in ``cache_dir``.
+
+    One engine may run several plans (``experiment all``); its in-memory
+    artifact memo then spans artefacts, so e.g. Fig. 6's FEDHIL cells
+    reuse the pre-train Fig. 1 already paid for.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        resume: bool = False,
+    ):
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if resume and cache_dir is None:
+            raise ValueError(
+                "resume=True needs a cache_dir — there is nowhere to "
+                "resume finished cells from"
+            )
+        self.jobs = jobs
+        self.resume = bool(resume)
+        self.artifacts = ArtifactCache(cache_dir)
+        self._sig_memo: Dict[tuple, str] = {}
+        self._sig_lock = threading.Lock()
+
+    # -- public API --------------------------------------------------------
+    def run(self, plan: SweepPlan) -> SweepResult:
+        """Execute every cell of a plan; returns results in plan order."""
+        start = time.perf_counter()
+        before = self.artifacts.stats.snapshot()
+        with compute_dtype(plan.preset.compute_dtype):
+            cells = self._execute(plan)
+        stats = StageStats.delta(before, self.artifacts.stats.snapshot())
+        result = SweepResult(
+            plan_name=plan.name,
+            preset_name=plan.preset.name,
+            seed=plan.preset.seed,
+            kind=plan.kind,
+            cells=cells,
+            stats=stats,
+            duration_s=time.perf_counter() - start,
+            jobs=self.jobs or 1,
+        )
+        logger.info("%s", result.format_stats())
+        return result
+
+    def run_cell(self, preset: Preset, spec: ScenarioSpec) -> CellResult:
+        """Execute one federation cell outside any plan (the ``run`` CLI)."""
+        with compute_dtype(preset.compute_dtype):
+            return self._run_federation_cell(preset, spec)
+
+    # -- execution ---------------------------------------------------------
+    def _execute(self, plan: SweepPlan) -> List[CellResult]:
+        runner = lambda spec: self._run_one(plan, spec)
+        workers = self.jobs or 1
+        # footprint cells time wall-clock inference latency — concurrent
+        # cells would contend for the CPU and inflate every measurement
+        if workers <= 1 or len(plan.cells) <= 1 or plan.kind == "footprint":
+            return [runner(spec) for spec in plan.cells]
+        with ThreadPoolExecutor(
+            max_workers=min(workers, len(plan.cells))
+        ) as executor:
+            return list(executor.map(runner, plan.cells))
+
+    def _run_one(self, plan: SweepPlan, spec: ScenarioSpec) -> CellResult:
+        # footprint cells are wall-clock measurements, not pure functions
+        # of their inputs — never persisted or resumed (stale latencies
+        # from another run or machine must not masquerade as measured)
+        cacheable = plan.kind == "federation"
+        key = self._cell_key(plan, spec) if cacheable else None
+        if self.resume and cacheable:
+            record = self.artifacts.load_cell(key)
+            if record is not None:
+                self.artifacts.stats.record("cells", hit=True)
+                result = CellResult.from_json_dict(record, resumed=True)
+                # cache keys hash the label-free cell identity, so the
+                # stored spec may carry another plan's label — the numbers
+                # are the requested cell's, the spec must be too
+                result.spec = spec
+                return result
+        self.artifacts.stats.record("cells", hit=False)
+        start = time.perf_counter()
+        if plan.kind == "footprint":
+            result = self._run_footprint_cell(plan.preset, spec)
+        else:
+            result = self._run_federation_cell(plan.preset, spec)
+        result.duration_s = time.perf_counter() - start
+        if cacheable:
+            self.artifacts.store_cell(key, result.to_json_dict())
+        return result
+
+    def _run_federation_cell(
+        self, preset: Preset, spec: ScenarioSpec
+    ) -> CellResult:
+        building_name = spec.building or preset.buildings[0]
+        building, train, tests, data_key = self._data(preset, building_name)
+        framework = make_framework(
+            spec.framework,
+            building.num_aps,
+            building.num_rps,
+            seed=preset.seed,
+            **spec.kwargs,
+        )
+        strategy = (
+            _named_strategies()[spec.strategy]()
+            if spec.strategy
+            else framework.strategy
+        )
+        effective_malicious = (
+            (
+                preset.num_malicious
+                if spec.num_malicious is None
+                else spec.num_malicious
+            )
+            if spec.attack
+            else 0
+        )
+        config = preset.federation_config(
+            num_malicious=effective_malicious, num_clients=spec.num_clients
+        )
+        pretrained, pretrain_hit = self._pretrained(
+            preset, spec, building_name, data_key, train,
+            framework.model_factory, config,
+        )
+        attack_factory = None
+        if spec.attack and effective_malicious > 0:
+            attack_factory = lambda: create_attack(
+                spec.attack, spec.epsilon, num_classes=building.num_rps
+            )
+        server = build_federation(
+            building,
+            framework.model_factory,
+            strategy,
+            config,
+            SeedSequence(preset.seed),
+            attack_factory=attack_factory,
+        )
+        if not spec.self_labeling:
+            for client in server.clients:
+                client.self_labeling = False
+        server.model.load_state_dict(pretrained)
+        server.run_rounds(config.num_rounds)
+        summary = evaluate_model(server.model, tests, building)
+        logger.info(
+            "%s / %s eps=%.2f on %s: %s",
+            spec.framework,
+            spec.attack or "clean",
+            spec.epsilon,
+            building_name,
+            summary,
+        )
+        return CellResult(
+            spec=spec,
+            building=building_name,
+            error_summary=summary,
+            flagged_per_round=[r.num_flagged for r in server.history],
+            parameter_count=server.model.parameter_count(),
+            pretrain_cache_hit=pretrain_hit,
+        )
+
+    def _run_footprint_cell(
+        self, preset: Preset, spec: ScenarioSpec
+    ) -> CellResult:
+        from repro.metrics.footprint import count_parameters
+        from repro.metrics.latency import measure_inference_latency
+        from repro.metrics.macs import inference_macs
+
+        if spec.input_dim is None or spec.num_classes is None:
+            raise ValueError("footprint cells need input_dim and num_classes")
+        framework = make_framework(
+            spec.framework, spec.input_dim, spec.num_classes, seed=preset.seed
+        )
+        model = framework.model_factory()
+        latency = measure_inference_latency(
+            model,
+            spec.input_dim,
+            repeats=preset.latency_repeats,
+            seed=preset.seed,
+        )
+        return CellResult(
+            spec=spec,
+            parameter_count=count_parameters(model),
+            metrics={
+                "median_ms": latency.median_ms,
+                "mean_ms": latency.mean_ms,
+                "p95_ms": latency.p95_ms,
+                "repeats": latency.repeats,
+                "macs": inference_macs(model),
+            },
+        )
+
+    # -- stages ------------------------------------------------------------
+    def _data(
+        self, preset: Preset, building_name: str
+    ) -> Tuple[Building, FingerprintDataset, Dict[str, FingerprintDataset], str]:
+        key = content_key(
+            {
+                "stage": "data",
+                "building": building_name,
+                "seed": preset.seed,
+                "rp_fraction": preset.rp_fraction,
+                "ap_fraction": preset.ap_fraction,
+            }
+        )
+        building = preset.building(building_name)
+        bundle, _ = self.artifacts.get_datasets(
+            key, lambda: paper_protocol(building, seed=preset.seed)
+        )
+        train, tests = bundle
+        return building, train, tests, key
+
+    def _pretrained(
+        self,
+        preset: Preset,
+        spec: ScenarioSpec,
+        building_name: str,
+        data_key: str,
+        train: FingerprintDataset,
+        model_factory: Callable,
+        config,
+    ):
+        neutral = PRETRAIN_NEUTRAL_KWARGS.get(spec.framework, frozenset())
+        relevant_kwargs = {
+            k: v for k, v in spec.framework_kwargs if k not in neutral
+        }
+        # the initial-weight signature is a pure function of this tuple;
+        # memoized so cache-hit cells skip the throwaway model build
+        sig_key = (
+            spec.framework,
+            tuple(sorted(relevant_kwargs.items())),
+            preset.seed,
+            preset.compute_dtype,
+            data_key,
+        )
+        with self._sig_lock:
+            init_sig = self._sig_memo.get(sig_key)
+        if init_sig is None:
+            init_sig = state_signature(model_factory().state_dict())
+            with self._sig_lock:
+                self._sig_memo[sig_key] = init_sig
+        key = content_key(
+            {
+                "stage": "pretrain",
+                "framework": spec.framework,
+                "kwargs": relevant_kwargs,
+                "building": building_name,
+                "data": data_key,
+                "seed": preset.seed,
+                "epochs": config.pretrain_epochs,
+                "lr": config.pretrain_lr,
+                "batch_size": config.batch_size,
+                "dtype": preset.compute_dtype,
+                "init": init_sig,
+            }
+        )
+
+        def compute():
+            # exactly FederatedServer.pretrain: same rng stream, same recipe
+            model = model_factory()
+            rng = SeedSequence(preset.seed).child("server").rng("pretrain")
+            model.train_epochs(
+                train,
+                epochs=config.pretrain_epochs,
+                lr=config.pretrain_lr,
+                rng=rng,
+                batch_size=config.batch_size,
+                trusted=True,
+            )
+            return model.state_dict()
+
+        return self.artifacts.get_pretrained(key, compute)
+
+    def _cell_key(self, plan: SweepPlan, spec: ScenarioSpec) -> str:
+        preset_payload = asdict(plan.preset)
+        for name in _CELL_NEUTRAL_PRESET_FIELDS:
+            preset_payload.pop(name, None)
+        spec_payload = spec.identity()
+        # building=None means "the preset's first building" — resolve it
+        # so the two spellings share one cache entry
+        spec_payload["building"] = spec.building or plan.preset.buildings[0]
+        return content_key(
+            {
+                "stage": "cell",
+                "kind": plan.kind,
+                "preset": preset_payload,
+                "spec": spec_payload,
+            }
+        )
+
+
+def run_plan(
+    plan: SweepPlan, engine: Optional[SweepEngine] = None
+) -> SweepResult:
+    """Run a plan on the given engine (or a fresh in-memory one)."""
+    return (engine or SweepEngine()).run(plan)

@@ -8,12 +8,12 @@ reports best/mean/worst localization errors (box-whisker), showing 3.5×
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
-from repro.experiments.runner import ExperimentResult, run_framework
+from repro.experiments.engine import SweepEngine, SweepPlan, SweepResult, scenario
 from repro.experiments.scenarios import Preset
-from repro.metrics.localization import ErrorSummary
+from repro.metrics.localization import ErrorSummary, merge_summaries
 from repro.utils.tables import format_table
 
 FRAMEWORKS = ("fedloc", "fedhil")
@@ -31,6 +31,7 @@ class Fig1Result:
 
     summaries: Dict[Tuple[str, str], ErrorSummary]
     preset_name: str
+    sweep: Optional[SweepResult] = None
 
     def inflation(self, framework: str, scenario: str) -> float:
         """Mean-error inflation of a scenario vs the clean baseline."""
@@ -63,22 +64,38 @@ class Fig1Result:
         )
 
 
-def run_fig1(preset: Preset) -> Fig1Result:
+def plan_fig1(preset: Preset) -> SweepPlan:
+    """The Fig. 1 grid: (framework, scenario, building)."""
+    cells = []
+    for framework in FRAMEWORKS:
+        for label, epsilon in SCENARIOS:
+            attack = None if label == "clean" else label
+            eps = preset.default_epsilon if epsilon is None else epsilon
+            for building in preset.buildings:
+                cells.append(
+                    scenario(
+                        framework,
+                        attack=attack,
+                        epsilon=eps,
+                        building=building,
+                        label=label,
+                    )
+                )
+    return SweepPlan(name="fig1", preset=preset, cells=tuple(cells))
+
+
+def run_fig1(preset: Preset, engine: Optional[SweepEngine] = None) -> Fig1Result:
     """Reproduce Fig. 1, pooling errors across the preset's buildings
     (the paper aggregates "across diverse building floorplans")."""
-    from repro.metrics.localization import merge_summaries
-
-    summaries: Dict[Tuple[str, str], ErrorSummary] = {}
-    for framework in FRAMEWORKS:
-        for scenario, epsilon in SCENARIOS:
-            attack = None if scenario == "clean" else scenario
-            eps = preset.default_epsilon if epsilon is None else epsilon
-            per_building = [
-                run_framework(
-                    framework, preset, attack=attack, epsilon=eps,
-                    building_name=building,
-                ).error_summary
-                for building in preset.buildings
-            ]
-            summaries[(framework, scenario)] = merge_summaries(per_building)
-    return Fig1Result(summaries=summaries, preset_name=preset.name)
+    sweep = (engine or SweepEngine()).run(plan_fig1(preset))
+    per_key: Dict[Tuple[str, str], List[ErrorSummary]] = {}
+    for cell in sweep.cells:
+        key = (cell.spec.framework, cell.spec.label)
+        per_key.setdefault(key, []).append(cell.error_summary)
+    summaries = {
+        key: merge_summaries(per_building)
+        for key, per_building in per_key.items()
+    }
+    return Fig1Result(
+        summaries=summaries, preset_name=preset.name, sweep=sweep
+    )

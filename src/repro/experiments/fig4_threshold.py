@@ -4,16 +4,20 @@ The paper varies τ from 0.05 to 0.5 and reports SAFELOC's mean
 localization error per building under mixed attacks from the HTC U11,
 finding the optimum at τ = 0.1 with a sharp error rise beyond τ ≈ 0.3
 (large τ admits poisoned fingerprints into the GM).
+
+τ only gates the untrusted-data defense, never the trusted centralized
+pre-train, so the whole sweep shares **one** pre-train per building
+through the engine's artifact cache.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.experiments.runner import run_framework
+from repro.experiments.engine import SweepEngine, SweepPlan, SweepResult, scenario
 from repro.experiments.scenarios import Preset
 from repro.utils.tables import format_table
 
@@ -29,6 +33,7 @@ class Fig4Result:
     tau_grid: Tuple[float, ...]
     buildings: Tuple[str, ...]
     preset_name: str
+    sweep: Optional[SweepResult] = None
 
     def best_tau(self) -> float:
         """τ minimizing the across-building mean error."""
@@ -59,27 +64,41 @@ class Fig4Result:
         )
 
 
-def run_fig4(preset: Preset) -> Fig4Result:
-    """Reproduce the τ sweep across the preset's buildings."""
-    errors: Dict[Tuple[float, str], float] = {}
-    for building_name in preset.buildings:
+def plan_fig4(preset: Preset) -> SweepPlan:
+    """The Fig. 4 grid: (building, τ, attack) for SAFELOC."""
+    cells = []
+    for building in preset.buildings:
         for tau in preset.tau_grid:
-            means = []
             for attack in SWEEP_ATTACKS:
                 eps = 1.0 if attack == "label_flip" else preset.default_epsilon
-                result = run_framework(
-                    "safeloc",
-                    preset,
-                    attack=attack,
-                    epsilon=eps,
-                    building_name=building_name,
-                    framework_kwargs={"tau": tau},
+                cells.append(
+                    scenario(
+                        "safeloc",
+                        attack=attack,
+                        epsilon=eps,
+                        building=building,
+                        framework_kwargs={"tau": tau},
+                    )
                 )
-                means.append(result.error_summary.mean)
-            errors[(tau, building_name)] = float(np.mean(means))
+    return SweepPlan(name="fig4", preset=preset, cells=tuple(cells))
+
+
+def run_fig4(preset: Preset, engine: Optional[SweepEngine] = None) -> Fig4Result:
+    """Reproduce the τ sweep across the preset's buildings."""
+    sweep = (engine or SweepEngine()).run(plan_fig4(preset))
+    per_cell: Dict[Tuple[float, str], List[float]] = {}
+    for cell in sweep.cells:
+        tau = cell.spec.kwargs["tau"]
+        per_cell.setdefault((tau, cell.building), []).append(
+            cell.error_summary.mean
+        )
+    errors = {
+        key: float(np.mean(means)) for key, means in per_cell.items()
+    }
     return Fig4Result(
         errors=errors,
         tau_grid=preset.tau_grid,
         buildings=preset.buildings,
         preset_name=preset.name,
+        sweep=sweep,
     )

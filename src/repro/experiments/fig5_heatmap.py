@@ -5,17 +5,20 @@ SAFELOC's mean localization error with the HTC U11 as attacker.  Paper
 shape: flat rows for the backdoor attacks across all ε (detector +
 de-noising absorb them), a rising label-flip row from ε ≈ 0.2 up to
 4.38 m at ε = 1.0.
+
+The attacks × ε grid shares **one** pre-train per building: the attack
+only exists inside the federation rounds, so every cell reuses the same
+cached pre-trained GM.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-
-from repro.experiments.runner import run_framework
+from repro.experiments.engine import SweepEngine, SweepPlan, SweepResult, scenario
 from repro.experiments.scenarios import Preset
+from repro.metrics.localization import ErrorSummary, pooled_mean
 from repro.utils.tables import format_table
 
 
@@ -27,6 +30,7 @@ class Fig5Result:
     attacks: Tuple[str, ...]
     epsilon_grid: Tuple[float, ...]
     preset_name: str
+    sweep: Optional[SweepResult] = None
 
     def row(self, attack: str) -> List[float]:
         return [self.errors[(attack, eps)] for eps in self.epsilon_grid]
@@ -48,26 +52,34 @@ class Fig5Result:
         )
 
 
-def run_fig5(preset: Preset) -> Fig5Result:
+def plan_fig5(preset: Preset) -> SweepPlan:
+    """The Fig. 5 grid: (attack, ε, building) for SAFELOC."""
+    cells = tuple(
+        scenario("safeloc", attack=attack, epsilon=eps, building=building)
+        for attack in preset.attacks
+        for eps in preset.epsilon_grid
+        for building in preset.buildings
+    )
+    return SweepPlan(name="fig5", preset=preset, cells=cells)
+
+
+def run_fig5(preset: Preset, engine: Optional[SweepEngine] = None) -> Fig5Result:
     """Reproduce the attack × ε heatmap; each cell pools the preset's
     buildings ("mean localization error across all devices, buildings,
     and RPs", §V.C)."""
-    errors: Dict[Tuple[str, float], float] = {}
-    for attack in preset.attacks:
-        for eps in preset.epsilon_grid:
-            means = []
-            counts = []
-            for building in preset.buildings:
-                summary = run_framework(
-                    "safeloc", preset, attack=attack, epsilon=eps,
-                    building_name=building,
-                ).error_summary
-                means.append(summary.mean)
-                counts.append(summary.count)
-            errors[(attack, eps)] = float(np.average(means, weights=counts))
+    sweep = (engine or SweepEngine()).run(plan_fig5(preset))
+    per_cell: Dict[Tuple[str, float], List[ErrorSummary]] = {}
+    for cell in sweep.cells:
+        per_cell.setdefault(
+            (cell.spec.attack, cell.spec.epsilon), []
+        ).append(cell.error_summary)
+    errors = {
+        key: pooled_mean(summaries) for key, summaries in per_cell.items()
+    }
     return Fig5Result(
         errors=errors,
         attacks=preset.attacks,
         epsilon_grid=preset.epsilon_grid,
         preset_name=preset.name,
+        sweep=sweep,
     )

@@ -4,19 +4,20 @@ Box-whisker comparison (best/mean/worst error) of all six frameworks
 across the five §III.A attacks.  Paper shape: SAFELOC lowest mean and
 worst-case in every column; ONLAD second; FEDLOC worst; SAFELOC 1.2–2.11×
 better than the others for label flipping and 1.33–5.9× for backdoors.
+
+Each framework's five attack columns share that framework's single
+cached pre-train per building — five pre-trains collapse to one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
-
-import numpy as np
+from typing import Dict, List, Optional, Tuple
 
 from repro.baselines.registry import COMPARISON_FRAMEWORKS
-from repro.experiments.runner import run_framework
+from repro.experiments.engine import SweepEngine, SweepPlan, SweepResult, scenario
 from repro.experiments.scenarios import Preset
-from repro.metrics.localization import ErrorSummary
+from repro.metrics.localization import ErrorSummary, merge_summaries
 from repro.utils.tables import format_table
 
 
@@ -28,6 +29,7 @@ class Fig6Result:
     frameworks: Tuple[str, ...]
     attacks: Tuple[str, ...]
     preset_name: str
+    sweep: Optional[SweepResult] = None
 
     def mean_error(self, framework: str, attack: str) -> float:
         return self.summaries[(framework, attack)].mean
@@ -59,29 +61,46 @@ class Fig6Result:
         )
 
 
+def plan_fig6(
+    preset: Preset,
+    frameworks: Tuple[str, ...] = COMPARISON_FRAMEWORKS,
+) -> SweepPlan:
+    """The Fig. 6 grid: (framework, attack, building)."""
+    cells = tuple(
+        scenario(
+            framework,
+            attack=attack,
+            epsilon=1.0 if attack == "label_flip" else preset.default_epsilon,
+            building=building,
+        )
+        for framework in frameworks
+        for attack in preset.attacks
+        for building in preset.buildings
+    )
+    return SweepPlan(name="fig6", preset=preset, cells=cells)
+
+
 def run_fig6(
     preset: Preset,
     frameworks: Tuple[str, ...] = COMPARISON_FRAMEWORKS,
+    engine: Optional[SweepEngine] = None,
 ) -> Fig6Result:
     """Reproduce the Fig. 6 comparison, pooling across the preset's
     buildings ("results are aggregated across all buildings", §V.D)."""
-    from repro.metrics.localization import merge_summaries
-
-    summaries: Dict[Tuple[str, str], ErrorSummary] = {}
-    for framework in frameworks:
-        for attack in preset.attacks:
-            eps = 1.0 if attack == "label_flip" else preset.default_epsilon
-            per_building = [
-                run_framework(
-                    framework, preset, attack=attack, epsilon=eps,
-                    building_name=building,
-                ).error_summary
-                for building in preset.buildings
-            ]
-            summaries[(framework, attack)] = merge_summaries(per_building)
+    sweep = (engine or SweepEngine()).run(plan_fig6(preset, frameworks))
+    per_cell: Dict[Tuple[str, str], List[ErrorSummary]] = {}
+    for cell in sweep.cells:
+        per_cell.setdefault(
+            (cell.spec.framework, cell.spec.attack), []
+        ).append(cell.error_summary)
+    summaries = {
+        key: merge_summaries(per_building)
+        for key, per_building in per_cell.items()
+    }
     return Fig6Result(
         summaries=summaries,
         frameworks=frameworks,
         attacks=preset.attacks,
         preset_name=preset.name,
+        sweep=sweep,
     )

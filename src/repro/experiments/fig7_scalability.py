@@ -5,14 +5,17 @@ The paper scales the federation from 6 clients (1 poisoned) to 24 clients
 SAFELOC.  Paper shape: FEDHIL's mean error climbs steadily with the
 poisoned-client ratio; ONLAD and SAFELOC stay stable, SAFELOC lowest
 throughout.
+
+Clients never participate in the centralized pre-train, so the whole
+client-count grid shares one cached pre-train per framework.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.experiments.runner import run_framework
+from repro.experiments.engine import SweepEngine, SweepPlan, SweepResult, scenario
 from repro.experiments.scenarios import Preset
 from repro.utils.tables import format_table
 
@@ -31,6 +34,7 @@ class Fig7Result:
     frameworks: Tuple[str, ...]
     grid: Tuple[Tuple[int, int], ...]
     preset_name: str
+    sweep: Optional[SweepResult] = None
 
     def series(self, framework: str) -> List[float]:
         return [self.errors[(framework, cell)] for cell in self.grid]
@@ -61,23 +65,35 @@ class Fig7Result:
         )
 
 
-def run_fig7(preset: Preset) -> Fig7Result:
+def plan_fig7(preset: Preset) -> SweepPlan:
+    """The Fig. 7 grid: (framework, (total, poisoned)) on the first
+    building."""
+    cells = tuple(
+        scenario(
+            framework,
+            attack=SCALABILITY_ATTACK,
+            epsilon=SCALABILITY_EPSILON,
+            num_clients=total,
+            num_malicious=poisoned,
+        )
+        for framework in SCALABILITY_FRAMEWORKS
+        for total, poisoned in preset.scalability_grid
+    )
+    return SweepPlan(name="fig7", preset=preset, cells=cells)
+
+
+def run_fig7(preset: Preset, engine: Optional[SweepEngine] = None) -> Fig7Result:
     """Reproduce the scalability sweep on the preset's first building."""
-    errors: Dict[Tuple[str, Tuple[int, int]], float] = {}
-    for framework in SCALABILITY_FRAMEWORKS:
-        for total, poisoned in preset.scalability_grid:
-            result = run_framework(
-                framework,
-                preset,
-                attack=SCALABILITY_ATTACK,
-                epsilon=SCALABILITY_EPSILON,
-                num_clients=total,
-                num_malicious=poisoned,
-            )
-            errors[(framework, (total, poisoned))] = result.error_summary.mean
+    sweep = (engine or SweepEngine()).run(plan_fig7(preset))
+    errors = {
+        (cell.spec.framework, (cell.spec.num_clients, cell.spec.num_malicious)):
+            cell.error_summary.mean
+        for cell in sweep.cells
+    }
     return Fig7Result(
         errors=errors,
         frameworks=SCALABILITY_FRAMEWORKS,
         grid=preset.scalability_grid,
         preset_name=preset.name,
+        sweep=sweep,
     )

@@ -1,20 +1,22 @@
 """Shared experiment driver: train one framework federation under one
-attack scenario and evaluate it on the paper's cross-device protocol."""
+attack scenario and evaluate it on the paper's cross-device protocol.
+
+Since the scenario-engine refactor this module is a thin compatibility
+wrapper: :func:`run_framework` builds a single-cell
+:class:`~repro.experiments.engine.ScenarioSpec` and executes it through
+the staged :class:`~repro.experiments.engine.SweepEngine` pipeline
+(data → pre-train → federate → evaluate).  Grid artefacts should build a
+:class:`~repro.experiments.engine.SweepPlan` instead, which deduplicates
+the data/pre-train stages across cells.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.attacks import create_attack
-from repro.baselines.registry import make_framework
-from repro.data.fingerprints import paper_protocol
-from repro.fl.simulation import build_federation
-from repro.metrics.localization import ErrorSummary, evaluate_model
-from repro.utils.logging import get_logger
-from repro.utils.rng import SeedSequence
-
-logger = get_logger("experiments.runner")
+from repro.experiments.engine import CellResult, SweepEngine, scenario
+from repro.metrics.localization import ErrorSummary
 
 
 @dataclass
@@ -40,6 +42,19 @@ class ExperimentResult:
     flagged_per_round: list = field(default_factory=list)
     parameter_count: int = 0
 
+    @classmethod
+    def from_cell(cls, cell: CellResult) -> "ExperimentResult":
+        """Adapt an engine cell result to the legacy result shape."""
+        return cls(
+            framework=cell.spec.framework,
+            attack=cell.spec.attack or "clean",
+            epsilon=cell.spec.epsilon if cell.spec.attack else 0.0,
+            building=cell.building,
+            error_summary=cell.error_summary,
+            flagged_per_round=list(cell.flagged_per_round),
+            parameter_count=cell.parameter_count,
+        )
+
 
 def run_framework(
     framework: str,
@@ -50,15 +65,18 @@ def run_framework(
     num_clients: Optional[int] = None,
     num_malicious: Optional[int] = None,
     framework_kwargs: Optional[Dict] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> ExperimentResult:
     """Train and evaluate one framework under one scenario.
 
-    Pipeline (the paper's Fig. 2 lifecycle):
+    Pipeline (the paper's Fig. 2 lifecycle, now staged through the
+    scenario engine):
 
     1. generate the building's fingerprint data (train device + 5 test
        devices, §V.A protocol);
-    2. build the federation (honest clients + attackers on the HTC U11);
-    3. centrally pre-train the GM on the training-device data;
+    2. centrally pre-train the GM on the training-device data (cached:
+       reused across every scenario sharing the same model/data);
+    3. build the federation (honest clients + attackers on the HTC U11);
     4. run the preset's federation rounds;
     5. evaluate the final GM across all test devices.
 
@@ -72,59 +90,17 @@ def run_framework(
             (used by the Fig. 7 scalability sweep).
         framework_kwargs: Extra arguments for the framework factory
             (e.g. ``{"tau": 0.2}`` for the Fig. 4 sweep).
+        engine: Engine to run the cell on; a fresh in-memory one by
+            default.  Pass a shared engine to reuse its artifact cache.
     """
-    building_name = building_name or preset.buildings[0]
-    building = preset.building(building_name)
-    seeds = SeedSequence(preset.seed)
-    train, tests = paper_protocol(building, seed=preset.seed)
-
-    spec = make_framework(
+    spec = scenario(
         framework,
-        building.num_aps,
-        building.num_rps,
-        seed=preset.seed,
-        **(framework_kwargs or {}),
-    )
-    effective_malicious = (
-        (preset.num_malicious if num_malicious is None else num_malicious)
-        if attack
-        else 0
-    )
-    config = preset.federation_config(
-        num_malicious=effective_malicious, num_clients=num_clients
-    )
-    attack_factory = None
-    if attack and effective_malicious > 0:
-        attack_factory = lambda: create_attack(
-            attack, epsilon, num_classes=building.num_rps
-        )
-    server = build_federation(
-        building,
-        spec.model_factory,
-        spec.strategy,
-        config,
-        seeds,
-        attack_factory=attack_factory,
-    )
-    server.pretrain(
-        train, epochs=config.pretrain_epochs, lr=config.pretrain_lr
-    )
-    server.run_rounds(config.num_rounds)
-    summary = evaluate_model(server.model, tests, building)
-    logger.info(
-        "%s / %s eps=%.2f on %s: %s",
-        framework,
-        attack or "clean",
-        epsilon,
-        building_name,
-        summary,
-    )
-    return ExperimentResult(
-        framework=framework,
-        attack=attack or "clean",
-        epsilon=epsilon if attack else 0.0,
+        attack=attack,
+        epsilon=epsilon,
         building=building_name,
-        error_summary=summary,
-        flagged_per_round=[r.num_flagged for r in server.history],
-        parameter_count=server.model.parameter_count(),
+        num_clients=num_clients,
+        num_malicious=num_malicious,
+        framework_kwargs=framework_kwargs,
     )
+    cell = (engine or SweepEngine()).run_cell(preset, spec)
+    return ExperimentResult.from_cell(cell)

@@ -67,6 +67,10 @@ class Preset:
     latency_repeats: int = 30
     #: client-update thread count per round (None = sequential reference)
     max_workers: Optional[int] = None
+    #: numpy float width the whole stack computes at ("float64" is the
+    #: bit-for-bit reference; "float32" halves state memory/bandwidth —
+    #: see the ``fast32`` preset)
+    compute_dtype: str = "float64"
 
     def building(self, name: str) -> Building:
         """Materialize one of the preset's buildings at the preset scale."""
@@ -123,6 +127,18 @@ def fast_preset(seed: int = 42) -> Preset:
     return Preset(name="fast", seed=seed)
 
 
+def fast32_preset(seed: int = 42) -> Preset:
+    """The ``fast`` preset on the float32 compute path.
+
+    Exercises the half-width substrate end-to-end (layers, optimizers,
+    state algebra, packed aggregation).  Expect small accuracy drift vs
+    ``fast`` — localization predictions are discrete, so most cells
+    match float64 exactly; the drift tolerance is pinned by
+    ``tests/test_sweep_engine.py::TestFast32Preset``.
+    """
+    return replace(fast_preset(seed), name="fast32", compute_dtype="float32")
+
+
 def paper_preset(seed: int = 42) -> Preset:
     """The paper's §V.A configuration — hours of CPU."""
     return Preset(
@@ -158,6 +174,7 @@ def paper_preset(seed: int = 42) -> Preset:
 PRESETS = {
     "tiny": tiny_preset,
     "fast": fast_preset,
+    "fast32": fast32_preset,
     "paper": paper_preset,
 }
 

@@ -21,13 +21,12 @@ smallest, FEDLS largest — is architectural and must reproduce exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.baselines.registry import COMPARISON_FRAMEWORKS, make_framework
+from repro.baselines.registry import COMPARISON_FRAMEWORKS
+from repro.experiments.engine import SweepEngine, SweepPlan, SweepResult, scenario
 from repro.experiments.scenarios import Preset
-from repro.metrics.footprint import count_parameters
-from repro.metrics.latency import LatencyReport, measure_inference_latency
-from repro.metrics.macs import inference_macs
+from repro.metrics.latency import LatencyReport
 from repro.utils.tables import format_table
 
 #: Table I is measured at full building-4 scale (135 APs, 80 RPs)
@@ -60,6 +59,7 @@ class Table1Result:
     parameters: Dict[str, int]
     macs: Dict[str, int]
     preset_name: str
+    sweep: Optional[SweepResult] = None
 
     def parameter_order(self) -> List[str]:
         return sorted(self.parameters, key=self.parameters.get)
@@ -90,27 +90,43 @@ class Table1Result:
         )
 
 
-def run_table1(preset: Preset) -> Table1Result:
+def plan_table1(preset: Preset) -> SweepPlan:
+    """One footprint cell per comparison framework at Table I scale."""
+    cells = tuple(
+        scenario(
+            name,
+            input_dim=TABLE1_INPUT_DIM,
+            num_classes=TABLE1_NUM_CLASSES,
+        )
+        for name in COMPARISON_FRAMEWORKS
+    )
+    return SweepPlan(
+        name="table1", preset=preset, cells=cells, kind="footprint"
+    )
+
+
+def run_table1(
+    preset: Preset, engine: Optional[SweepEngine] = None
+) -> Table1Result:
     """Measure every framework's footprint at the paper's Table I scale."""
+    sweep = (engine or SweepEngine()).run(plan_table1(preset))
     latencies: Dict[str, LatencyReport] = {}
     parameters: Dict[str, int] = {}
     macs: Dict[str, int] = {}
-    for name in COMPARISON_FRAMEWORKS:
-        spec = make_framework(
-            name, TABLE1_INPUT_DIM, TABLE1_NUM_CLASSES, seed=preset.seed
-        )
-        model = spec.model_factory()
-        parameters[name] = count_parameters(model)
-        macs[name] = inference_macs(model)
-        latencies[name] = measure_inference_latency(
-            model,
-            TABLE1_INPUT_DIM,
-            repeats=preset.latency_repeats,
-            seed=preset.seed,
+    for cell in sweep.cells:
+        name = cell.spec.framework
+        parameters[name] = cell.parameter_count
+        macs[name] = int(cell.metrics["macs"])
+        latencies[name] = LatencyReport(
+            median_ms=cell.metrics["median_ms"],
+            mean_ms=cell.metrics["mean_ms"],
+            p95_ms=cell.metrics["p95_ms"],
+            repeats=int(cell.metrics["repeats"]),
         )
     return Table1Result(
         latencies=latencies,
         parameters=parameters,
         macs=macs,
         preset_name=preset.name,
+        sweep=sweep,
     )

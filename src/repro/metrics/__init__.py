@@ -5,6 +5,7 @@ from repro.metrics.localization import (
     evaluate_model,
     localization_errors,
     merge_summaries,
+    pooled_mean,
     summarize_errors,
 )
 from repro.metrics.latency import LatencyReport, measure_inference_latency
@@ -23,6 +24,7 @@ __all__ = [
     "localization_errors",
     "summarize_errors",
     "merge_summaries",
+    "pooled_mean",
     "evaluate_model",
     "LatencyReport",
     "measure_inference_latency",

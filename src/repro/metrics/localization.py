@@ -90,6 +90,17 @@ def merge_summaries(summaries: Sequence[ErrorSummary]) -> ErrorSummary:
     )
 
 
+def pooled_mean(summaries: Sequence[ErrorSummary]) -> float:
+    """Sample-count-weighted mean error across several summaries.
+
+    The single pooling rule behind every cross-building cell ("mean
+    localization error across all devices, buildings, and RPs", §V.C):
+    identical to ``merge_summaries(summaries).mean``, exposed so drivers
+    that only need the pooled mean don't reimplement the weighting.
+    """
+    return merge_summaries(summaries).mean
+
+
 def evaluate_model(
     model: LocalizationModel,
     test_sets: Dict[str, FingerprintDataset],

@@ -5,7 +5,31 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.metrics import ErrorSummary, merge_summaries, summarize_errors
+from repro.metrics import (
+    ErrorSummary,
+    merge_summaries,
+    pooled_mean,
+    summarize_errors,
+)
+
+
+class TestPooledMean:
+    """The single weighted-pooling rule shared by the fig5/fig6 drivers."""
+
+    def test_equals_merge_summaries_mean(self):
+        a = ErrorSummary(mean=1.0, worst=2.0, best=0.0, median=1.0, count=10)
+        b = ErrorSummary(mean=4.0, worst=5.0, best=3.0, median=4.0, count=30)
+        assert pooled_mean([a, b]) == merge_summaries([a, b]).mean
+
+    def test_equals_count_weighted_average(self):
+        rng = np.random.default_rng(7)
+        summaries = [
+            summarize_errors(rng.uniform(0, 5, size=n)) for n in (13, 40, 7)
+        ]
+        expected = np.average(
+            [s.mean for s in summaries], weights=[s.count for s in summaries]
+        )
+        assert pooled_mean(summaries) == pytest.approx(float(expected))
 
 
 class TestMergeSummaries:

@@ -1,0 +1,362 @@
+"""Tests for the declarative scenario engine (specs, caching, parallel
+execution, resume, and the float32 preset).
+
+The heavier federation cells run on a shrunken tiny-preset variant so the
+whole module stays seconds-scale.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.experiments.engine import (
+    ScenarioSpec,
+    SweepEngine,
+    SweepPlan,
+    scenario,
+)
+from repro.experiments.runner import run_framework
+from repro.experiments.scenarios import get_preset, tiny_preset
+
+
+def mini_preset(seed: int = 42):
+    """tiny, further shrunk: same code paths, fraction of the epochs."""
+    return replace(
+        tiny_preset(seed),
+        pretrain_epochs=40,
+        num_rounds=1,
+        client_epochs=2,
+        malicious_epochs=5,
+    )
+
+
+def mini_plan(preset, name="mini"):
+    """Four cells sharing one building/pre-train: 2 attacks × 2 ε."""
+    cells = tuple(
+        scenario("safeloc", attack=attack, epsilon=eps)
+        for attack in ("fgsm", "label_flip")
+        for eps in (0.1, 0.5)
+    )
+    return SweepPlan(name=name, preset=preset, cells=cells)
+
+
+def summaries_of(sweep):
+    return [cell.error_summary for cell in sweep.cells]
+
+
+class TestScenarioSpec:
+    def test_scenario_normalizes_kwargs_and_epsilon(self):
+        spec = scenario(
+            "safeloc", framework_kwargs={"tau": 0.2, "mode": "absolute"}
+        )
+        assert spec.framework_kwargs == (("mode", "absolute"), ("tau", 0.2))
+        assert spec.kwargs == {"tau": 0.2, "mode": "absolute"}
+        # clean cells carry no epsilon
+        assert scenario("safeloc", epsilon=0.7).epsilon == 0.0
+        assert scenario("safeloc", attack="fgsm", epsilon=0.7).epsilon == 0.7
+
+    def test_specs_are_hashable_and_label_free_identity(self):
+        a = scenario("safeloc", attack="fgsm", epsilon=0.5, label="x")
+        b = scenario("safeloc", attack="fgsm", epsilon=0.5, label="y")
+        assert hash(a) != hash(b) or a != b  # labels distinguish specs
+        assert a.identity() == b.identity()  # but not cell identity
+
+    def test_plan_rejects_empty_and_unknown_kind(self):
+        preset = tiny_preset()
+        with pytest.raises(ValueError):
+            SweepPlan(name="empty", preset=preset, cells=())
+        with pytest.raises(ValueError):
+            SweepPlan(
+                name="x",
+                preset=preset,
+                cells=(ScenarioSpec(),),
+                kind="quantum",
+            )
+
+
+class TestStagedCaching:
+    def test_one_pretrain_for_shared_cells(self):
+        sweep = SweepEngine().run(mini_plan(mini_preset()))
+        trained, reused = sweep.pretrain_counts()
+        assert trained == 1
+        assert reused == len(sweep.cells) - 1
+        assert sweep.stats["data"]["misses"] == 1
+
+    @staticmethod
+    def _monolithic(preset, framework, attack, epsilon):
+        """The pre-refactor unsplit pipeline, inlined."""
+        from repro.attacks import create_attack
+        from repro.baselines.registry import make_framework
+        from repro.data.fingerprints import paper_protocol
+        from repro.fl.simulation import build_federation
+        from repro.metrics.localization import evaluate_model
+        from repro.utils.rng import SeedSequence
+
+        building = preset.building(preset.buildings[0])
+        train, tests = paper_protocol(building, seed=preset.seed)
+        spec = make_framework(
+            framework, building.num_aps, building.num_rps, seed=preset.seed
+        )
+        config = preset.federation_config(
+            num_malicious=preset.num_malicious if attack else 0
+        )
+        attack_factory = None
+        if attack:
+            attack_factory = lambda: create_attack(
+                attack, epsilon, num_classes=building.num_rps
+            )
+        server = build_federation(
+            building,
+            spec.model_factory,
+            spec.strategy,
+            config,
+            SeedSequence(preset.seed),
+            attack_factory=attack_factory,
+        )
+        server.pretrain(
+            train, epochs=config.pretrain_epochs, lr=config.pretrain_lr
+        )
+        server.run_rounds(config.num_rounds)
+        return evaluate_model(server.model, tests, building)
+
+    def test_cached_pipeline_matches_monolithic_run(self):
+        """Stage-cached cells reproduce the unsplit pipeline bit-for-bit."""
+        preset = mini_preset()
+        monolithic = self._monolithic(preset, "safeloc", "fgsm", 0.5)
+        sweep = SweepEngine().run(mini_plan(preset))
+        by_cell = {
+            (c.spec.attack, c.spec.epsilon): c.error_summary
+            for c in sweep.cells
+        }
+        assert by_cell[("fgsm", 0.5)] == monolithic
+
+    @pytest.mark.parametrize(
+        "framework", ["onlad", "fedhil", "fedcc", "fedls", "fedloc"]
+    )
+    def test_cached_pretrain_exact_for_every_framework(self, framework):
+        """load_state_dict(cached pre-train) must equal pre-training in
+        place for every comparison framework — the guarantee rests on each
+        model's state_dict capturing all training-mutated state (ONLAD's
+        two networks, FEDLS's detector-driven strategy, …)."""
+        preset = mini_preset()
+        attack, eps = ("label_flip", 1.0)
+        monolithic = self._monolithic(preset, framework, attack, eps)
+        cell = SweepEngine().run(
+            SweepPlan(
+                name=f"mono-{framework}",
+                preset=preset,
+                cells=(scenario(framework, attack=attack, epsilon=eps),),
+            )
+        ).cells[0]
+        assert cell.error_summary == monolithic
+
+    def test_tau_sweep_shares_pretrain(self):
+        """τ never touches the trusted pre-train, so a τ grid costs one."""
+        preset = mini_preset()
+        cells = tuple(
+            scenario(
+                "safeloc",
+                attack="fgsm",
+                epsilon=0.5,
+                framework_kwargs={"tau": tau},
+            )
+            for tau in (0.05, 0.3)
+        )
+        sweep = SweepEngine().run(
+            SweepPlan(name="tau", preset=preset, cells=cells)
+        )
+        assert sweep.pretrain_counts() == (1, 1)
+        # different τ must still produce its own federation outcome object
+        assert all(c.error_summary is not None for c in sweep.cells)
+
+
+class TestDeterminism:
+    """Same seed ⇒ identical SweepResult sequentially, threaded, resumed."""
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return SweepEngine().run(mini_plan(mini_preset()))
+
+    def test_parallel_matches_sequential(self, reference):
+        parallel = SweepEngine(jobs=4).run(mini_plan(mini_preset()))
+        assert summaries_of(parallel) == summaries_of(reference)
+        assert [c.flagged_per_round for c in parallel.cells] == [
+            c.flagged_per_round for c in reference.cells
+        ]
+
+    def test_resumed_matches_fresh(self, reference, tmp_path):
+        preset = mini_preset()
+        plan = mini_plan(preset)
+        cache = str(tmp_path / "cache")
+        # half the sweep, persisted
+        half = SweepPlan(name=plan.name, preset=preset, cells=plan.cells[:2])
+        SweepEngine(cache_dir=cache).run(half)
+        # full sweep resumed from the half-finished cache
+        resumed = SweepEngine(cache_dir=cache, resume=True).run(plan)
+        assert resumed.resumed_count() == 2
+        assert [c.resumed for c in resumed.cells] == [True, True, False, False]
+        assert summaries_of(resumed) == summaries_of(reference)
+
+    def test_run_framework_equals_engine_cell(self, reference):
+        preset = mini_preset()
+        result = run_framework("safeloc", preset, attack="fgsm", epsilon=0.1)
+        assert result.error_summary == reference.cells[0].error_summary
+
+
+class TestResumeStore:
+    def test_cell_json_roundtrip(self, tmp_path):
+        preset = mini_preset()
+        plan = SweepPlan(
+            name="one",
+            preset=preset,
+            cells=(scenario("safeloc", attack="fgsm", epsilon=0.5),),
+        )
+        cache = str(tmp_path / "cache")
+        first = SweepEngine(cache_dir=cache).run(plan)
+        second = SweepEngine(cache_dir=cache, resume=True).run(plan)
+        assert second.resumed_count() == 1
+        a, b = first.cells[0], second.cells[0]
+        assert a.error_summary == b.error_summary
+        assert a.spec == b.spec
+        assert a.building == b.building
+        assert a.flagged_per_round == b.flagged_per_round
+        assert a.parameter_count == b.parameter_count
+
+    def test_resume_keeps_requested_label(self, tmp_path):
+        """Cache keys are label-free, so a cell stored by one plan can be
+        resumed by another — but it must come back wearing the *requested*
+        spec, not the stored one (ablation drivers bucket by label)."""
+        preset = mini_preset()
+        cache = str(tmp_path / "cache")
+        stored = scenario(
+            "safeloc", attack="fgsm", epsilon=0.5,
+            strategy="saliency-relative", label="saliency-relative/x",
+        )
+        requested = scenario(
+            "safeloc", attack="fgsm", epsilon=0.5,
+            strategy="saliency-relative", label="denoise-on/x",
+        )
+        SweepEngine(cache_dir=cache).run(
+            SweepPlan(name="a", preset=preset, cells=(stored,))
+        )
+        resumed = SweepEngine(cache_dir=cache, resume=True).run(
+            SweepPlan(name="b", preset=preset, cells=(requested,))
+        )
+        assert resumed.resumed_count() == 1
+        assert resumed.cells[0].spec == requested
+
+    def test_resume_shares_default_and_explicit_building(self, tmp_path):
+        """building=None and the explicit first-building name are the
+        same cell and must share one cache entry."""
+        preset = mini_preset()
+        cache = str(tmp_path / "cache")
+        implicit = scenario("safeloc", attack="fgsm", epsilon=0.5)
+        explicit = scenario(
+            "safeloc", attack="fgsm", epsilon=0.5,
+            building=preset.buildings[0],
+        )
+        SweepEngine(cache_dir=cache).run(
+            SweepPlan(name="a", preset=preset, cells=(implicit,))
+        )
+        resumed = SweepEngine(cache_dir=cache, resume=True).run(
+            SweepPlan(name="b", preset=preset, cells=(explicit,))
+        )
+        assert resumed.resumed_count() == 1
+
+    def test_resume_requires_cache_dir(self):
+        with pytest.raises(ValueError):
+            SweepEngine(resume=True)
+
+    def test_corrupt_disk_artifact_recomputed(self, tmp_path):
+        """A truncated .npz (killed writer) must recompute, not crash."""
+        import os
+
+        preset = mini_preset()
+        cache = str(tmp_path / "cache")
+        plan = SweepPlan(
+            name="one",
+            preset=preset,
+            cells=(scenario("safeloc", attack="fgsm", epsilon=0.5),),
+        )
+        reference = SweepEngine(cache_dir=cache).run(plan)
+        pretrain_dir = tmp_path / "cache" / "pretrain"
+        archives = list(pretrain_dir.glob("*.npz"))
+        assert archives
+        archives[0].write_bytes(b"PK\x03\x04 truncated")
+        # no stale temp files left behind by the atomic writes either
+        assert not list(tmp_path.rglob(".tmp-*"))
+        # fresh engine (cold memo) must survive the corrupt artifact
+        again = SweepEngine(cache_dir=cache).run(plan)
+        assert summaries_of(again) == summaries_of(reference)
+
+    def test_scenario_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            scenario("safeloc", strategy="majority-vote")
+
+    def test_footprint_cells_never_resume(self, tmp_path):
+        """Latency is a measurement, not a pure function — Table I cells
+        must be re-measured every run, never served from the cache."""
+        from repro.experiments.table1_overheads import plan_table1
+
+        plan = plan_table1(mini_preset())
+        cache = str(tmp_path / "cache")
+        SweepEngine(cache_dir=cache).run(plan)
+        assert not (tmp_path / "cache" / "cells").exists()
+        again = SweepEngine(cache_dir=cache, resume=True).run(plan)
+        assert again.resumed_count() == 0
+
+    def test_resume_ignores_other_presets(self, tmp_path):
+        """A cached cell from one preset must not satisfy another."""
+        cache = str(tmp_path / "cache")
+        plan42 = SweepPlan(
+            name="p",
+            preset=mini_preset(42),
+            cells=(scenario("safeloc", attack="fgsm", epsilon=0.5),),
+        )
+        plan43 = SweepPlan(
+            name="p",
+            preset=mini_preset(43),
+            cells=(scenario("safeloc", attack="fgsm", epsilon=0.5),),
+        )
+        SweepEngine(cache_dir=cache).run(plan42)
+        other = SweepEngine(cache_dir=cache, resume=True).run(plan43)
+        assert other.resumed_count() == 0
+
+
+class TestFast32Preset:
+    def test_registered(self):
+        preset = get_preset("fast32")
+        assert preset.name == "fast32"
+        assert preset.compute_dtype == "float32"
+        assert get_preset("fast").compute_dtype == "float64"
+
+    def test_float32_drift_within_tolerance(self):
+        """The half-width path tracks float64 closely: localization is
+        discrete, so small weight drift flips few predictions.  Tolerance:
+        ≤ 0.25 m absolute mean-error drift at mini scale (measured drift
+        is ~0.01 m)."""
+        preset64 = mini_preset()
+        preset32 = replace(preset64, name="mini32", compute_dtype="float32")
+        for framework, attack, eps in (
+            ("safeloc", "fgsm", 0.5),
+            ("fedloc", None, 0.0),
+        ):
+            a = run_framework(
+                framework, preset64, attack=attack, epsilon=eps
+            ).error_summary
+            b = run_framework(
+                framework, preset32, attack=attack, epsilon=eps
+            ).error_summary
+            assert abs(a.mean - b.mean) <= 0.25
+            assert a.count == b.count
+
+    def test_float32_states_are_float32(self):
+        from repro.baselines.registry import make_framework
+        from repro.nn.dtype import compute_dtype
+
+        with compute_dtype(np.float32):
+            model = make_framework("fedloc", 8, 5, seed=0).model_factory()
+            assert all(
+                v.dtype == np.float32 for v in model.state_dict().values()
+            )
