@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Run the performance benchmarks and record the trajectory.
 
-Two suites, each writing a JSON record at the repo root so the perf
+Three suites, each writing a JSON record at the repo root so the perf
 trajectory is tracked PR over PR:
 
 * ``aggregation`` — every aggregation strategy on the packed engine vs
@@ -10,12 +10,19 @@ trajectory is tracked PR over PR:
   → ``BENCH_aggregation.json``;
 * ``sweep`` — the scenario engine's staged pipeline (shared data +
   pre-train artifacts, warm resume) vs the pre-refactor per-cell loop
-  → ``BENCH_sweep.json``.
+  → ``BENCH_sweep.json``;
+* ``fedls`` — fold-batched vs serial FEDLS leave-one-out detection
+  (detector fit at 8/32/128 clients, warm-start trajectory, end-to-end
+  fig6 FEDLS column) → ``BENCH_fedls.json``.
+
+Every suite re-asserts its equivalence contracts and the runner exits
+non-zero when any of them fails, so bench runs double as a correctness
+gate in CI.
 
 Usage::
 
     PYTHONPATH=src python scripts/run_benchmarks.py \
-        [--suite aggregation|sweep|all] [--quick] [--output PATH]
+        [--suite aggregation|sweep|fedls|all] [--quick] [--output PATH]
 """
 
 from __future__ import annotations
@@ -29,7 +36,13 @@ sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
 
 import bench_perf_aggregation  # noqa: E402
+import bench_perf_fedls  # noqa: E402
 import bench_perf_sweep  # noqa: E402
+
+
+def _fail(message: str) -> int:
+    print(f"EQUIVALENCE FAILURE: {message}")
+    return 1
 
 
 def _run_aggregation(quick: bool, output: str) -> int:
@@ -39,10 +52,18 @@ def _run_aggregation(quick: bool, output: str) -> int:
         results, output or bench_perf_aggregation.JSON_PATH
     )
     print(f"\n[written to {path}]")
-    if results["headline"]["max_abs_diff"] >= 1e-10:
-        print("WARNING: packed/legacy disagreement above 1e-10")
-        return 1
-    return 0
+    code = 0
+    # every cell is an equivalence assertion, not just the headline
+    for scale, block in results["aggregation"].items():
+        for cell, r in block["cells"].items():
+            if r["max_abs_diff"] >= 1e-10:
+                code |= _fail(
+                    f"packed/legacy disagreement {r['max_abs_diff']:.2e} "
+                    f"at {scale}/{cell}"
+                )
+    if not results["federation_round"]["parallel_matches_sequential"]:
+        code |= _fail("threaded federation round diverged from sequential")
+    return code
 
 
 def _run_sweep(quick: bool, output: str) -> int:
@@ -52,20 +73,39 @@ def _run_sweep(quick: bool, output: str) -> int:
         results, output or bench_perf_sweep.JSON_PATH
     )
     print(f"\n[written to {path}]")
-    if not (
-        results["headline"]["identical_summaries"]
-        and results["resume"]["identical_summaries"]
-    ):
-        print("WARNING: engine/naive or resume disagreement")
-        return 1
-    return 0
+    code = 0
+    if not results["headline"]["identical_summaries"]:
+        code |= _fail("engine sweep diverged from the naive per-cell loop")
+    if not results["resume"]["identical_summaries"]:
+        code |= _fail("resumed sweep diverged from the cold run")
+    return code
+
+
+def _run_fedls(quick: bool, output: str) -> int:
+    results = bench_perf_fedls.run_all(quick=quick)
+    print(bench_perf_fedls.format_report(results))
+    path = bench_perf_fedls.write_json(
+        results, output or bench_perf_fedls.JSON_PATH
+    )
+    print(f"\n[written to {path}]")
+    code = 0
+    for message in bench_perf_fedls.equivalence_failures(results):
+        code |= _fail(message)
+    return code
+
+
+_SUITES = {
+    "aggregation": _run_aggregation,
+    "sweep": _run_sweep,
+    "fedls": _run_fedls,
+}
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--suite",
-        choices=("aggregation", "sweep", "all"),
+        choices=tuple(_SUITES) + ("all",),
         default="all",
         help="which benchmark suite(s) to run (default: all)",
     )
@@ -83,13 +123,12 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.output and args.suite == "all":
         parser.error("--output needs a single --suite")
+    selected = tuple(_SUITES) if args.suite == "all" else (args.suite,)
     code = 0
-    if args.suite in ("aggregation", "all"):
-        code |= _run_aggregation(args.quick, args.output)
-    if args.suite in ("sweep", "all"):
-        if args.suite == "all":
+    for index, suite in enumerate(selected):
+        if index:
             print()
-        code |= _run_sweep(args.quick, args.output)
+        code |= _SUITES[suite](args.quick, args.output)
     return code
 
 

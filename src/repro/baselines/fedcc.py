@@ -116,7 +116,14 @@ class ClusteredAggregation(AggregationStrategy):
         if num_clusters < 2:
             raise ValueError("num_clusters must be >= 2")
         self.num_clusters = int(num_clusters)
-        self._rng = np.random.default_rng(seed)
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(self.seed)
+
+    def reset(self) -> None:
+        # the tie-break rng advances on empty-cluster re-seeds, so a new
+        # federation must restart the stream for runs to reproduce
+        super().reset()
+        self._rng = np.random.default_rng(self.seed)
 
     def _keep_cluster(self, vectors: np.ndarray) -> np.ndarray:
         """Cluster the delta vectors, return the kept clients' row mask."""

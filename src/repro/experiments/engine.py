@@ -77,6 +77,17 @@ PRETRAIN_NEUTRAL_KWARGS: Dict[str, frozenset] = {
             "adjustment",
         }
     ),
+    # FEDLS's detector knobs configure server-side aggregation only, so
+    # warm-start/engine sweeps share the reference cell's pre-train
+    "fedls": frozenset(
+        {
+            "outlier_factor",
+            "detector_epochs",
+            "detector_engine",
+            "warm_start",
+            "warm_start_epochs",
+        }
+    ),
 }
 
 #: preset fields that cannot influence a single cell's numbers (grids the

@@ -52,6 +52,27 @@ class AggregationStrategy:
 
     name = "strategy"
 
+    #: Round index the server announced via :meth:`begin_round` (1-based),
+    #: or ``None`` when the strategy is driven outside a server loop.
+    round_index: Optional[int] = None
+
+    def begin_round(self, round_index: int) -> None:
+        """Announce the upcoming round's 1-based index.
+
+        :class:`~repro.fl.server.FederatedServer` calls this before every
+        ``aggregate`` so round-dependent strategy state (e.g. FEDLS's
+        per-round detector seeds) derives from the federation's actual
+        round counter instead of a hidden call counter — re-running a
+        cell or reusing a strategy instance then reproduces bit for bit.
+        """
+        self.round_index = int(round_index)
+
+    def reset(self) -> None:
+        """Forget per-federation state; called when a server adopts the
+        strategy, so one instance can serve several federations without
+        leaking round counters or caches between them."""
+        self.round_index = None
+
     def aggregate(
         self,
         global_state: StateDict,

@@ -67,6 +67,10 @@ class FederatedServer:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.model = model
         self.strategy = strategy
+        # a strategy instance may be reused across federations (shared
+        # FrameworkSpec); drop any per-federation state it carries so two
+        # runs of the same scenario start identically
+        self.strategy.reset()
         self.clients = list(clients)
         self.seeds = seeds or SeedSequence(1)
         self.max_workers = max_workers
@@ -107,6 +111,7 @@ class FederatedServer:
         """One synchronous round: broadcast → local updates → aggregate."""
         global_state = self.model.state_dict()
         updates = self._collect_updates(global_state)
+        self.strategy.begin_round(len(self.history) + 1)
         new_state = self.strategy.aggregate(global_state, updates)
         self.model.load_state_dict(new_state)
         record = RoundRecord(

@@ -20,6 +20,12 @@ from repro.nn.dtype import (
     set_default_dtype,
 )
 from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.batched import (
+    BatchedAdam,
+    BatchedLinear,
+    BatchedMSELoss,
+    BatchedSequential,
+)
 from repro.nn.layers import (
     Dropout,
     Identity,
@@ -81,6 +87,10 @@ __all__ = [
     "Module",
     "Parameter",
     "Sequential",
+    "BatchedLinear",
+    "BatchedSequential",
+    "BatchedMSELoss",
+    "BatchedAdam",
     "Linear",
     "TiedLinear",
     "ReLU",

@@ -1,0 +1,267 @@
+"""Fold-batched kernels: train N identical tiny networks as one program.
+
+Leave-one-out detection (FEDLS), per-client probes and similar schemes
+train *n* structurally identical small networks that differ only in their
+weights and data.  Looping over them in Python costs one interpreter
+round-trip per fold per epoch; this module stacks all folds onto a
+leading axis instead, so one training step is a handful of 3-D
+``np.matmul`` contractions regardless of the fold count:
+
+* :class:`BatchedLinear` — parameters ``(n_folds, in, out)`` /
+  ``(n_folds, out)`` over inputs ``(n_folds, batch, in)``;
+* :class:`BatchedSequential` — a :class:`~repro.nn.module.Sequential`
+  that validates the shared fold axis and can extract any single fold as
+  a plain per-fold network;
+* :class:`BatchedMSELoss` — per-fold mean-squared error whose gradient
+  matches :class:`~repro.nn.losses.MSELoss` fold by fold;
+* :class:`BatchedAdam` — Adam over the stacked parameters: one
+  elementwise pass per tensor updates every fold.
+
+**Equivalence contract.**  ``np.matmul`` on a 3-D stack runs the same
+GEMM per fold that the serial loop runs per network, and every other op
+(bias add, activations, loss gradient, Adam) is elementwise along the
+fold axis — so given fold-identical initialization and data, the batched
+step reproduces the serial per-fold step bit for bit at float64.  The
+FEDLS equivalence tests pin this at ≤1e-10.
+
+Elementwise activations (:class:`~repro.nn.layers.ReLU`,
+``LeakyReLU``, ``Tanh``…) are shape-agnostic and slot into a
+:class:`BatchedSequential` unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.dtype import default_dtype
+from repro.nn.init import get_initializer
+from repro.nn.layers import Linear
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.optim import Adam
+from repro.utils.rng import fallback_rng
+
+
+class BatchedLinear(Module):
+    """``n_folds`` independent dense layers as one stacked contraction.
+
+    ``y[k] = x[k] @ W[k] + b[k]`` for every fold ``k`` in one broadcast
+    ``np.matmul``: weights are ``(n_folds, in_features, out_features)``,
+    biases ``(n_folds, out_features)``, inputs ``(n_folds, batch,
+    in_features)``.  Fold ``k``'s output and gradients depend only on
+    fold ``k``'s input — the folds never mix.
+
+    Args:
+        n_folds: Number of stacked independent layers.
+        in_features / out_features: Per-fold layer shape.
+        rngs: One generator **per fold**, drawn in fold order — pass each
+            fold's own stream to reproduce that fold's serial
+            :class:`~repro.nn.layers.Linear` init bit for bit.  ``None``
+            spawns deterministic fallback streams.
+        init: Initializer name (see :mod:`repro.nn.init`).
+        bias: Whether the folds carry bias vectors.
+    """
+
+    def __init__(
+        self,
+        n_folds: int,
+        in_features: int,
+        out_features: int,
+        rngs: Optional[Sequence[np.random.Generator]] = None,
+        init: str = "glorot_uniform",
+        bias: bool = True,
+    ):
+        super().__init__()
+        if n_folds <= 0:
+            raise ValueError(f"n_folds must be positive, got {n_folds}")
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError(
+                f"layer dims must be positive, got ({in_features}, {out_features})"
+            )
+        if rngs is None:
+            rngs = [fallback_rng("batched-linear") for _ in range(n_folds)]
+        if len(rngs) != n_folds:
+            raise ValueError(
+                f"need one rng per fold: got {len(rngs)} for {n_folds} folds"
+            )
+        initializer = get_initializer(init)
+        self.n_folds = int(n_folds)
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.weight = Parameter(
+            np.stack(
+                [initializer(in_features, out_features, rng) for rng in rngs]
+            ),
+            "weight",
+        )
+        self.use_bias = bias
+        if bias:
+            self.bias = Parameter(np.zeros((n_folds, out_features)), "bias")
+        self._input: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_linears(cls, layers: Sequence[Linear]) -> "BatchedLinear":
+        """Stack existing per-fold :class:`Linear` layers (copied weights)."""
+        if not layers:
+            raise ValueError("need at least one Linear to stack")
+        first = layers[0]
+        if any(
+            layer.in_features != first.in_features
+            or layer.out_features != first.out_features
+            or layer.use_bias != first.use_bias
+            for layer in layers
+        ):
+            raise ValueError("all folds must share one layer shape")
+        batched = cls(
+            len(layers),
+            first.in_features,
+            first.out_features,
+            rngs=[fallback_rng("batched-linear") for _ in layers],
+            bias=first.use_bias,
+        )
+        batched.weight.data = np.stack([l.weight.data for l in layers])
+        if first.use_bias:
+            batched.bias.data = np.stack([l.bias.data for l in layers])
+        return batched
+
+    def _as_folded(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=default_dtype())
+        if x.ndim == 2:  # one sample per fold
+            x = x[:, None, :]
+        if x.ndim != 3:
+            raise ValueError(
+                f"expected (n_folds, batch, features) input, got shape {x.shape}"
+            )
+        if x.shape[0] != self.n_folds:
+            raise ValueError(
+                f"input carries {x.shape[0]} folds, layer has {self.n_folds}"
+            )
+        return x
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self._as_folded(x)
+        if x.shape[2] != self.in_features:
+            raise ValueError(
+                f"BatchedLinear expected {self.in_features} features, "
+                f"got {x.shape[2]}"
+            )
+        self._input = x
+        out = x @ self.weight.data
+        if self.use_bias:
+            out = out + self.bias.data[:, None, :]
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        grad_output = self._as_folded(grad_output)
+        if self.weight.trainable:
+            # per fold: dW[k] = x[k].T @ g[k], one stacked GEMM
+            self.weight.grad += self._input.transpose(0, 2, 1) @ grad_output
+        if self.use_bias and self.bias.trainable:
+            self.bias.grad += grad_output.sum(axis=1)
+        return grad_output @ self.weight.data.transpose(0, 2, 1)
+
+
+class BatchedSequential(Sequential):
+    """A :class:`Sequential` of fold-batched layers sharing one fold axis.
+
+    Validates that every :class:`BatchedLinear` carries the same
+    ``n_folds`` (elementwise activations are fold-agnostic and pass
+    through unchecked) and adds per-fold extraction for equivalence
+    tests and warm-start bookkeeping.
+    """
+
+    def __init__(self, *layers: Module):
+        super().__init__(*layers)
+        folds = {
+            layer.n_folds
+            for layer in self.layers
+            if isinstance(layer, BatchedLinear)
+        }
+        if len(folds) > 1:
+            raise ValueError(f"inconsistent fold counts: {sorted(folds)}")
+        self.n_folds = folds.pop() if folds else 0
+
+    def unstack_fold(self, fold: int) -> Sequential:
+        """Fold ``k``'s network as a plain per-fold :class:`Sequential`.
+
+        :class:`BatchedLinear` layers become :class:`Linear` layers
+        carrying copies of the fold's weights; parameter-free layers
+        (activations) are re-instantiated.
+        """
+        if not 0 <= fold < max(self.n_folds, 1):
+            raise IndexError(f"fold {fold} out of range [0, {self.n_folds})")
+        extracted: List[Module] = []
+        for layer in self.layers:
+            if isinstance(layer, BatchedLinear):
+                single = Linear(
+                    layer.in_features,
+                    layer.out_features,
+                    rng=fallback_rng("unstack-fold"),
+                    bias=layer.use_bias,
+                )
+                single.weight.data = layer.weight.data[fold].copy()
+                if layer.use_bias:
+                    single.bias.data = layer.bias.data[fold].copy()
+                extracted.append(single)
+            elif layer.parameters():
+                raise TypeError(
+                    f"cannot unstack parametered layer {type(layer).__name__}"
+                )
+            else:
+                extracted.append(type(layer)())
+        return Sequential(*extracted)
+
+
+class BatchedMSELoss:
+    """Per-fold mean squared error over ``(n_folds, batch, feat)`` stacks.
+
+    ``forward`` returns the mean of the per-fold losses (diagnostic; the
+    per-fold values stay in :attr:`fold_losses`).  ``backward`` returns
+    ``2·(pred−target)/(batch·feat)`` — each fold's slice is exactly the
+    gradient :class:`~repro.nn.losses.MSELoss` produces for that fold
+    alone, which is what makes batched training bit-match the serial
+    loop.  Mirrors ``MSELoss``'s float64 internal accumulation.
+    """
+
+    def __init__(self) -> None:
+        self._diff: Optional[np.ndarray] = None
+        self.fold_losses: Optional[np.ndarray] = None
+
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        prediction = np.asarray(prediction, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        if prediction.ndim != 3 or prediction.shape != target.shape:
+            raise ValueError(
+                f"expected matching (n_folds, batch, feat) stacks, got "
+                f"{prediction.shape} vs {target.shape}"
+            )
+        self._diff = prediction - target
+        self.fold_losses = (self._diff**2).mean(axis=(1, 2))
+        return float(self.fold_losses.mean())
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        per_fold_size = self._diff.shape[1] * self._diff.shape[2]
+        return 2.0 * self._diff / per_fold_size
+
+    def __call__(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        return self.forward(prediction, target)
+
+
+class BatchedAdam(Adam):
+    """Adam over fold-stacked parameters — the fold-aware optimizer.
+
+    Because every moment update and the parameter step are elementwise,
+    Adam advances **all** folds of a stacked ``(n_folds, …)`` parameter
+    in one pass per tensor: a 4-layer stack steps 8 arrays per epoch
+    regardless of the fold count, where the serial loop steps ``8·n``
+    Python-level parameters.  Since the math is elementwise along the
+    fold axis, each fold's trajectory is bit-identical to a serial
+    per-fold Adam given identical init and gradients (pinned by
+    ``tests/test_nn_batched.py``).  This subclass names that contract;
+    it adds no behavior.
+    """

@@ -166,6 +166,15 @@ class TestClusteredAggregation:
         for key in gm:
             assert np.abs(agg[key] - gm[key]).max() < 0.5
 
+    def test_reset_restarts_tie_break_rng(self):
+        """The per-federation reset contract: a reused instance must
+        reproduce a fresh instance's rng stream."""
+        agg = ClusteredAggregation(seed=7)
+        fresh_draw = np.random.default_rng(7).random()
+        agg._rng.random()  # advance the stream (as k-means re-seeds do)
+        agg.reset()
+        assert agg._rng.random() == fresh_draw
+
     def test_k3_drops_minority_honest_clusters(self):
         """FEDCC's §II heterogeneity weakness: with k=3, a distinct honest
         device group lands in its own cluster and gets discarded."""
@@ -286,6 +295,213 @@ class TestLatentSpaceAggregation:
             LatentSpaceAggregation(outlier_factor=1.0)
         with pytest.raises(ValueError):
             LatentSpaceAggregation(detector_epochs=0)
+        with pytest.raises(ValueError):
+            LatentSpaceAggregation(detector_engine="gpu")
+        with pytest.raises(ValueError):
+            LatentSpaceAggregation(warm_start=True, detector_engine="serial")
+        with pytest.raises(ValueError):
+            LatentSpaceAggregation(warm_start=True, warm_start_epochs=0)
+
+
+class TestFedlsBatchedEquivalence:
+    """The fold-batched detection path vs the serial per-fold reference."""
+
+    def _cohort(self, n=6, seed=0):
+        gm = _gm_state(0)
+        updates = [_update(100 + i, gm, jitter=0.01) for i in range(n - 1)]
+        updates.append(_update(999, gm, jitter=1.5, malicious=True))
+        return gm, updates
+
+    @pytest.mark.parametrize("n_clients", [4, 7])
+    def test_aggregate_matches_serial(self, n_clients):
+        gm, updates = self._cohort(n_clients)
+        batched = LatentSpaceAggregation(seed=0, detector_epochs=40)
+        serial = LatentSpaceAggregation(seed=0, detector_epochs=40)
+        out_b = batched.aggregate(gm, updates)
+        out_s = serial.aggregate_serial(gm, updates)
+        for key in gm:
+            np.testing.assert_allclose(out_b[key], out_s[key], atol=1e-10)
+
+    def test_loo_errors_match_serial_across_rounds(self):
+        normalized = np.random.default_rng(3).normal(size=(6, 20))
+        agg = LatentSpaceAggregation(seed=7, detector_epochs=30)
+        for round_index in (1, 2, 5):
+            e_serial = agg.leave_one_out_errors(
+                normalized, round_index, engine="serial"
+            )
+            e_batched = agg.leave_one_out_errors(
+                normalized, round_index, engine="batched"
+            )
+            np.testing.assert_allclose(e_serial, e_batched, atol=1e-10)
+        # different rounds draw different detector seeds
+        assert not np.allclose(
+            agg.leave_one_out_errors(normalized, 1),
+            agg.leave_one_out_errors(normalized, 2),
+        )
+
+    def test_float32_drift_pinned(self):
+        from repro.nn import compute_dtype
+
+        gm, updates = self._cohort(6)
+        with compute_dtype(np.float32):
+            gm32 = {k: v.astype(np.float32) for k, v in gm.items()}
+            ups32 = [
+                ClientUpdate(
+                    u.client_name,
+                    {k: v.astype(np.float32) for k, v in u.state.items()},
+                    u.num_samples,
+                )
+                for u in updates
+            ]
+            batched = LatentSpaceAggregation(seed=0, detector_epochs=40)
+            serial = LatentSpaceAggregation(seed=0, detector_epochs=40)
+            norm_b = batched.normalized_summaries(gm32, ups32)
+            e_b = batched.leave_one_out_errors(norm_b, 1, engine="batched")
+            e_s = serial.leave_one_out_errors(norm_b, 1, engine="serial")
+        assert float(np.abs(e_b - e_s).max()) <= 1e-4
+
+    def test_serial_engine_selectable_via_factory(self):
+        spec = make_framework("fedls", D, C, seed=0, detector_engine="serial")
+        assert spec.strategy.detector_engine == "serial"
+        gm, updates = self._cohort(5)
+        out = spec.strategy.aggregate(gm, updates)
+        ref = LatentSpaceAggregation(seed=0).aggregate_serial(gm, updates)
+        for key in gm:
+            np.testing.assert_allclose(out[key], ref[key], atol=1e-10)
+
+
+class TestFedlsRoundDeterminism:
+    """Regression: detector seeds derive from the federation's round
+    index, not from how many times the strategy instance was called."""
+
+    def _cohort(self):
+        gm = _gm_state(0)
+        updates = [_update(100 + i, gm, jitter=0.01) for i in range(4)]
+        updates.append(_update(999, gm, jitter=1.5, malicious=True))
+        return gm, updates
+
+    def test_reset_makes_reruns_identical(self):
+        gm, updates = self._cohort()
+        agg = LatentSpaceAggregation(seed=0, detector_epochs=25)
+        first = agg.aggregate(gm, updates)
+        # undriven calls advance a local round counter (fresh detector
+        # seeds each call) ...
+        agg.aggregate(gm, updates)
+        assert agg._local_round == 2
+        # ... but reset() (what a fresh FederatedServer invokes) restores
+        # the initial state bit for bit
+        agg.reset()
+        assert agg._local_round == 0
+        np.testing.assert_equal(agg.aggregate(gm, updates), first)
+
+    def test_server_round_index_overrides_local_counter(self):
+        gm, updates = self._cohort()
+        agg = LatentSpaceAggregation(seed=0, detector_epochs=25)
+        agg.begin_round(3)
+        driven = agg.aggregate(gm, updates)
+        # a server-driven strategy reuses the announced index: repeated
+        # aggregation of the same round reproduces exactly
+        np.testing.assert_equal(agg.aggregate(gm, updates), driven)
+        undriven = LatentSpaceAggregation(seed=0, detector_epochs=25)
+        undriven.aggregate(gm, updates)  # local rounds 1, 2 ...
+        undriven.aggregate(gm, updates)
+        round3 = undriven.aggregate(gm, updates)
+        np.testing.assert_equal(round3, driven)
+
+    def test_two_fresh_federations_reusing_strategy_agree(self):
+        """The FrameworkSpec-reuse scenario: one strategy instance, two
+        federations of the same cell, identical results."""
+        from repro.fl.client import ClientConfig, FederatedClient
+        from repro.fl.server import FederatedServer
+        from repro.utils.rng import SeedSequence
+
+        strategy = LatentSpaceAggregation(seed=0, detector_epochs=25)
+
+        def run():
+            clients = [
+                FederatedClient(
+                    f"c{i}",
+                    DNNLocalizer(D, C, hidden=(8,), seed=i),
+                    _dataset(24, seed=i),
+                    ClientConfig(epochs=2, lr=0.01),
+                    seeds=SeedSequence(i),
+                )
+                for i in range(3)
+            ]
+            server = FederatedServer(
+                DNNLocalizer(D, C, hidden=(8,), seed=9),
+                strategy,
+                clients,
+                SeedSequence(5),
+            )
+            server.run_rounds(2)
+            return server.model.state_dict()
+
+        np.testing.assert_equal(run(), run())
+
+
+class TestFedlsWarmStart:
+    def _cohort(self, round_seed):
+        gm = _gm_state(0)
+        updates = [
+            _update(100 * round_seed + i, gm, jitter=0.01) for i in range(5)
+        ]
+        updates.append(
+            _update(9000 + round_seed, gm, jitter=1.5, malicious=True)
+        )
+        return gm, updates
+
+    def test_warm_start_defaults_and_factory_keying(self):
+        agg = LatentSpaceAggregation(detector_epochs=120, warm_start=True)
+        assert agg.warm_start_epochs == 30
+        spec = make_framework(
+            "fedls", D, C, seed=0, warm_start=True, warm_start_epochs=10
+        )
+        assert spec.strategy.warm_start
+        assert spec.strategy.warm_start_epochs == 10
+
+    def test_warm_rounds_reuse_detectors_and_still_filter(self):
+        agg = LatentSpaceAggregation(
+            seed=0, detector_epochs=60, warm_start=True, warm_start_epochs=15
+        )
+        assert agg._warm_network is None
+        for round_seed in (1, 2, 3):
+            gm, updates = self._cohort(round_seed)
+            agg.begin_round(round_seed)
+            out = agg.aggregate(gm, updates)
+            # the poisoned update must not drag the aggregate away
+            shift = max(np.abs(out[k] - gm[k]).max() for k in gm)
+            assert shift < 0.5
+        assert agg._warm_network is not None
+        warm_net = agg._warm_network
+        gm, updates = self._cohort(4)
+        agg.begin_round(4)
+        agg.aggregate(gm, updates)
+        assert agg._warm_network is warm_net  # carried, not rebuilt
+
+    def test_cohort_size_change_cold_rebuilds(self):
+        agg = LatentSpaceAggregation(
+            seed=0, detector_epochs=40, warm_start=True
+        )
+        gm, updates = self._cohort(1)
+        agg.begin_round(1)
+        agg.aggregate(gm, updates)
+        warm_net = agg._warm_network
+        agg.begin_round(2)
+        agg.aggregate(gm, updates[:-1])  # one client fewer
+        assert agg._warm_network is not warm_net
+        assert agg._warm_network.n_folds == len(updates) - 1
+
+    def test_reset_clears_warm_state(self):
+        agg = LatentSpaceAggregation(
+            seed=0, detector_epochs=40, warm_start=True
+        )
+        gm, updates = self._cohort(1)
+        agg.aggregate(gm, updates)
+        assert agg._warm_network is not None
+        agg.reset()
+        assert agg._warm_network is None
+        assert agg._local_round == 0
 
 
 class TestOnDeviceAnomalyModel:

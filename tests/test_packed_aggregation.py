@@ -227,6 +227,33 @@ class TestPackedStates:
         )
         np.testing.assert_allclose(fast, slow, rtol=1e-9, atol=1e-12)
 
+    def test_fedls_summaries_handle_tiny_segments(self):
+        """The grouped segment reductions must survive width-1 and scalar
+        tensors (std 0, max == mean|·|) just like the dict path."""
+        rng = np.random.default_rng(4)
+        gm = {
+            "alpha": np.array(0.5),
+            "beta": rng.normal(size=1),
+            "gamma.weight": rng.normal(size=(3, 2)),
+        }
+        updates = [
+            ClientUpdate(
+                f"c{i}",
+                {k: v + 0.1 * np.random.default_rng(i).normal(size=v.shape)
+                 for k, v in gm.items()},
+                5,
+            )
+            for i in range(4)
+        ]
+        packed = PackedStates.from_updates(updates)
+        fast = summarize_packed_deltas(
+            packed.deltas(packed.layout.flatten(gm)), packed.layout
+        )
+        slow = np.stack(
+            [summarize_delta(state_sub(u.state, gm)) for u in updates]
+        )
+        np.testing.assert_allclose(fast, slow, rtol=1e-9, atol=1e-12)
+
 
 NUM_APS, NUM_RPS = 10, 6
 
