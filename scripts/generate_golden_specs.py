@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Regenerate the golden sweep-spec files under ``tests/golden_specs/``.
+
+One spec per registered artefact (paper figures/table + ablations), all
+at the ``tiny`` preset with the default seed — small enough to diff in
+review, big enough to drive the spec-equivalence tests and the CI smoke
+sweep.  Run after any schema or plan-shape change::
+
+    PYTHONPATH=src python scripts/generate_golden_specs.py [--check]
+
+``--check`` regenerates nothing and exits non-zero if any golden file
+would change (the CI drift gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+
+import repro.api as api  # noqa: E402
+from repro.experiments.specio import plan_to_json  # noqa: E402
+from repro.registry import registry  # noqa: E402
+
+GOLDEN_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir,
+    "tests", "golden_specs",
+)
+PRESET = "tiny"
+
+
+def golden_specs() -> dict:
+    """artefact name → spec JSON text, for every registered artefact."""
+    return {
+        name: plan_to_json(
+            api.experiment(name).preset(PRESET).plan()
+        )
+        for name in registry.names("artefacts")
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the files on disk match; write nothing",
+    )
+    args = parser.parse_args()
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    specs = golden_specs()
+    stale = []
+    for name, text in sorted(specs.items()):
+        path = os.path.join(GOLDEN_DIR, f"{name}.json")
+        if args.check:
+            on_disk = None
+            if os.path.exists(path):
+                with open(path) as handle:
+                    on_disk = handle.read()
+            if on_disk != text:
+                stale.append(path)
+            continue
+        with open(path, "w") as handle:
+            handle.write(text)
+        print(f"wrote {os.path.relpath(path)}")
+    if stale:
+        print(
+            "golden specs out of date (rerun "
+            "scripts/generate_golden_specs.py):", file=sys.stderr,
+        )
+        for path in stale:
+            print(f"  {os.path.relpath(path)}", file=sys.stderr)
+        return 1
+    if args.check:
+        print(f"golden specs up to date ({len(specs)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,16 +18,27 @@ plus every substrate it depends on:
 * :mod:`repro.metrics` / :mod:`repro.experiments` — localization error,
   latency and footprint metrics, and one driver per paper figure/table.
 
-Quickstart::
+Quickstart (the :mod:`repro.api` facade is the stable public surface)::
 
-    from repro.experiments import scenarios
-    from repro.experiments.runner import run_framework
+    import repro.api as api
 
-    preset = scenarios.fast_preset()
-    result = run_framework("safeloc", attack="fgsm", preset=preset)
+    result = api.run_single("safeloc", attack="fgsm", preset="fast")
     print(result.error_summary)
+
+    fig6 = api.experiment("fig6").preset("tiny").jobs(4).run()
+    print(fig6.format_report())
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["__version__"]
+__all__ = ["__version__", "api", "registry"]
+
+
+def __getattr__(name):
+    # lazy submodule access: ``import repro; repro.api.experiment(...)``
+    # without paying the experiment-stack import at ``import repro`` time
+    if name in ("api", "registry"):
+        import importlib
+
+        return importlib.import_module(f"repro.{name}")
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,12 +1,17 @@
-"""Framework registry: every comparable system by name.
+"""Framework registration and name-based construction.
 
-Includes SAFELOC itself so experiment drivers can sweep
-``for name in FRAMEWORK_NAMES: make_framework(name, ...)``.
+Since the unified-registry redesign this module is a thin shim: every
+comparable system (SAFELOC itself included, so drivers can sweep
+``for name in FRAMEWORK_NAMES: make_framework(name, ...)``) lives in
+:data:`repro.registry.registry` under the ``frameworks`` namespace, and
+:func:`make_framework` delegates to :meth:`Registry.create`.
+
+Unknown kwargs raise with a did-you-mean suggestion (``strict=False``
+restores the legacy pass-through, where the factory's own ``TypeError``
+was the only guard).
 """
 
 from __future__ import annotations
-
-from typing import Callable, Dict
 
 from repro.baselines.fedcc import make_fedcc
 from repro.baselines.fedhil import make_fedhil
@@ -15,6 +20,7 @@ from repro.baselines.fedls import make_fedls
 from repro.baselines.krum import make_krum
 from repro.baselines.onlad import make_onlad
 from repro.fl.interfaces import FrameworkSpec
+from repro.registry import registry
 
 
 def _make_safeloc(
@@ -26,33 +32,64 @@ def _make_safeloc(
     return make_safeloc(input_dim, num_classes, seed=seed, **kwargs)
 
 
-_FACTORIES: Dict[str, Callable[..., FrameworkSpec]] = {
-    "safeloc": _make_safeloc,
-    "onlad": make_onlad,
-    "fedhil": make_fedhil,
-    "fedcc": make_fedcc,
-    "fedls": make_fedls,
-    "fedloc": make_fedloc,
-    "krum": make_krum,
-}
+for _name, _factory, _paper, _doc, _extra in (
+    ("safeloc", _make_safeloc, True,
+     "SAFELOC: fused AE+classifier with saliency aggregation (this paper)",
+     # forwarded through **kwargs: SafeLocModel + SaliencyAggregation knobs
+     ("tau", "denoise_training_data", "mode", "tolerance", "power",
+      "sharpness", "server_mixing", "adjustment")),
+    ("onlad", make_onlad, True,
+     "ONLAD: separate on-device detector AE + DNN, FedAvg [25]", ()),
+    ("fedhil", make_fedhil, True,
+     "FEDHIL: DNN + selective weight-tensor aggregation [9]", ()),
+    ("fedcc", make_fedcc, True,
+     "FEDCC: DNN + cluster-and-filter aggregation [23]", ()),
+    ("fedls", make_fedls, True,
+     "FEDLS: DNN + server-side latent-space anomaly filter [24]", ()),
+    ("fedloc", make_fedloc, True,
+     "FEDLOC: DNN + FedAvg, no poisoning defense [10]", ()),
+    # beyond the paper's Fig. 6 comparison set
+    ("krum", make_krum, False,
+     "KRUM: MLP + Byzantine-robust single-LM selection [22]", ()),
+):
+    # replace=True gives the built-ins authority over their names even
+    # if an entry-point plugin registered first
+    registry.add(
+        "frameworks",
+        _name,
+        _factory,
+        paper=_paper,
+        doc=_doc,
+        extra_kwargs=_extra,
+        replace=True,
+    )
 
-#: Fig. 6 / Table I comparison set, in the paper's ranking order, plus KRUM.
-FRAMEWORK_NAMES = tuple(_FACTORIES)
-COMPARISON_FRAMEWORKS = ("safeloc", "onlad", "fedhil", "fedcc", "fedls", "fedloc")
+#: Fig. 6 / Table I comparison set, in the paper's ranking order
+#: (fixed by the paper, not a registry query), plus KRUM.
+COMPARISON_FRAMEWORKS = (
+    "safeloc", "onlad", "fedhil", "fedcc", "fedls", "fedloc"
+)
+FRAMEWORK_NAMES = (*COMPARISON_FRAMEWORKS, "krum")
 
 
 def make_framework(
-    name: str, input_dim: int, num_classes: int, seed: int = 0, **kwargs
+    name: str,
+    input_dim: int,
+    num_classes: int,
+    seed: int = 0,
+    strict: bool = True,
+    **kwargs,
 ) -> FrameworkSpec:
     """Build a framework bundle by name.
 
-    Extra keyword arguments go to the framework factory (e.g. ``tau`` and
-    ``server_mixing`` for SAFELOC).
+    Extra keyword arguments go to the framework factory (e.g. ``tau``
+    and ``server_mixing`` for SAFELOC).  Kwargs no registered framework
+    accepts raise :class:`~repro.registry.UnknownComponentKwarg` with a
+    did-you-mean hint; kwargs only another framework accepts are
+    filtered so sweeps can share one kwargs set.  ``strict=False``
+    restores silent filtering.
     """
-    try:
-        factory = _FACTORIES[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown framework {name!r}; choices: {sorted(_FACTORIES)}"
-        ) from None
-    return factory(input_dim, num_classes, seed=seed, **kwargs)
+    return registry.create(
+        "frameworks", name, input_dim, num_classes,
+        strict=strict, seed=seed, **kwargs,
+    )

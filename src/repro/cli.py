@@ -1,5 +1,11 @@
 """Command-line interface: ``python -m repro <command>``.
 
+A thin shell over the :mod:`repro.api` facade — every subcommand builds
+the same declarative :class:`~repro.experiments.engine.SweepPlan` a
+library caller would and prints the structured result the facade
+returns, so CLI, Python API and spec files are three spellings of one
+pipeline with bit-identical tables.
+
 Commands:
 
 * ``experiment <artefact> [--preset fast]`` — regenerate one paper
@@ -8,12 +14,14 @@ Commands:
   (``aggregation``, ``denoise``, ``self-labeling``);
 * ``run <framework> [--attack fgsm --epsilon 0.5]`` — one federation and
   its error summary;
-* ``info`` — package, framework and preset inventory.
+* ``sweep --spec plan.json`` — execute a serialized sweep spec;
+* ``validate <spec.json> [...]`` — schema-check spec files;
+* ``info`` — the unified component registry's inventory.
 
-``experiment`` and ``ablation`` run through the scenario engine and
-accept ``--jobs N`` (parallel cells, bit-identical to sequential),
-``--cache-dir PATH`` (on-disk artifact cache shared across invocations)
-and ``--resume`` (skip cells already finished in the cache dir).
+``experiment``, ``ablation`` and ``sweep`` accept ``--jobs N``
+(parallel cells, bit-identical to sequential), ``--cache-dir PATH``
+(on-disk artifact cache shared across invocations) and ``--resume``
+(skip cells already finished in the cache dir).
 """
 
 from __future__ import annotations
@@ -24,86 +32,76 @@ import time
 from typing import List, Optional
 
 from repro import __version__
-from repro.attacks.registry import ATTACK_NAMES
-from repro.baselines.registry import FRAMEWORK_NAMES
-from repro.experiments.scenarios import PRESETS, get_preset
+from repro.registry import registry
 
+# literal mirrors of artefact_registry's PAPER_ARTEFACTS /
+# ABLATION_ARTEFACTS keys: parser construction must not import the whole
+# experiment stack (tests assert these stay in sync)
 _ARTEFACTS = ("table1", "fig1", "fig4", "fig5", "fig6", "fig7")
 _ABLATIONS = ("aggregation", "denoise", "self-labeling")
 
 
-def _artefact_driver(name: str):
-    from repro.experiments.fig1_motivation import run_fig1
-    from repro.experiments.fig4_threshold import run_fig4
-    from repro.experiments.fig5_heatmap import run_fig5
-    from repro.experiments.fig6_comparison import run_fig6
-    from repro.experiments.fig7_scalability import run_fig7
-    from repro.experiments.table1_overheads import run_table1
+def _api():
+    # deferred so `repro --version` / usage errors stay import-light
+    import repro.api as api
 
-    return {
-        "fig1": run_fig1,
-        "fig4": run_fig4,
-        "fig5": run_fig5,
-        "fig6": run_fig6,
-        "fig7": run_fig7,
-        "table1": run_table1,
-    }[name]
+    return api
 
 
-def _make_engine(args: argparse.Namespace):
-    from repro.experiments.engine import SweepEngine
-
-    return SweepEngine(
-        jobs=args.jobs, cache_dir=args.cache_dir, resume=args.resume
+def _builder(artefact: str, args: argparse.Namespace):
+    return (
+        _api().experiment(artefact)
+        .preset(args.preset)
+        .seed(args.seed)
+        .jobs(args.jobs)
+        .cache(args.cache_dir)
+        .resume(args.resume)
     )
 
 
+def _print_result(result) -> None:
+    print(result.format_report())
+    if getattr(result, "sweep", None) is not None:
+        print(f"[{result.sweep.format_stats()}]")
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    preset = get_preset(args.preset, seed=args.seed)
     names = _ARTEFACTS if args.artefact == "all" else (args.artefact,)
     # one engine for all artefacts: pre-trains cached by one figure are
     # reused by every later figure that shares them
-    engine = _make_engine(args)
+    engine = _builder(names[0], args).build_engine()
     for name in names:
         start = time.time()
-        result = _artefact_driver(name)(preset, engine=engine)
-        print(result.format_report())
-        if result.sweep is not None:
-            print(f"[{result.sweep.format_stats()}]")
+        result = _builder(name, args).engine(engine).run()
+        _print_result(result)
         print(f"[{name} regenerated in {time.time() - start:.0f}s]\n")
     return 0
 
 
 def _cmd_ablation(args: argparse.Namespace) -> int:
-    from repro.experiments.ablations import (
-        run_aggregation_ablation,
-        run_denoise_ablation,
-        run_self_labeling_ablation,
+    api = _api()
+    result = (
+        api.ablation(args.axis)
+        .preset(args.preset)
+        .seed(args.seed)
+        .jobs(args.jobs)
+        .cache(args.cache_dir)
+        .resume(args.resume)
+        .run()
     )
-
-    driver = {
-        "aggregation": run_aggregation_ablation,
-        "denoise": run_denoise_ablation,
-        "self-labeling": run_self_labeling_ablation,
-    }[args.axis]
-    preset = get_preset(args.preset, seed=args.seed)
-    result = driver(preset, engine=_make_engine(args))
-    print(result.format_report())
-    if result.sweep is not None:
-        print(f"[{result.sweep.format_stats()}]")
+    _print_result(result)
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.experiments.runner import run_framework
-
-    preset = get_preset(args.preset, seed=args.seed)
-    result = run_framework(
+    api = _api()
+    result = api.run_single(
         args.framework,
-        preset,
+        preset=args.preset,
+        seed=args.seed,
         attack=args.attack,
         epsilon=args.epsilon,
-        building_name=args.building,
+        building=args.building,
     )
     print(
         f"{result.framework} / {result.attack} eps={result.epsilon} on "
@@ -115,13 +113,62 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    api = _api()
+    try:
+        result = api.run_spec(
+            args.spec,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            resume=args.resume,
+        )
+    except api.SpecValidationError as error:
+        print(error, file=sys.stderr)
+        return 1
+    if hasattr(result, "format_report"):
+        _print_result(result)
+    else:  # free-form plan: generic cell table + stats
+        print(api.format_sweep_table(result))
+        print(f"[{result.format_stats()}]")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    api = _api()
+    failures = 0
+    for path in args.specs:
+        try:
+            plan = api.validate_spec(path)
+        except api.SpecValidationError as error:
+            print(error, file=sys.stderr)
+            failures += 1
+            continue
+        print(
+            f"{path}: OK — plan {plan.name!r} [{plan.preset.name}], "
+            f"{len(plan.cells)} cells"
+        )
+    return 1 if failures else 0
+
+
+def _format_defaults(defaults: dict) -> str:
+    if not defaults:
+        return ""
+    return ", ".join(f"{key}={value!r}" for key, value in sorted(defaults.items()))
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     del args
     print(f"repro {__version__} — SAFELOC reproduction (DATE 2025)")
-    print(f"frameworks: {', '.join(FRAMEWORK_NAMES)}")
-    print(f"attacks:    {', '.join(ATTACK_NAMES)}")
-    print(f"presets:    {', '.join(PRESETS)}")
-    print(f"artefacts:  {', '.join(_ARTEFACTS)} (or 'all')")
+    for namespace, components in _api().info().items():
+        print(f"\n{namespace}:")
+        width = max(len(entry["name"]) for entry in components)
+        for entry in components:
+            origin = "paper" if entry["paper"] else "extension"
+            line = f"  {entry['name']:<{width}}  [{origin:<9}]  {entry['doc']}"
+            defaults = _format_defaults(entry["defaults"])
+            if defaults:
+                line += f" (defaults: {defaults})"
+            print(line)
     return 0
 
 
@@ -148,6 +195,7 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    presets = registry.names("presets")
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SAFELOC reproduction command-line interface",
@@ -157,28 +205,43 @@ def build_parser() -> argparse.ArgumentParser:
 
     exp = sub.add_parser("experiment", help="regenerate a paper artefact")
     exp.add_argument("artefact", choices=(*_ARTEFACTS, "all"))
-    exp.add_argument("--preset", default="fast", choices=tuple(PRESETS))
+    exp.add_argument("--preset", default="fast", choices=presets)
     exp.add_argument("--seed", type=int, default=42)
     _add_engine_options(exp)
     exp.set_defaults(func=_cmd_experiment)
 
     abl = sub.add_parser("ablation", help="run an ablation study")
     abl.add_argument("axis", choices=_ABLATIONS)
-    abl.add_argument("--preset", default="fast", choices=tuple(PRESETS))
+    abl.add_argument("--preset", default="fast", choices=presets)
     abl.add_argument("--seed", type=int, default=42)
     _add_engine_options(abl)
     abl.set_defaults(func=_cmd_ablation)
 
     run = sub.add_parser("run", help="one federation under one scenario")
-    run.add_argument("framework", choices=FRAMEWORK_NAMES)
-    run.add_argument("--attack", choices=ATTACK_NAMES, default=None)
+    run.add_argument("framework", choices=registry.names("frameworks"))
+    run.add_argument("--attack", choices=registry.names("attacks"), default=None)
     run.add_argument("--epsilon", type=float, default=0.5)
     run.add_argument("--building", default=None)
-    run.add_argument("--preset", default="fast", choices=tuple(PRESETS))
+    run.add_argument("--preset", default="fast", choices=presets)
     run.add_argument("--seed", type=int, default=42)
     run.set_defaults(func=_cmd_run)
 
-    info = sub.add_parser("info", help="package inventory")
+    swp = sub.add_parser(
+        "sweep", help="execute a serialized sweep spec (JSON plan file)"
+    )
+    swp.add_argument(
+        "--spec", required=True, help="path to a sweep-spec JSON file"
+    )
+    _add_engine_options(swp)
+    swp.set_defaults(func=_cmd_sweep)
+
+    val = sub.add_parser(
+        "validate", help="schema-check sweep-spec files without running them"
+    )
+    val.add_argument("specs", nargs="+", help="spec JSON files to check")
+    val.set_defaults(func=_cmd_validate)
+
+    info = sub.add_parser("info", help="unified component registry inventory")
     info.set_defaults(func=_cmd_info)
     return parser
 

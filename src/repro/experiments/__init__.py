@@ -23,6 +23,7 @@ exact code paths of the ``paper`` preset.
 """
 
 from repro.experiments.engine import (
+    SPEC_SCHEMA_VERSION,
     CellResult,
     ScenarioSpec,
     SweepEngine,
@@ -36,8 +37,15 @@ from repro.experiments.scenarios import (
     Preset,
     fast32_preset,
     fast_preset,
+    get_preset,
     paper_preset,
     tiny_preset,
+)
+from repro.experiments.specio import (
+    SpecValidationError,
+    load_plan,
+    save_plan,
+    validate_plan_payload,
 )
 
 __all__ = [
@@ -46,6 +54,7 @@ __all__ = [
     "fast32_preset",
     "paper_preset",
     "tiny_preset",
+    "get_preset",
     "ExperimentResult",
     "run_framework",
     "ScenarioSpec",
@@ -55,4 +64,9 @@ __all__ = [
     "SweepResult",
     "CellResult",
     "run_plan",
+    "SPEC_SCHEMA_VERSION",
+    "SpecValidationError",
+    "load_plan",
+    "save_plan",
+    "validate_plan_payload",
 ]

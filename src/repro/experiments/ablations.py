@@ -94,6 +94,37 @@ def _ablation_cell(
     )
 
 
+#: report axis label per plan name (what the table header shows)
+AXIS_BY_PLAN = {
+    "ablation-aggregation": "aggregation",
+    "ablation-denoise": "client-denoise",
+    "ablation-self-labeling": "self-labeling",
+}
+
+
+def collect_ablation(plan: SweepPlan, sweep: SweepResult) -> AblationResult:
+    """Index an executed ablation plan into its result shape; the axis
+    comes from the plan name, the variant and scenario order from the
+    cell labels (``variant/scenario``), so a spec carrying a cell
+    subset still reports every cell it ran."""
+    errors = {}
+    for cell in sweep.cells:
+        variant, scenario_label = cell.spec.label.split("/", 1)
+        errors[(variant, scenario_label)] = cell.error_summary.mean
+    return AblationResult(
+        axis=AXIS_BY_PLAN.get(plan.name, plan.name),
+        errors=errors,
+        variants=tuple(
+            dict.fromkeys(cell.label.split("/", 1)[0] for cell in plan.cells)
+        ),
+        scenarios=tuple(
+            dict.fromkeys(cell.label.split("/", 1)[1] for cell in plan.cells)
+        ),
+        preset_name=plan.preset.name,
+        sweep=sweep,
+    )
+
+
 def _collect(
     preset: Preset,
     axis: str,
@@ -102,19 +133,8 @@ def _collect(
     engine: Optional[SweepEngine],
 ) -> AblationResult:
     """Run an ablation plan and index errors by (variant, scenario)."""
-    sweep = (engine or SweepEngine()).run(plan)
-    errors = {}
-    for cell in sweep.cells:
-        variant, scenario_label = cell.spec.label.split("/", 1)
-        errors[(variant, scenario_label)] = cell.error_summary.mean
-    return AblationResult(
-        axis=axis,
-        errors=errors,
-        variants=variants,
-        scenarios=tuple(label for label, _, _ in _scenarios(preset)),
-        preset_name=preset.name,
-        sweep=sweep,
-    )
+    del preset, axis, variants  # derived from the plan since the redesign
+    return collect_ablation(plan, (engine or SweepEngine()).run(plan))
 
 
 def plan_aggregation_ablation(preset: Preset) -> SweepPlan:

@@ -37,8 +37,10 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.registry import UnknownComponent, registry
 
 from repro.attacks import create_attack
 from repro.baselines.registry import make_framework
@@ -59,6 +61,12 @@ from repro.utils.logging import get_logger
 from repro.utils.rng import SeedSequence
 
 logger = get_logger("experiments.engine")
+
+#: on-disk sweep-spec format marker + version.  Bump the version whenever
+#: the meaning of a serialized plan changes; :mod:`repro.experiments.specio`
+#: rejects files written under any other version with a clear message.
+SPEC_FORMAT = "repro.sweep-plan"
+SPEC_SCHEMA_VERSION = 1
 
 #: framework kwargs that provably do not alter the pre-trained weights —
 #: they configure the untrusted-data defense or the aggregation strategy,
@@ -146,6 +154,28 @@ def _named_strategies() -> Dict[str, Callable[[], object]]:
     return factories
 
 
+for _name, _paper, _doc in (
+    ("saliency-relative", True,
+     "SAFELOC saliency aggregation, cohort-normalized mode (eq. 6-9)"),
+    ("saliency-absolute", True,
+     "SAFELOC saliency aggregation, verbatim absolute eq. 7"),
+    ("fedavg", True, "Plain federated averaging (no poisoning defense)"),
+    ("coordinate-median", False, "Coordinate-wise cohort median"),
+    ("trimmed-mean", False, "Coordinate-wise trimmed mean (trim=1)"),
+    ("norm-clipping", False, "Update-norm clipping before averaging"),
+):
+    # replace=True gives the built-ins authority over their names even
+    # if an entry-point plugin registered first
+    registry.add(
+        "aggregations",
+        _name,
+        (lambda _n: lambda: _named_strategies()[_n]())(_name),
+        paper=_paper,
+        doc=_doc,
+        replace=True,
+    )
+
+
 @dataclass(frozen=True)
 class ScenarioSpec:
     """One declarative cell of a sweep.
@@ -196,6 +226,34 @@ class ScenarioSpec:
         )
         return payload
 
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-native payload (``framework_kwargs`` as a mapping);
+        :meth:`from_dict` inverts it exactly."""
+        payload = asdict(self)
+        payload["framework_kwargs"] = dict(self.framework_kwargs)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output or a hand-written
+        cell; ``framework_kwargs`` may be a mapping or ``(key, value)``
+        pairs (they are canonically sorted either way)."""
+        known = {f.name for f in fields(cls)}
+        data = dict(payload)
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise UnknownComponent("cell fields", unknown[0], known)
+        raw_kwargs = data.pop("framework_kwargs", {})
+        if isinstance(raw_kwargs, dict):
+            pairs = raw_kwargs.items()
+        else:
+            pairs = ((key, value) for key, value in raw_kwargs)
+        data["framework_kwargs"] = tuple(sorted(pairs))
+        if "epsilon" in data:
+            data["epsilon"] = float(data["epsilon"])
+        return cls(**data)
+
 
 def scenario(
     framework: str = "safeloc",
@@ -213,12 +271,10 @@ def scenario(
     label: str = "",
 ) -> ScenarioSpec:
     """Ergonomic :class:`ScenarioSpec` constructor (kwargs as a dict);
-    validates the strategy name against :data:`STRATEGY_VARIANT_NAMES`."""
-    if strategy is not None and strategy not in STRATEGY_VARIANT_NAMES:
-        raise ValueError(
-            f"unknown strategy {strategy!r}; "
-            f"choices: {STRATEGY_VARIANT_NAMES}"
-        )
+    validates the strategy name against the ``aggregations`` registry
+    namespace (built-in variants and registered plugins alike)."""
+    if strategy is not None:
+        registry.get("aggregations", strategy)  # raises with did-you-mean
     return ScenarioSpec(
         framework=framework,
         attack=attack,
@@ -257,6 +313,44 @@ class SweepPlan:
             raise ValueError(f"plan {self.name!r} has no cells")
         if self.kind not in ("federation", "footprint"):
             raise ValueError(f"unknown plan kind {self.kind!r}")
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Versioned JSON-native payload — the on-disk sweep-spec format
+        (``repro sweep --spec``); :meth:`from_dict` inverts it exactly."""
+        return {
+            "format": SPEC_FORMAT,
+            "schema_version": SPEC_SCHEMA_VERSION,
+            "name": self.name,
+            "kind": self.kind,
+            "preset": self.preset.to_dict(),
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    @classmethod
+    def from_dict(
+        cls, payload: Dict[str, object], validate: bool = True
+    ) -> "SweepPlan":
+        """Rebuild a plan from :meth:`to_dict` output.
+
+        With ``validate=True`` (default) the payload is first checked
+        against the spec schema — version, field types, registered
+        component names, kwarg typos — and a
+        :class:`~repro.experiments.specio.SpecValidationError` listing
+        every problem is raised before any construction is attempted.
+        """
+        if validate:
+            from repro.experiments.specio import validate_plan_payload
+
+            validate_plan_payload(payload)
+        return cls(
+            name=payload["name"],
+            kind=payload.get("kind", "federation"),
+            preset=Preset.from_dict(payload["preset"]),
+            cells=tuple(
+                ScenarioSpec.from_dict(cell) for cell in payload["cells"]
+            ),
+        )
 
 
 @dataclass
@@ -488,7 +582,7 @@ class SweepEngine:
             **spec.kwargs,
         )
         strategy = (
-            _named_strategies()[spec.strategy]()
+            registry.create("aggregations", spec.strategy)
             if spec.strategy
             else framework.strategy
         )

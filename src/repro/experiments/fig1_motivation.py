@@ -34,12 +34,15 @@ class Fig1Result:
     sweep: Optional[SweepResult] = None
 
     def inflation(self, framework: str, scenario: str) -> float:
-        """Mean-error inflation of a scenario vs the clean baseline."""
-        clean = self.summaries[(framework, "clean")].mean
+        """Mean-error inflation of a scenario vs the clean baseline
+        (NaN when a cell-subset spec dropped the clean cells)."""
+        baseline = self.summaries.get((framework, "clean"))
+        if baseline is None:
+            return float("nan")
         attacked = self.summaries[(framework, scenario)].mean
-        if clean == 0:
+        if baseline.mean == 0:
             return float("inf")
-        return attacked / clean
+        return attacked / baseline.mean
 
     def format_report(self) -> str:
         rows: List[tuple] = []
@@ -84,10 +87,9 @@ def plan_fig1(preset: Preset) -> SweepPlan:
     return SweepPlan(name="fig1", preset=preset, cells=tuple(cells))
 
 
-def run_fig1(preset: Preset, engine: Optional[SweepEngine] = None) -> Fig1Result:
-    """Reproduce Fig. 1, pooling errors across the preset's buildings
-    (the paper aggregates "across diverse building floorplans")."""
-    sweep = (engine or SweepEngine()).run(plan_fig1(preset))
+def collect_fig1(plan: SweepPlan, sweep: SweepResult) -> Fig1Result:
+    """Index an executed Fig. 1 plan into its result shape, pooling
+    errors across the plan's buildings."""
     per_key: Dict[Tuple[str, str], List[ErrorSummary]] = {}
     for cell in sweep.cells:
         key = (cell.spec.framework, cell.spec.label)
@@ -97,5 +99,12 @@ def run_fig1(preset: Preset, engine: Optional[SweepEngine] = None) -> Fig1Result
         for key, per_building in per_key.items()
     }
     return Fig1Result(
-        summaries=summaries, preset_name=preset.name, sweep=sweep
+        summaries=summaries, preset_name=plan.preset.name, sweep=sweep
     )
+
+
+def run_fig1(preset: Preset, engine: Optional[SweepEngine] = None) -> Fig1Result:
+    """Reproduce Fig. 1, pooling errors across the preset's buildings
+    (the paper aggregates "across diverse building floorplans")."""
+    plan = plan_fig1(preset)
+    return collect_fig1(plan, (engine or SweepEngine()).run(plan))

@@ -83,9 +83,13 @@ def plan_fig4(preset: Preset) -> SweepPlan:
     return SweepPlan(name="fig4", preset=preset, cells=tuple(cells))
 
 
-def run_fig4(preset: Preset, engine: Optional[SweepEngine] = None) -> Fig4Result:
-    """Reproduce the τ sweep across the preset's buildings."""
-    sweep = (engine or SweepEngine()).run(plan_fig4(preset))
+def collect_fig4(plan: SweepPlan, sweep: SweepResult) -> Fig4Result:
+    """Index an executed Fig. 4 plan into its result shape.
+
+    Report axes are read off the plan's cells (cell order matches the
+    preset grids for the stock plan), so a spec carrying a cell subset
+    still reports every cell it ran."""
+    default_building = plan.preset.buildings[0]
     per_cell: Dict[Tuple[float, str], List[float]] = {}
     for cell in sweep.cells:
         tau = cell.spec.kwargs["tau"]
@@ -97,8 +101,20 @@ def run_fig4(preset: Preset, engine: Optional[SweepEngine] = None) -> Fig4Result
     }
     return Fig4Result(
         errors=errors,
-        tau_grid=preset.tau_grid,
-        buildings=preset.buildings,
-        preset_name=preset.name,
+        tau_grid=tuple(
+            dict.fromkeys(cell.kwargs["tau"] for cell in plan.cells)
+        ),
+        buildings=tuple(
+            dict.fromkeys(
+                cell.building or default_building for cell in plan.cells
+            )
+        ),
+        preset_name=plan.preset.name,
         sweep=sweep,
     )
+
+
+def run_fig4(preset: Preset, engine: Optional[SweepEngine] = None) -> Fig4Result:
+    """Reproduce the τ sweep across the preset's buildings."""
+    plan = plan_fig4(preset)
+    return collect_fig4(plan, (engine or SweepEngine()).run(plan))

@@ -63,11 +63,12 @@ def plan_fig5(preset: Preset) -> SweepPlan:
     return SweepPlan(name="fig5", preset=preset, cells=cells)
 
 
-def run_fig5(preset: Preset, engine: Optional[SweepEngine] = None) -> Fig5Result:
-    """Reproduce the attack × ε heatmap; each cell pools the preset's
-    buildings ("mean localization error across all devices, buildings,
-    and RPs", §V.C)."""
-    sweep = (engine or SweepEngine()).run(plan_fig5(preset))
+def collect_fig5(plan: SweepPlan, sweep: SweepResult) -> Fig5Result:
+    """Index an executed Fig. 5 plan into its heatmap result shape.
+
+    Report axes are read off the plan's cells (cell order matches the
+    preset grids for the stock plan), so a spec carrying a cell subset
+    still reports every cell it ran."""
     per_cell: Dict[Tuple[str, float], List[ErrorSummary]] = {}
     for cell in sweep.cells:
         per_cell.setdefault(
@@ -78,8 +79,18 @@ def run_fig5(preset: Preset, engine: Optional[SweepEngine] = None) -> Fig5Result
     }
     return Fig5Result(
         errors=errors,
-        attacks=preset.attacks,
-        epsilon_grid=preset.epsilon_grid,
-        preset_name=preset.name,
+        attacks=tuple(dict.fromkeys(cell.attack for cell in plan.cells)),
+        epsilon_grid=tuple(
+            dict.fromkeys(cell.epsilon for cell in plan.cells)
+        ),
+        preset_name=plan.preset.name,
         sweep=sweep,
     )
+
+
+def run_fig5(preset: Preset, engine: Optional[SweepEngine] = None) -> Fig5Result:
+    """Reproduce the attack × ε heatmap; each cell pools the preset's
+    buildings ("mean localization error across all devices, buildings,
+    and RPs", §V.C)."""
+    plan = plan_fig5(preset)
+    return collect_fig5(plan, (engine or SweepEngine()).run(plan))

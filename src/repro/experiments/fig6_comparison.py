@@ -80,14 +80,11 @@ def plan_fig6(
     return SweepPlan(name="fig6", preset=preset, cells=cells)
 
 
-def run_fig6(
-    preset: Preset,
-    frameworks: Tuple[str, ...] = COMPARISON_FRAMEWORKS,
-    engine: Optional[SweepEngine] = None,
-) -> Fig6Result:
-    """Reproduce the Fig. 6 comparison, pooling across the preset's
-    buildings ("results are aggregated across all buildings", §V.D)."""
-    sweep = (engine or SweepEngine()).run(plan_fig6(preset, frameworks))
+def collect_fig6(plan: SweepPlan, sweep: SweepResult) -> Fig6Result:
+    """Index an executed Fig. 6 plan into its result shape; the
+    framework and attack sets (and their report order) are read off the
+    plan's cells, so a spec carrying a cell subset still reports every
+    cell it ran."""
     per_cell: Dict[Tuple[str, str], List[ErrorSummary]] = {}
     for cell in sweep.cells:
         per_cell.setdefault(
@@ -99,8 +96,21 @@ def run_fig6(
     }
     return Fig6Result(
         summaries=summaries,
-        frameworks=frameworks,
-        attacks=preset.attacks,
-        preset_name=preset.name,
+        frameworks=tuple(
+            dict.fromkeys(cell.framework for cell in plan.cells)
+        ),
+        attacks=tuple(dict.fromkeys(cell.attack for cell in plan.cells)),
+        preset_name=plan.preset.name,
         sweep=sweep,
     )
+
+
+def run_fig6(
+    preset: Preset,
+    frameworks: Tuple[str, ...] = COMPARISON_FRAMEWORKS,
+    engine: Optional[SweepEngine] = None,
+) -> Fig6Result:
+    """Reproduce the Fig. 6 comparison, pooling across the preset's
+    buildings ("results are aggregated across all buildings", §V.D)."""
+    plan = plan_fig6(preset, frameworks)
+    return collect_fig6(plan, (engine or SweepEngine()).run(plan))

@@ -82,9 +82,10 @@ def plan_fig7(preset: Preset) -> SweepPlan:
     return SweepPlan(name="fig7", preset=preset, cells=cells)
 
 
-def run_fig7(preset: Preset, engine: Optional[SweepEngine] = None) -> Fig7Result:
-    """Reproduce the scalability sweep on the preset's first building."""
-    sweep = (engine or SweepEngine()).run(plan_fig7(preset))
+def collect_fig7(plan: SweepPlan, sweep: SweepResult) -> Fig7Result:
+    """Index an executed Fig. 7 plan into its result shape; framework
+    and grid order are read off the plan's cells, so a spec carrying a
+    cell subset still reports every cell it ran."""
     errors = {
         (cell.spec.framework, (cell.spec.num_clients, cell.spec.num_malicious)):
             cell.error_summary.mean
@@ -92,8 +93,21 @@ def run_fig7(preset: Preset, engine: Optional[SweepEngine] = None) -> Fig7Result
     }
     return Fig7Result(
         errors=errors,
-        frameworks=SCALABILITY_FRAMEWORKS,
-        grid=preset.scalability_grid,
-        preset_name=preset.name,
+        frameworks=tuple(
+            dict.fromkeys(cell.framework for cell in plan.cells)
+        ),
+        grid=tuple(
+            dict.fromkeys(
+                (cell.num_clients, cell.num_malicious)
+                for cell in plan.cells
+            )
+        ),
+        preset_name=plan.preset.name,
         sweep=sweep,
     )
+
+
+def run_fig7(preset: Preset, engine: Optional[SweepEngine] = None) -> Fig7Result:
+    """Reproduce the scalability sweep on the preset's first building."""
+    plan = plan_fig7(preset)
+    return collect_fig7(plan, (engine or SweepEngine()).run(plan))

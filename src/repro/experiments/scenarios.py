@@ -11,11 +11,12 @@ Three scales, identical code paths:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Dict, Optional, Tuple
 
 from repro.data.buildings import Building, get_building, scaled_building
 from repro.fl.simulation import FederationConfig
+from repro.registry import registry
 
 
 @dataclass(frozen=True)
@@ -102,6 +103,63 @@ class Preset:
             max_workers=self.max_workers,
         )
 
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-native payload (tuples as lists) losslessly describing
+        this preset; :meth:`from_dict` inverts it exactly."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "buildings": list(self.buildings),
+            "rp_fraction": self.rp_fraction,
+            "ap_fraction": self.ap_fraction,
+            "num_clients": self.num_clients,
+            "num_malicious": self.num_malicious,
+            "num_rounds": self.num_rounds,
+            "client_epochs": self.client_epochs,
+            "client_lr": self.client_lr,
+            "malicious_epochs": self.malicious_epochs,
+            "malicious_lr": self.malicious_lr,
+            "client_fingerprints_per_rp": self.client_fingerprints_per_rp,
+            "pretrain_epochs": self.pretrain_epochs,
+            "pretrain_lr": self.pretrain_lr,
+            "epsilon_grid": list(self.epsilon_grid),
+            "tau_grid": list(self.tau_grid),
+            "attacks": list(self.attacks),
+            "default_epsilon": self.default_epsilon,
+            "scalability_grid": [list(pair) for pair in self.scalability_grid],
+            "latency_repeats": self.latency_repeats,
+            "max_workers": self.max_workers,
+            "compute_dtype": self.compute_dtype,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Preset":
+        """Rebuild a preset from :meth:`to_dict` output (or a hand-written
+        spec file); unknown or missing fields raise with the field named."""
+        from repro.registry import UnknownComponent
+
+        known = {f.name for f in fields(cls)}
+        data = dict(payload)
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise UnknownComponent("preset fields", unknown[0], known)
+        if "name" not in data:
+            raise ValueError("preset payload is missing the 'name' field")
+        for grid in ("buildings", "epsilon_grid", "tau_grid", "attacks"):
+            if grid in data:
+                data[grid] = tuple(data[grid])
+        if "epsilon_grid" in data:
+            data["epsilon_grid"] = tuple(float(e) for e in data["epsilon_grid"])
+        if "tau_grid" in data:
+            data["tau_grid"] = tuple(float(t) for t in data["tau_grid"])
+        if "scalability_grid" in data:
+            data["scalability_grid"] = tuple(
+                (int(total), int(poisoned))
+                for total, poisoned in data["scalability_grid"]
+            )
+        return cls(**data)
+
 
 def tiny_preset(seed: int = 42) -> Preset:
     """Seconds-scale preset for tests: one small building, few rounds."""
@@ -171,6 +229,24 @@ def paper_preset(seed: int = 42) -> Preset:
     )
 
 
+for _name, _factory, _paper, _doc in (
+    ("tiny", tiny_preset, False,
+     "Seconds-scale preset for tests: one small building, few rounds"),
+    ("fast", fast_preset, False,
+     "Minutes-scale preset used by the benchmark harness"),
+    ("fast32", fast32_preset, False,
+     "The fast preset on the float32 compute path"),
+    ("paper", paper_preset, True,
+     "The paper's §V.A configuration — hours of CPU"),
+):
+    # replace=True gives the built-ins authority over their names even
+    # if an entry-point plugin registered first
+    registry.add(
+        "presets", _name, _factory, paper=_paper, doc=_doc, replace=True
+    )
+
+#: legacy name→factory mapping (built-ins only; ``get_preset`` also
+#: resolves registry plugins)
 PRESETS = {
     "tiny": tiny_preset,
     "fast": fast_preset,
@@ -180,10 +256,5 @@ PRESETS = {
 
 
 def get_preset(name: str, seed: int = 42) -> Preset:
-    """Preset lookup by name."""
-    try:
-        return PRESETS[name](seed)
-    except KeyError:
-        raise KeyError(
-            f"unknown preset {name!r}; choices: {sorted(PRESETS)}"
-        ) from None
+    """Preset lookup by name (did-you-mean on unknown names)."""
+    return registry.create("presets", name, seed)

@@ -69,15 +69,18 @@ class Table1Result:
 
     def format_report(self) -> str:
         rows: List[tuple] = []
-        for name in COMPARISON_FRAMEWORKS:
+        # insertion order == plan cell order (COMPARISON_FRAMEWORKS for
+        # the stock plan); paper columns are blank for frameworks the
+        # paper does not report
+        for name in self.parameters:
             rows.append(
                 (
                     name,
                     self.latencies[name].median_ms,
                     self.macs[name],
                     self.parameters[name],
-                    PAPER_LATENCY_MS[name],
-                    PAPER_PARAMETERS[name],
+                    PAPER_LATENCY_MS.get(name, "-"),
+                    PAPER_PARAMETERS.get(name, "-"),
                 )
             )
         return format_table(
@@ -105,11 +108,8 @@ def plan_table1(preset: Preset) -> SweepPlan:
     )
 
 
-def run_table1(
-    preset: Preset, engine: Optional[SweepEngine] = None
-) -> Table1Result:
-    """Measure every framework's footprint at the paper's Table I scale."""
-    sweep = (engine or SweepEngine()).run(plan_table1(preset))
+def collect_table1(plan: SweepPlan, sweep: SweepResult) -> Table1Result:
+    """Index an executed Table I plan into its result shape."""
     latencies: Dict[str, LatencyReport] = {}
     parameters: Dict[str, int] = {}
     macs: Dict[str, int] = {}
@@ -127,6 +127,14 @@ def run_table1(
         latencies=latencies,
         parameters=parameters,
         macs=macs,
-        preset_name=preset.name,
+        preset_name=plan.preset.name,
         sweep=sweep,
     )
+
+
+def run_table1(
+    preset: Preset, engine: Optional[SweepEngine] = None
+) -> Table1Result:
+    """Measure every framework's footprint at the paper's Table I scale."""
+    plan = plan_table1(preset)
+    return collect_table1(plan, (engine or SweepEngine()).run(plan))

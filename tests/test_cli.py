@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import os
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -12,6 +14,21 @@ class TestParser:
         assert "safeloc" in out
         assert "fgsm" in out
         assert "fast" in out
+
+    def test_info_enumerates_unified_registry(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        # every namespace section, paper-vs-extension flags, defaults
+        for section in ("frameworks:", "attacks:", "aggregations:",
+                        "presets:", "artefacts:"):
+            assert section in out
+        assert "[paper" in out
+        assert "[extension" in out
+        assert "num_steps=10" in out  # default kwargs surfaced
+        # stable sorted output within a namespace
+        assert out.index("fedcc") < out.index("fedhil") < out.index("safeloc")
+        assert main(["info"]) == 0
+        assert capsys.readouterr().out == out
 
     def test_version(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
@@ -73,6 +90,15 @@ class TestParser:
         args = parser.parse_args(["run", "safeloc", "--preset", "fast32"])
         assert args.preset == "fast32"
 
+    def test_artefact_choices_in_sync_with_registry(self):
+        # cli keeps literal mirrors so parser construction stays
+        # import-light; they must match the registered artefacts
+        import repro.api as api
+        from repro.cli import _ABLATIONS, _ARTEFACTS
+
+        assert _ARTEFACTS == api.PAPER_ARTEFACTS
+        assert _ABLATIONS == tuple(api.ABLATION_ARTEFACTS)
+
 
 class TestRunCommand:
     def test_clean_run_tiny(self, capsys):
@@ -131,3 +157,54 @@ class TestAblationCommand:
         out = capsys.readouterr().out
         assert "Ablation [client-denoise]" in out
         assert "pretrain: 1 trained" in out
+
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden_specs")
+
+
+class TestValidateCommand:
+    def test_all_golden_specs_validate(self, capsys):
+        specs = sorted(
+            os.path.join(GOLDEN_DIR, name)
+            for name in os.listdir(GOLDEN_DIR)
+            if name.endswith(".json")
+        )
+        assert specs, "no golden specs found"
+        assert main(["validate", *specs]) == 0
+        out = capsys.readouterr().out
+        assert out.count("OK") == len(specs)
+
+    def test_invalid_spec_fails_with_actionable_error(self, capsys, tmp_path):
+        import json
+
+        with open(os.path.join(GOLDEN_DIR, "fig7.json")) as handle:
+            payload = json.load(handle)
+        payload["cells"][0]["framework"] = "safelok"
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(payload))
+        assert main(["validate", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "did you mean 'safeloc'" in err
+
+    def test_missing_file_reported(self, capsys, tmp_path):
+        assert main(["validate", str(tmp_path / "nope.json")]) == 1
+        assert "cannot read spec file" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def test_spec_run_formats_like_experiment(self, capsys, tmp_path):
+        golden = os.path.join(GOLDEN_DIR, "table1.json")
+        assert main(["sweep", "--spec", golden]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out  # artefact collector picked by plan name
+        assert "[table1 [tiny]" in out
+
+    def test_invalid_spec_is_an_error_exit(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["sweep", "--spec", str(bad)]) == 1
+        assert "schema_version" in capsys.readouterr().err
+
+    def test_spec_required(self):
+        with pytest.raises(SystemExit):
+            main(["sweep"])
