@@ -9,7 +9,8 @@ trajectory is tracked PR over PR:
   plus one federation round sequential vs threaded
   → ``BENCH_aggregation.json``;
 * ``sweep`` — the scenario engine's staged pipeline (shared data +
-  pre-train artifacts, warm resume) vs the pre-refactor per-cell loop
+  pre-train artifacts, warm resume, the process-pool cell executor and
+  the federate round cache) vs the pre-refactor per-cell loop
   → ``BENCH_sweep.json``;
 * ``fedls`` — fold-batched vs serial FEDLS leave-one-out detection
   (detector fit at 8/32/128 clients, warm-start trajectory, end-to-end
@@ -78,6 +79,20 @@ def _run_sweep(quick: bool, output: str) -> int:
         code |= _fail("engine sweep diverged from the naive per-cell loop")
     if not results["resume"]["identical_summaries"]:
         code |= _fail("resumed sweep diverged from the cold run")
+    if not results["process"]["identical_summaries"]:
+        code |= _fail(
+            "process-pool sweep (--executor process) diverged from the "
+            "in-process run"
+        )
+    if not results["round_cache"]["identical_summaries"]:
+        code |= _fail(
+            "round-cached ε sweep diverged from the uncached reference"
+        )
+    if results["round_cache"]["updates_reused"] <= 0:
+        code |= _fail(
+            "federate round cache reported zero client-update hits on an "
+            "ε grid (cache is dead)"
+        )
     return code
 
 

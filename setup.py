@@ -1,10 +1,38 @@
-"""Setup shim so editable installs work without the ``wheel`` package.
+"""Package metadata for the SAFELOC reproduction.
 
-All real metadata lives in ``pyproject.toml``; this file exists because the
-offline environment lacks ``bdist_wheel`` support, and
-``pip install -e . --no-use-pep517`` needs a ``setup.py``.
+There is no ``pyproject.toml`` in this repo (the offline environment
+lacks ``bdist_wheel``/PEP 517 support), so this file is the single
+source of install metadata: ``pip install .`` must produce a working
+``repro`` package with its one runtime dependency declared.
 """
 
-from setuptools import setup
+import os
+import re
 
-setup()
+from setuptools import find_packages, setup
+
+
+def _version() -> str:
+    init = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)),
+        "src", "repro", "__init__.py",
+    )
+    with open(init) as handle:
+        return re.search(
+            r'^__version__ = "([^"]+)"', handle.read(), re.MULTILINE
+        ).group(1)
+
+
+setup(
+    name="repro",
+    version=_version(),
+    description=(
+        "SAFELOC reproduction (DATE 2025): poisoning-robust federated "
+        "indoor localization, from-scratch numpy stack"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.11",
+    install_requires=["numpy>=1.24"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

@@ -43,14 +43,21 @@ from repro.experiments.artefact_registry import (
     ArtefactDriver,
     find_collector,
 )
-from repro.experiments.engine import ScenarioSpec, SweepEngine, SweepPlan, SweepResult
+from repro.experiments.engine import (
+    EXECUTORS,
+    ScenarioSpec,
+    SweepEngine,
+    SweepPlan,
+    SweepResult,
+)
 from repro.experiments.runner import ExperimentResult, run_framework
 from repro.experiments.scenarios import Preset, get_preset
 from repro.experiments.specio import (
     SpecValidationError,
     load_plan,
-    plan_to_json,
-    save_plan,
+    load_payload,
+    payload_to_json,
+    save_payload,
     validate_plan_payload,
 )
 from repro.registry import NAMESPACES, registry
@@ -88,6 +95,8 @@ class ExperimentBuilder:
         self._overrides: Dict[str, object] = {}
         self._options: Dict[str, object] = {}
         self._jobs: Optional[int] = None
+        self._executor: Optional[str] = None
+        self._round_cache: Optional[bool] = None
         self._cache_dir: Optional[str] = None
         self._resume = False
         self._engine: Optional[SweepEngine] = None
@@ -141,12 +150,30 @@ class ExperimentBuilder:
 
     # -- execution shape ---------------------------------------------------
     def jobs(self, jobs: Optional[int]) -> "ExperimentBuilder":
-        """Run sweep cells on N threads (bit-identical to sequential)."""
+        """Run sweep cells on N workers (bit-identical to sequential)."""
         self._jobs = jobs
         return self
 
+    def executor(self, executor: Optional[str]) -> "ExperimentBuilder":
+        """Pool kind for :meth:`jobs` cells: ``"thread"`` (default) or
+        ``"process"`` — a process pool scales sweeps past the GIL on
+        multi-core hosts, bit-identical to every other executor."""
+        if executor is not None and executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, got {executor!r}"
+            )
+        self._executor = executor
+        return self
+
+    def round_cache(self, enabled: bool = True) -> "ExperimentBuilder":
+        """Toggle the federate-stage round cache (per-client updates
+        keyed on the broadcast GM state signature; on by default)."""
+        self._round_cache = bool(enabled)
+        return self
+
     def cache(self, cache_dir: Optional[str]) -> "ExperimentBuilder":
-        """Persist data/pre-train artifacts and finished cells here."""
+        """Persist data/pre-train/federate artifacts and finished cells
+        here."""
         self._cache_dir = cache_dir
         return self
 
@@ -181,7 +208,13 @@ class ExperimentBuilder:
         if self._engine is not None:
             return self._engine
         return SweepEngine(
-            jobs=self._jobs, cache_dir=self._cache_dir, resume=self._resume
+            jobs=self._jobs,
+            cache_dir=self._cache_dir,
+            resume=self._resume,
+            executor=self._executor or "thread",
+            round_cache=(
+                True if self._round_cache is None else self._round_cache
+            ),
         )
 
     def plan(self) -> SweepPlan:
@@ -195,17 +228,32 @@ class ExperimentBuilder:
         )
 
     def spec(self) -> Dict[str, object]:
-        """The sweep as its versioned JSON-native payload."""
-        return self.plan().to_dict()
+        """The sweep as its versioned JSON-native payload.
+
+        Execution preferences set on the builder (``jobs``,
+        ``executor``) ride along in an optional ``engine`` block, which
+        :func:`run_spec` uses as defaults — so a saved spec replays with
+        the scheduling it was authored with.  Unset preferences emit no
+        block (golden specs stay byte-stable).
+        """
+        payload = self.plan().to_dict()
+        hints: Dict[str, object] = {}
+        if self._jobs is not None:
+            hints["jobs"] = self._jobs
+        if self._executor is not None:
+            hints["executor"] = self._executor
+        if hints:
+            payload["engine"] = hints
+        return payload
 
     def to_json(self) -> str:
         """The sweep as pretty-printed spec-file JSON."""
-        return plan_to_json(self.plan())
+        return payload_to_json(self.spec())
 
     def save_spec(self, path: str) -> SweepPlan:
         """Write the sweep as a spec file; returns the plan."""
         plan = self.plan()
-        save_plan(plan, path)
+        save_payload(self.spec(), path)
         return plan
 
     def run(self):
@@ -266,6 +314,8 @@ def run_spec(
     resume: bool = False,
     engine: Optional[SweepEngine] = None,
     collect: bool = True,
+    executor: Optional[str] = None,
+    round_cache: Optional[bool] = None,
 ):
     """Execute a sweep spec — a file path, a payload dict, or a plan.
 
@@ -274,15 +324,35 @@ def run_spec(
     result exactly as the equivalent ``experiment`` run would — same
     type, bit-identical ``format_report()``.  Free-form plan names
     return the raw :class:`SweepResult`.
+
+    A spec's optional ``engine`` block (``jobs`` / ``executor``, written
+    by :meth:`ExperimentBuilder.save_spec`) supplies defaults for any
+    scheduling argument the caller leaves unset; explicit arguments and
+    a passed ``engine`` always win.  Scheduling never changes results —
+    all executors are bit-identical — so honoring the hints is safe.
     """
+    hints: Dict[str, object] = {}
     if isinstance(spec, SweepPlan):
         plan = spec
     elif isinstance(spec, dict):
+        hints = spec.get("engine") or {}
         plan = SweepPlan.from_dict(spec)
     else:
-        plan = load_plan(spec)
+        payload = load_payload(spec)
+        hints = payload.get("engine") or {}
+        plan = SweepPlan.from_dict(payload, validate=False)
     if engine is None:
-        engine = SweepEngine(jobs=jobs, cache_dir=cache_dir, resume=resume)
+        engine = SweepEngine(
+            jobs=jobs if jobs is not None else hints.get("jobs"),
+            cache_dir=cache_dir,
+            resume=resume,
+            executor=(
+                executor
+                if executor is not None
+                else hints.get("executor", "thread")
+            ),
+            round_cache=True if round_cache is None else round_cache,
+        )
     driver = find_collector(plan.name) if collect else None
     if driver is not None:
         return driver.run_plan(plan, engine=engine)

@@ -19,9 +19,12 @@ Commands:
 * ``info`` — the unified component registry's inventory.
 
 ``experiment``, ``ablation`` and ``sweep`` accept ``--jobs N``
-(parallel cells, bit-identical to sequential), ``--cache-dir PATH``
-(on-disk artifact cache shared across invocations) and ``--resume``
-(skip cells already finished in the cache dir).
+(parallel cells, bit-identical to sequential), ``--executor
+thread|process`` (what kind of pool the cells run on — ``process``
+scales past the GIL on multi-core hosts), ``--cache-dir PATH``
+(on-disk artifact cache shared across invocations), ``--resume``
+(skip cells already finished in the cache dir) and
+``--no-round-cache`` (disable the federate-stage client-update cache).
 """
 
 from __future__ import annotations
@@ -54,8 +57,10 @@ def _builder(artefact: str, args: argparse.Namespace):
         .preset(args.preset)
         .seed(args.seed)
         .jobs(args.jobs)
+        .executor(args.executor)
         .cache(args.cache_dir)
         .resume(args.resume)
+        .round_cache(not args.no_round_cache)
     )
 
 
@@ -85,8 +90,10 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
         .preset(args.preset)
         .seed(args.seed)
         .jobs(args.jobs)
+        .executor(args.executor)
         .cache(args.cache_dir)
         .resume(args.resume)
+        .round_cache(not args.no_round_cache)
         .run()
     )
     _print_result(result)
@@ -119,8 +126,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         result = api.run_spec(
             args.spec,
             jobs=args.jobs,
+            executor=args.executor,
             cache_dir=args.cache_dir,
             resume=args.resume,
+            round_cache=False if args.no_round_cache else None,
         )
     except api.SpecValidationError as error:
         print(error, file=sys.stderr)
@@ -177,20 +186,36 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         "--jobs",
         type=int,
         default=None,
-        help="run sweep cells on N threads (results are bit-identical "
+        help="run sweep cells on N workers (results are bit-identical "
         "to sequential; default sequential)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default=None,
+        help="pool kind for --jobs: 'thread' (default) shares one "
+        "in-process cache, 'process' scales past the GIL on multi-core "
+        "hosts (results are bit-identical either way)",
     )
     parser.add_argument(
         "--cache-dir",
         default=None,
-        help="on-disk artifact cache: fingerprint data, pre-trained GMs "
-        "and finished cells persist here across invocations",
+        help="on-disk artifact cache: fingerprint data, pre-trained GMs, "
+        "federate-round client updates and finished cells persist here "
+        "across invocations",
     )
     parser.add_argument(
         "--resume",
         action="store_true",
         help="skip cells whose results already sit in --cache-dir "
         "(resume a partially completed sweep; requires --cache-dir)",
+    )
+    parser.add_argument(
+        "--no-round-cache",
+        action="store_true",
+        help="disable the federate-stage round cache (per-client updates "
+        "keyed on the broadcast GM state; on by default, bit-identical "
+        "to recomputing)",
     )
 
 

@@ -1,9 +1,12 @@
 """Content-keyed artifact cache behind the scenario engine.
 
 The sweep engine splits a federation run into stages (data → pre-train →
-federate → evaluate).  The first two stages are pure functions of their
-inputs, so their outputs are cached here under **content keys** — stable
-hashes of everything that determines the result bit-for-bit.  Two layers:
+federate → evaluate).  The data and pre-train stages are pure functions
+of their inputs, and the federate stage is pure *per client update*
+(each update is a function of the client's construction identity, the
+round index and the broadcast GM state — see :class:`RoundCache`), so
+those outputs are cached here under **content keys** — stable hashes of
+everything that determines the result bit-for-bit.  Two layers:
 
 * an **in-memory memo** shared by all cells of a sweep (and by every
   sweep run through the same engine), with per-key locks so concurrent
@@ -25,12 +28,22 @@ import hashlib
 import json
 import os
 import threading
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.data.datasets import FingerprintDataset
+from repro.fl.aggregation import ClientUpdate
+from repro.fl.state import state_from_bytes, state_signature, state_to_bytes
 from repro.nn.serialization import StateDict, load_state, save_state
+
+__all__ = [
+    "ArtifactCache",
+    "RoundCache",
+    "StageStats",
+    "content_key",
+    "state_signature",
+]
 
 #: bump when cached payload semantics change (invalidates old cache dirs)
 SCHEMA_VERSION = 1
@@ -42,23 +55,6 @@ def content_key(payload: Dict) -> str:
         {"schema": SCHEMA_VERSION, **payload}, sort_keys=True, default=str
     )
     return hashlib.sha256(canonical.encode()).hexdigest()[:16]
-
-
-def state_signature(state: StateDict) -> str:
-    """Hash of a state dict's names, shapes, dtypes and raw bytes.
-
-    Used to key pre-train artifacts on the *initial* model weights: two
-    factory configurations that build bit-identical models share one
-    pre-train regardless of which kwargs produced them.
-    """
-    digest = hashlib.sha256()
-    for name in sorted(state):
-        tensor = np.ascontiguousarray(state[name])
-        digest.update(name.encode())
-        digest.update(str(tensor.shape).encode())
-        digest.update(str(tensor.dtype).encode())
-        digest.update(tensor.tobytes())
-    return digest.hexdigest()[:16]
 
 
 class StageStats:
@@ -76,6 +72,17 @@ class StageStats:
     def snapshot(self) -> Dict[str, Dict[str, int]]:
         with self._lock:
             return {stage: dict(c) for stage, c in self._counts.items()}
+
+    def merge(self, counts: Dict[str, Dict[str, int]]) -> None:
+        """Fold another process's counter deltas into these stats (the
+        sweep engine's process executor reports per-worker counters)."""
+        with self._lock:
+            for stage, stage_counts in counts.items():
+                entry = self._counts.setdefault(
+                    stage, {"hits": 0, "misses": 0}
+                )
+                for kind, value in stage_counts.items():
+                    entry[kind] = entry.get(kind, 0) + value
 
     @staticmethod
     def delta(
@@ -212,6 +219,28 @@ class ArtifactCache:
             suffix=".npz",
         )
 
+    # -- federate round updates -------------------------------------------
+    def get_client_update(
+        self, key: str, compute: Callable[[], ClientUpdate]
+    ) -> Tuple[ClientUpdate, bool]:
+        """One client's update for one (round, broadcast-state) pairing.
+
+        The cache stores the *encoded* ``.npz`` bytes (the same format
+        the disk layer persists), and every lookup — hit or miss —
+        returns a freshly decoded :class:`ClientUpdate`, so cached
+        updates never alias arrays a caller could mutate and the
+        in-memory and on-disk hit paths are byte-for-byte the same.
+        """
+        encoded, hit = self.get_or_compute(
+            "federate",
+            key,
+            lambda: encode_update(compute()),
+            load_disk=_read_bytes,
+            save_disk=_write_bytes,
+            suffix=".npz",
+        )
+        return decode_update(encoded), hit
+
     # -- finished cells (resume) ------------------------------------------
     def load_cell(self, key: str) -> Optional[Dict]:
         """A previously stored cell record, or None."""
@@ -243,6 +272,122 @@ class ArtifactCache:
 def _tmp_name(key: str) -> str:
     """Per-process/thread temp basename for one artifact key."""
     return f".tmp-{os.getpid()}-{threading.get_ident()}-{key}"
+
+
+class RoundCache:
+    """Federate-stage cache handle for one sweep cell.
+
+    Built by the engine per federation cell and attached to the
+    :class:`~repro.fl.server.FederatedServer`.  Each per-client update is
+    keyed on the cell's *training identity* (data key, framework + full
+    kwargs, federation schedule, seed, dtype), the client's index and
+    attack assignment, the round index, and the **broadcast GM state
+    signature** — everything that determines the update bit-for-bit, and
+    nothing that doesn't (notably not the aggregation strategy, the
+    sweep label or ε for honest clients), so ε-grid / strategy-ablation
+    cells that broadcast the same state share their honest-client (and
+    for strategy ablations, even malicious) training.
+
+    Only rounds whose broadcast state matches ``shared_signature`` (the
+    cell's pre-trained GM — i.e. every federation's first round) are
+    cached: later rounds' broadcasts diverge per cell the moment an
+    attack differs, so caching them would grow the store without ever
+    hitting.  Pass ``shared_signature=None`` to cache every round.
+
+    Args:
+        artifacts: The engine's two-layer stage cache.
+        base: Cell-identity payload shared by every key.
+        client_attacks: Per-client-index attack assignment
+            (``[name, ε]`` for malicious indices, ``None`` for honest).
+        shared_signature: Broadcast signature gate (see above).
+    """
+
+    def __init__(
+        self,
+        artifacts: ArtifactCache,
+        base: Dict[str, object],
+        client_attacks: List[Optional[List[object]]],
+        shared_signature: Optional[str] = None,
+    ):
+        self.artifacts = artifacts
+        self.base = dict(base)
+        self.client_attacks = list(client_attacks)
+        self.shared_signature = shared_signature
+
+    def broadcast_signature(self, state: StateDict) -> str:
+        """The signature the server hands back to :meth:`get_update`."""
+        return state_signature(state)
+
+    def get_update(
+        self,
+        client_index: int,
+        round_index: int,
+        broadcast_signature: str,
+        compute: Callable[[], ClientUpdate],
+    ) -> ClientUpdate:
+        """The cached update for one (client, round, broadcast) triple,
+        computing (and storing) it on a miss.  Non-cacheable rounds (the
+        signature gate) fall straight through to ``compute`` and leave
+        the hit/miss counters untouched."""
+        if (
+            self.shared_signature is not None
+            and broadcast_signature != self.shared_signature
+        ):
+            return compute()
+        key = content_key(
+            {
+                **self.base,
+                "client": client_index,
+                "attack": self.client_attacks[client_index],
+                "round": round_index,
+                "broadcast": broadcast_signature,
+            }
+        )
+        update, _ = self.artifacts.get_client_update(key, compute)
+        return update
+
+
+def encode_update(update: ClientUpdate) -> bytes:
+    """A :class:`ClientUpdate` as one compressed ``.npz`` byte string
+    (state tensors plus a JSON metadata record) — the federate cache's
+    storage and wire format; :func:`decode_update` inverts it exactly."""
+    arrays: Dict[str, np.ndarray] = {
+        f"state.{name}": tensor for name, tensor in update.state.items()
+    }
+    meta = {
+        "client_name": update.client_name,
+        "num_samples": int(update.num_samples),
+        "train_loss": float(update.train_loss),
+        "flagged_poisoned": int(update.flagged_poisoned),
+        "is_malicious": bool(update.is_malicious),
+    }
+    arrays["meta"] = np.frombuffer(
+        json.dumps(meta).encode(), dtype=np.uint8
+    ).copy()
+    return state_to_bytes(arrays)
+
+
+def decode_update(data: bytes) -> ClientUpdate:
+    """Rebuild a :class:`ClientUpdate` from :func:`encode_update` bytes."""
+    arrays = state_from_bytes(data)
+    meta = json.loads(bytes(arrays.pop("meta")))
+    prefix = "state."
+    state = {
+        name[len(prefix):]: tensor
+        for name, tensor in arrays.items()
+        if name.startswith(prefix)
+    }
+    return ClientUpdate(state=state, **meta)
+
+
+def _read_bytes(path: str) -> bytes:
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def _write_bytes(path: str, data: bytes) -> None:
+    with open(path, "wb") as handle:
+        handle.write(data)
 
 
 def _save_datasets(

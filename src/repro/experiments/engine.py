@@ -13,10 +13,19 @@ loops around a monolithic ``run_framework``.  Here the grid is **data**:
   survey and the 350–700-epoch centralized pre-train are computed once
   per (building, preset, seed) and reused by every framework/attack/ε
   cell that shares them;
-* cells run sequentially or on a thread pool (``jobs``); results are
-  bit-identical either way because every cell derives all randomness
-  from named :class:`~repro.utils.rng.SeedSequence` streams and shares
-  no mutable state;
+* cells run sequentially, on a thread pool, or on a **process pool**
+  (``jobs`` × ``executor``); results are bit-identical every way
+  because every cell derives all randomness from named
+  :class:`~repro.utils.rng.SeedSequence` streams and shares no mutable
+  state — process workers receive cells as JSON-native payloads and
+  return npz/json-serialized :class:`CellResult` records, so sweeps
+  scale past the GIL on multi-core hosts;
+* the federate stage runs behind a **round-level client-update cache**
+  (:class:`~repro.experiments.artifacts.RoundCache`): per-client
+  updates are keyed on the broadcast GM state signature, so ε-grid and
+  strategy-ablation cells that broadcast identical early-round states
+  (every cell's first round broadcasts the shared pre-trained GM)
+  reuse each other's honest-client training instead of re-running it;
 * with a ``cache_dir``, finished cells persist as JSON and a
   re-invoked, partially completed sweep skips straight to the missing
   cells (``resume=True``).
@@ -34,9 +43,10 @@ pre-training) all share one pre-train per building.
 
 from __future__ import annotations
 
+import multiprocessing
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import asdict, dataclass, field, fields
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -49,6 +59,7 @@ from repro.data.datasets import FingerprintDataset
 from repro.data.fingerprints import paper_protocol
 from repro.experiments.artifacts import (
     ArtifactCache,
+    RoundCache,
     StageStats,
     content_key,
     state_signature,
@@ -67,6 +78,9 @@ logger = get_logger("experiments.engine")
 #: rejects files written under any other version with a clear message.
 SPEC_FORMAT = "repro.sweep-plan"
 SPEC_SCHEMA_VERSION = 1
+
+#: cell-executor choices (``SweepEngine(executor=...)`` / ``--executor``)
+EXECUTORS = ("thread", "process")
 
 #: framework kwargs that provably do not alter the pre-trained weights —
 #: they configure the untrusted-data defense or the aggregation strategy,
@@ -422,16 +436,24 @@ class SweepResult:
     stats: Dict[str, Dict[str, int]]
     duration_s: float
     jobs: int = 1
+    executor: str = "thread"
 
     @property
     def cells_per_second(self) -> float:
+        """Cell throughput; 0.0 when the sweep finished in no measurable
+        time (a fully-resumed warm sweep) — never ``inf``."""
         if self.duration_s <= 0:
-            return float("inf")
+            return 0.0
         return len(self.cells) / self.duration_s
 
     def pretrain_counts(self) -> Tuple[int, int]:
         """(trained, reused) pre-train counts for this sweep."""
         entry = self.stats.get("pretrain", {})
+        return entry.get("misses", 0), entry.get("hits", 0)
+
+    def update_counts(self) -> Tuple[int, int]:
+        """(trained, reused) federate-round client-update counts."""
+        entry = self.stats.get("federate", {})
         return entry.get("misses", 0), entry.get("hits", 0)
 
     def resumed_count(self) -> int:
@@ -441,10 +463,15 @@ class SweepResult:
         """One-line sweep report with the cache-hit counters."""
         trained, reused = self.pretrain_counts()
         data = self.stats.get("data", {})
+        rate = (
+            f"{self.cells_per_second:.2f} cells/s"
+            if self.duration_s > 0
+            else "n/a cells/s"
+        )
         parts = [
             f"{self.plan_name} [{self.preset_name}]: "
             f"{len(self.cells)} cells in {self.duration_s:.1f}s "
-            f"({self.cells_per_second:.2f} cells/s, jobs={self.jobs})"
+            f"({rate}, jobs={self.jobs}, {self.executor})"
         ]
         if self.kind == "federation":
             parts.append(f"pretrain: {trained} trained, {reused} reused")
@@ -452,6 +479,12 @@ class SweepResult:
                 f"data: {data.get('misses', 0)} generated, "
                 f"{data.get('hits', 0)} reused"
             )
+            up_trained, up_reused = self.update_counts()
+            if up_trained or up_reused:
+                parts.append(
+                    f"round cache: {up_trained} client updates trained, "
+                    f"{up_reused} reused"
+                )
         parts.append(f"{self.resumed_count()} cells resumed")
         return " | ".join(parts)
 
@@ -462,6 +495,7 @@ class SweepResult:
             "seed": self.seed,
             "kind": self.kind,
             "jobs": self.jobs,
+            "executor": self.executor,
             "duration_s": self.duration_s,
             "cells_per_second": self.cells_per_second,
             "stats": self.stats,
@@ -473,11 +507,26 @@ class SweepEngine:
     """Executes :class:`SweepPlan`\\ s through the staged, cached pipeline.
 
     Args:
-        jobs: Cell-level thread count (``None``/1 = sequential; results
+        jobs: Cell-level worker count (``None``/1 = sequential; results
             are bit-identical either way).
         cache_dir: On-disk artifact store; enables cross-process reuse of
-            data/pre-train artifacts and (with ``resume``) cell skipping.
+            data/pre-train/federate artifacts and (with ``resume``) cell
+            skipping.
         resume: Skip cells whose results already sit in ``cache_dir``.
+        executor: ``"thread"`` (default) or ``"process"`` — what kind of
+            pool ``jobs`` cells run on.  Threads share one in-memory
+            artifact cache but serialize on the GIL; processes scale
+            across cores, each worker holding its own in-memory memo
+            (sharing through ``cache_dir`` when one is set) and shipping
+            finished cells back as JSON-native :class:`CellResult`
+            payloads.  Results are bit-identical across all executors.
+        round_cache: Enable the federate-stage
+            :class:`~repro.experiments.artifacts.RoundCache` (default
+            on): per-client round updates keyed on the broadcast GM
+            state signature, so cells that broadcast identical states —
+            every ε-grid/strategy cell's first post-pre-train round —
+            reuse honest-client training.  ``False`` recomputes every
+            update (the equivalence-test reference path).
 
     One engine may run several plans (``experiment all``); its in-memory
     artifact memo then spans artefacts, so e.g. Fig. 6's FEDHIL cells
@@ -489,6 +538,8 @@ class SweepEngine:
         jobs: Optional[int] = None,
         cache_dir: Optional[str] = None,
         resume: bool = False,
+        executor: str = "thread",
+        round_cache: bool = True,
     ):
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -497,8 +548,14 @@ class SweepEngine:
                 "resume=True needs a cache_dir — there is nowhere to "
                 "resume finished cells from"
             )
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, got {executor!r}"
+            )
         self.jobs = jobs
         self.resume = bool(resume)
+        self.executor = executor
+        self.round_cache = bool(round_cache)
         self.artifacts = ArtifactCache(cache_dir)
         self._sig_memo: Dict[tuple, str] = {}
         self._sig_lock = threading.Lock()
@@ -520,6 +577,7 @@ class SweepEngine:
             stats=stats,
             duration_s=time.perf_counter() - start,
             jobs=self.jobs or 1,
+            executor=self.executor,
         )
         logger.info("%s", result.format_stats())
         return result
@@ -537,27 +595,89 @@ class SweepEngine:
         # cells would contend for the CPU and inflate every measurement
         if workers <= 1 or len(plan.cells) <= 1 or plan.kind == "footprint":
             return [runner(spec) for spec in plan.cells]
+        if self.executor == "process":
+            return self._execute_process(plan, workers)
         with ThreadPoolExecutor(
             max_workers=min(workers, len(plan.cells))
         ) as executor:
             return list(executor.map(runner, plan.cells))
+
+    def _execute_process(
+        self, plan: SweepPlan, workers: int
+    ) -> List[CellResult]:
+        """Run a federation plan's cells on a process pool.
+
+        Resume hits are resolved in the parent (the pool never sees
+        them); the rest ship to workers as JSON-native (preset, spec)
+        payloads and come back as serialized :class:`CellResult` records
+        plus each worker's stage-counter delta, which is folded into the
+        parent's stats so sweep reports stay complete.  The parent also
+        persists finished cells to its own cell store, keeping
+        ``--resume`` semantics identical to the thread path.
+        """
+        results: List[Optional[CellResult]] = [None] * len(plan.cells)
+        pending: List[int] = []
+        for index, spec in enumerate(plan.cells):
+            resumed = self._resume_cell(plan, spec)
+            if resumed is not None:
+                results[index] = resumed
+            else:
+                pending.append(index)
+        if not pending:
+            return results
+        shared = {
+            "preset": plan.preset.to_dict(),
+            "cache_dir": self.artifacts.cache_dir,
+            "round_cache": self.round_cache,
+        }
+        tasks = [
+            {**shared, "spec": plan.cells[index].to_dict()}
+            for index in pending
+        ]
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(pending)),
+            mp_context=_pool_context(),
+        ) as pool:
+            for index, outcome in zip(pending, pool.map(_pool_run_cell, tasks)):
+                spec = plan.cells[index]
+                self.artifacts.stats.record("cells", hit=False)
+                self.artifacts.stats.merge(outcome["stats"])
+                result = CellResult.from_json_dict(outcome["cell"])
+                # the worker rebuilt the spec from JSON; hand back the
+                # exact requested spec object (labels and all)
+                result.spec = spec
+                self.artifacts.store_cell(
+                    self._cell_key(plan, spec), result.to_json_dict()
+                )
+                results[index] = result
+        return results
+
+    def _resume_cell(
+        self, plan: SweepPlan, spec: ScenarioSpec
+    ) -> Optional[CellResult]:
+        """The stored result for a finished cell, or ``None`` when the
+        cell must run (resume off, footprint plan, or cache miss)."""
+        if not (self.resume and plan.kind == "federation"):
+            return None
+        record = self.artifacts.load_cell(self._cell_key(plan, spec))
+        if record is None:
+            return None
+        self.artifacts.stats.record("cells", hit=True)
+        result = CellResult.from_json_dict(record, resumed=True)
+        # cache keys hash the label-free cell identity, so the
+        # stored spec may carry another plan's label — the numbers
+        # are the requested cell's, the spec must be too
+        result.spec = spec
+        return result
 
     def _run_one(self, plan: SweepPlan, spec: ScenarioSpec) -> CellResult:
         # footprint cells are wall-clock measurements, not pure functions
         # of their inputs — never persisted or resumed (stale latencies
         # from another run or machine must not masquerade as measured)
         cacheable = plan.kind == "federation"
-        key = self._cell_key(plan, spec) if cacheable else None
-        if self.resume and cacheable:
-            record = self.artifacts.load_cell(key)
-            if record is not None:
-                self.artifacts.stats.record("cells", hit=True)
-                result = CellResult.from_json_dict(record, resumed=True)
-                # cache keys hash the label-free cell identity, so the
-                # stored spec may carry another plan's label — the numbers
-                # are the requested cell's, the spec must be too
-                result.spec = spec
-                return result
+        resumed = self._resume_cell(plan, spec)
+        if resumed is not None:
+            return resumed
         self.artifacts.stats.record("cells", hit=False)
         start = time.perf_counter()
         if plan.kind == "footprint":
@@ -566,7 +686,9 @@ class SweepEngine:
             result = self._run_federation_cell(plan.preset, spec)
         result.duration_s = time.perf_counter() - start
         if cacheable:
-            self.artifacts.store_cell(key, result.to_json_dict())
+            self.artifacts.store_cell(
+                self._cell_key(plan, spec), result.to_json_dict()
+            )
         return result
 
     def _run_federation_cell(
@@ -618,6 +740,11 @@ class SweepEngine:
         if not spec.self_labeling:
             for client in server.clients:
                 client.self_labeling = False
+        if self.round_cache:
+            server.update_cache = self._round_cache(
+                preset, spec, data_key, config,
+                shared_signature=state_signature(pretrained),
+            )
         server.model.load_state_dict(pretrained)
         server.run_rounds(config.num_rounds)
         summary = evaluate_model(server.model, tests, building)
@@ -750,6 +877,61 @@ class SweepEngine:
 
         return self.artifacts.get_pretrained(key, compute)
 
+    def _round_cache(
+        self,
+        preset: Preset,
+        spec: ScenarioSpec,
+        data_key: str,
+        config,
+        shared_signature: str,
+    ) -> RoundCache:
+        """The federate-stage cache handle for one cell.
+
+        The base key holds the cell's full *training* identity — data,
+        framework + every factory kwarg (client-side defenses like τ run
+        during local training), the client schedule, seed and dtype —
+        but deliberately not the aggregation strategy or the sweep
+        label: those only influence updates through the broadcast state,
+        which each lookup hashes explicitly.  The attack (name, ε) binds
+        only to malicious client indices, which is exactly what lets an
+        ε grid share its honest-client updates.
+        """
+        attack = (
+            [spec.attack, spec.epsilon]
+            if spec.attack and config.num_malicious > 0
+            else None
+        )
+        base = {
+            "stage": "federate",
+            "data": data_key,
+            "framework": spec.framework,
+            "kwargs": dict(spec.framework_kwargs),
+            "self_labeling": spec.self_labeling,
+            "seed": preset.seed,
+            "dtype": preset.compute_dtype,
+            "schedule": {
+                "num_clients": config.num_clients,
+                "num_malicious": config.num_malicious,
+                "client_fingerprints_per_rp":
+                    config.client_fingerprints_per_rp,
+                "client_epochs": config.client_epochs,
+                "client_lr": config.client_lr,
+                "malicious_epochs": config.attacker_epochs,
+                "malicious_lr": config.attacker_lr,
+                "batch_size": config.batch_size,
+            },
+        }
+        client_attacks = [
+            attack if index < config.num_malicious else None
+            for index in range(config.num_clients)
+        ]
+        return RoundCache(
+            self.artifacts,
+            base,
+            client_attacks,
+            shared_signature=shared_signature,
+        )
+
     def _cell_key(self, plan: SweepPlan, spec: ScenarioSpec) -> str:
         preset_payload = asdict(plan.preset)
         for name in _CELL_NEUTRAL_PRESET_FIELDS:
@@ -766,6 +948,52 @@ class SweepEngine:
                 "spec": spec_payload,
             }
         )
+
+
+def _pool_context():
+    """``fork`` where the platform offers it (workers inherit the loaded
+    package and warm caches for free); the platform default elsewhere —
+    the worker entry point is a plain importable function either way."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+#: per-pool-worker engine memo keyed on construction knobs: every cell a
+#: worker process executes shares one in-memory artifact cache, so e.g.
+#: a worker that ran one ε cell reuses its data/pre-train for the next
+_WORKER_ENGINES: Dict[tuple, SweepEngine] = {}
+
+
+def _pool_run_cell(task: Dict) -> Dict:
+    """Process-pool entry point: one federation cell, end to end.
+
+    The payload is JSON-native (``Preset.to_dict`` +
+    ``ScenarioSpec.to_dict`` + engine knobs) and the return value is the
+    serialized :class:`CellResult` plus this cell's stage-counter delta,
+    so nothing crosses the pool but plain dicts — the parent folds the
+    counters into its stats and re-attaches the requested spec.
+    """
+    key = (task["cache_dir"], task["round_cache"])
+    engine = _WORKER_ENGINES.get(key)
+    if engine is None:
+        engine = SweepEngine(
+            cache_dir=task["cache_dir"], round_cache=task["round_cache"]
+        )
+        _WORKER_ENGINES[key] = engine
+    preset = Preset.from_dict(task["preset"])
+    spec = ScenarioSpec.from_dict(task["spec"])
+    before = engine.artifacts.stats.snapshot()
+    start = time.perf_counter()
+    with compute_dtype(preset.compute_dtype):
+        result = engine._run_federation_cell(preset, spec)
+    result.duration_s = time.perf_counter() - start
+    return {
+        "cell": result.to_json_dict(),
+        "stats": StageStats.delta(
+            before, engine.artifacts.stats.snapshot()
+        ),
+    }
 
 
 def run_plan(

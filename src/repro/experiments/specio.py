@@ -24,6 +24,7 @@ import os
 from typing import Dict, List, Optional
 
 from repro.experiments.engine import (
+    EXECUTORS,
     SPEC_FORMAT,
     SPEC_SCHEMA_VERSION,
     SweepPlan,
@@ -228,6 +229,40 @@ def _validate_cell(cell, index: int, kind: str, errors: List[str]) -> None:
                 )
 
 
+def _validate_engine_block(engine, errors: List[str]) -> None:
+    """The optional top-level ``engine`` block: scheduling *hints*
+    (``jobs``, ``executor``) that :func:`repro.api.run_spec` applies as
+    defaults — never anything that could change the numbers."""
+    if engine is None:
+        return
+    if not isinstance(engine, dict):
+        errors.append(
+            f"engine: expected an object, got {type(engine).__name__}"
+        )
+        return
+    known = ("jobs", "executor")
+    for name, value in engine.items():
+        if name not in known:
+            message = f"engine.{name}: unknown field"
+            suggestion = _did_you_mean(name, known)
+            if suggestion:
+                message += f" — did you mean {suggestion!r}?"
+            errors.append(message)
+        elif name == "jobs":
+            if isinstance(value, bool) or not isinstance(value, int):
+                errors.append(
+                    f"engine.jobs: expected int, got "
+                    f"{type(value).__name__} ({value!r})"
+                )
+            elif value < 1:
+                errors.append(f"engine.jobs: must be >= 1, got {value}")
+        elif name == "executor" and value not in EXECUTORS:
+            errors.append(
+                f"engine.executor: expected one of {list(EXECUTORS)}, "
+                f"got {value!r}"
+            )
+
+
 def validate_plan_payload(
     payload: Dict, source: Optional[str] = None
 ) -> None:
@@ -269,18 +304,18 @@ def validate_plan_payload(
         errors.append(
             f"kind: expected 'federation' or 'footprint', got {kind!r}"
         )
+    top_level = (
+        "format", "schema_version", "name", "kind", "preset", "cells",
+        "engine",
+    )
     for field in payload:
-        if field not in (
-            "format", "schema_version", "name", "kind", "preset", "cells"
-        ):
+        if field not in top_level:
             message = f"{field}: unknown top-level field"
-            suggestion = _did_you_mean(
-                field, ("format", "schema_version", "name", "kind",
-                        "preset", "cells")
-            )
+            suggestion = _did_you_mean(field, top_level)
             if suggestion:
                 message += f" — did you mean {suggestion!r}?"
             errors.append(message)
+    _validate_engine_block(payload.get("engine"), errors)
     preset = payload.get("preset")
     if not isinstance(preset, dict):
         errors.append(
@@ -311,21 +346,34 @@ def validate_plan_payload(
         raise SpecValidationError(errors, source)
 
 
+def payload_to_json(payload: Dict) -> str:
+    """A spec payload as pretty-printed, newline-terminated, diff-stable
+    JSON — the one formatting authority for every spec writer (golden
+    specs and builder-saved specs must stay byte-compatible)."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def save_payload(payload: Dict, path: str) -> None:
+    """Write a spec payload as a sweep-spec file."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write(payload_to_json(payload))
+
+
 def plan_to_json(plan: SweepPlan) -> str:
-    """The plan as pretty-printed, newline-terminated, diff-stable JSON."""
-    return json.dumps(plan.to_dict(), indent=2, sort_keys=True) + "\n"
+    """The plan as spec-file JSON text."""
+    return payload_to_json(plan.to_dict())
 
 
 def save_plan(plan: SweepPlan, path: str) -> None:
     """Write a plan as a sweep-spec file (the golden-spec format)."""
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    with open(path, "w") as handle:
-        handle.write(plan_to_json(plan))
+    save_payload(plan.to_dict(), path)
 
 
-def load_plan(path: str) -> SweepPlan:
-    """Read + validate a sweep-spec file into a :class:`SweepPlan`.
+def load_payload(path: str) -> Dict:
+    """Read + validate a sweep-spec file into its raw payload dict
+    (including the optional ``engine`` scheduling block).
 
     Raises :class:`SpecValidationError` (carrying the file path) for
     malformed JSON or schema violations.
@@ -342,4 +390,9 @@ def load_plan(path: str) -> SweepPlan:
             [f"not valid JSON: {error}"], source=path
         ) from None
     validate_plan_payload(payload, source=path)
-    return SweepPlan.from_dict(payload, validate=False)
+    return payload
+
+
+def load_plan(path: str) -> SweepPlan:
+    """Read + validate a sweep-spec file into a :class:`SweepPlan`."""
+    return SweepPlan.from_dict(load_payload(path), validate=False)

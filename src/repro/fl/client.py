@@ -84,27 +84,37 @@ class FederatedClient:
     def is_malicious(self) -> bool:
         return self.attack is not None
 
-    def local_update(self, global_state: StateDict) -> ClientUpdate:
+    def local_update(
+        self, global_state: StateDict, round_index: Optional[int] = None
+    ) -> ClientUpdate:
         """Run one round of local training and return the LM.
 
         The attack (when present) is re-applied against the *current* GM's
         gradients every round, matching the paper's threat model where the
         attacker owns the device and adapts to each broadcast model.
+
+        ``round_index`` names the 1-based round the update belongs to; it
+        selects the per-round rng streams, so a server that satisfied
+        earlier rounds from the federate cache can still request round
+        ``r`` and get bit-identical randomness to an uncached federation.
+        ``None`` keeps the legacy self-counting behavior.
         """
-        self._round += 1
+        if round_index is None:
+            round_index = self._round + 1
+        self._round = round_index
         self.model.load_state_dict(global_state)
         dataset = self.dataset
         if self.self_labeling:
             dataset = dataset.with_labels(self.model.predict(dataset.features))
         flagged = 0
         if self.attack is not None:
-            rng = self.seeds.rng(f"attack-round-{self._round}")
+            rng = self.seeds.rng(f"attack-round-{round_index}")
             oracle = (
                 self.model.gradient_oracle() if self.attack.is_backdoor else None
             )
             report = self.attack.poison(dataset, oracle, rng)
             dataset = report.dataset
-        train_rng = self.seeds.rng(f"train-round-{self._round}")
+        train_rng = self.seeds.rng(f"train-round-{round_index}")
         loss = self.model.train_epochs(
             dataset,
             epochs=self.config.epochs,

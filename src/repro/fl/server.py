@@ -51,6 +51,14 @@ class FederatedServer:
             per-client :class:`SeedSequence` and trains a private model
             copy — results are identical to the sequential loop, in the
             same client order, regardless of scheduling.
+        update_cache: Optional federate round cache (see
+            :class:`~repro.experiments.artifacts.RoundCache`).  When set,
+            each round's per-client updates are looked up by (client
+            index, round index, broadcast-state signature) before local
+            training runs; hits return the stored update bit-for-bit.
+            A client's update is a pure function of that triple (per-round
+            named rng streams, private model copy overwritten by every
+            broadcast), so cached federations match uncached ones exactly.
     """
 
     def __init__(
@@ -60,6 +68,7 @@ class FederatedServer:
         clients: Sequence[FederatedClient],
         seeds: Optional[SeedSequence] = None,
         max_workers: Optional[int] = None,
+        update_cache=None,
     ):
         if not clients:
             raise ValueError("federation needs at least one client")
@@ -74,6 +83,7 @@ class FederatedServer:
         self.clients = list(clients)
         self.seeds = seeds or SeedSequence(1)
         self.max_workers = max_workers
+        self.update_cache = update_cache
         self.history: List[RoundRecord] = []
 
     def pretrain(
@@ -92,25 +102,40 @@ class FederatedServer:
         logger.info("pretrain finished, loss=%.4f", loss)
         return float(loss)
 
-    def _collect_updates(self, global_state: StateDict) -> List[ClientUpdate]:
+    def _collect_updates(
+        self, global_state: StateDict, round_index: int
+    ) -> List[ClientUpdate]:
         """All client updates for one round, in client order."""
+        compute = self._update_fn(global_state, round_index)
         workers = self.max_workers
         if workers is None or workers <= 1 or len(self.clients) == 1:
-            return [client.local_update(global_state) for client in self.clients]
+            return [compute(index) for index in range(len(self.clients))]
         with ThreadPoolExecutor(
             max_workers=min(workers, len(self.clients))
         ) as executor:
-            return list(
-                executor.map(
-                    lambda client: client.local_update(global_state),
-                    self.clients,
-                )
+            return list(executor.map(compute, range(len(self.clients))))
+
+    def _update_fn(self, global_state: StateDict, round_index: int):
+        """client index → :class:`ClientUpdate`, through the round cache
+        when one is attached."""
+        if self.update_cache is None:
+            return lambda index: self.clients[index].local_update(
+                global_state, round_index=round_index
             )
+        signature = self.update_cache.broadcast_signature(global_state)
+        return lambda index: self.update_cache.get_update(
+            index,
+            round_index,
+            signature,
+            lambda: self.clients[index].local_update(
+                global_state, round_index=round_index
+            ),
+        )
 
     def run_round(self) -> RoundRecord:
         """One synchronous round: broadcast → local updates → aggregate."""
         global_state = self.model.state_dict()
-        updates = self._collect_updates(global_state)
+        updates = self._collect_updates(global_state, len(self.history) + 1)
         self.strategy.begin_round(len(self.history) + 1)
         new_state = self.strategy.aggregate(global_state, updates)
         self.model.load_state_dict(new_state)

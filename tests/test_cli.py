@@ -75,6 +75,22 @@ class TestParser:
         args = parser.parse_args(["ablation", "denoise", "--jobs", "2"])
         assert args.jobs == 2
 
+    def test_executor_and_round_cache_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["experiment", "fig5"])
+        assert args.executor is None
+        assert args.no_round_cache is False
+        args = parser.parse_args(
+            [
+                "sweep", "--spec", "plan.json",
+                "--jobs", "2", "--executor", "process", "--no-round-cache",
+            ]
+        )
+        assert args.executor == "process"
+        assert args.no_round_cache is True
+        with pytest.raises(SystemExit):
+            parser.parse_args(["experiment", "fig5", "--executor", "gpu"])
+
     def test_resume_without_cache_dir_is_usage_error(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
             main(["experiment", "fig4", "--resume"])

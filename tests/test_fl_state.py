@@ -10,10 +10,13 @@ from repro.fl.state import (
     state_add,
     state_cosine_similarity,
     state_distance,
+    state_from_bytes,
     state_mean,
     state_norm,
     state_scale,
+    state_signature,
     state_sub,
+    state_to_bytes,
     state_weighted_mean,
     state_zeros_like,
     unflatten_state,
@@ -139,6 +142,37 @@ class TestMetrics:
         a = _state(0)
         z = state_zeros_like(a)
         assert state_cosine_similarity(a, z) == 0.0
+
+
+class TestSignatureAndBytes:
+    def test_signature_stable_and_order_free(self):
+        a = _state(0)
+        reordered = dict(reversed(list(a.items())))
+        assert state_signature(a) == state_signature(reordered)
+
+    def test_signature_sensitive_to_value_name_dtype(self):
+        a = _state(0)
+        assert state_signature(a) != state_signature(_state(1))
+        renamed = {f"x.{k}": v for k, v in a.items()}
+        assert state_signature(a) != state_signature(renamed)
+        narrowed = {k: v.astype(np.float32) for k, v in a.items()}
+        assert state_signature(a) != state_signature(narrowed)
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_bytes_roundtrip_bit_exact(self, dtype):
+        a = {k: v.astype(dtype) for k, v in _state(3).items()}
+        back = state_from_bytes(state_to_bytes(a))
+        assert set(back) == set(a)
+        for key in a:
+            assert back[key].dtype == a[key].dtype
+            assert back[key].shape == a[key].shape
+            assert (back[key] == a[key]).all()
+            assert back[key] is not a[key]
+        assert state_signature(back) == state_signature(a)
+
+    def test_bytes_rejects_empty_state(self):
+        with pytest.raises(ValueError):
+            state_to_bytes({})
 
 
 @st.composite

@@ -148,6 +148,36 @@ class TestValidation:
             validate_plan_payload(payload)
         assert len(excinfo.value.errors) == 3
 
+    def test_engine_block_accepted_and_validated(self):
+        payload = self.payload()
+        payload["engine"] = {"jobs": 4, "executor": "process"}
+        validate_plan_payload(payload)  # hints are part of the schema
+        payload["engine"] = {"jobs": 0, "executor": "gpu", "jobz": 1}
+        with pytest.raises(SpecValidationError) as excinfo:
+            validate_plan_payload(payload)
+        messages = "\n".join(excinfo.value.errors)
+        assert "engine.jobs" in messages
+        assert "engine.executor" in messages
+        assert "did you mean 'jobs'" in messages
+
+    def test_builder_spec_carries_engine_hints(self, tmp_path):
+        import repro.api as api
+        from repro.experiments.specio import load_payload
+
+        builder = (
+            api.experiment("fig4").preset("tiny")
+            .jobs(2).executor("process")
+        )
+        payload = builder.spec()
+        assert payload["engine"] == {"jobs": 2, "executor": "process"}
+        path = str(tmp_path / "fig4.json")
+        builder.save_spec(path)
+        assert load_payload(path)["engine"] == {
+            "jobs": 2, "executor": "process"
+        }
+        # plans stay hint-free — golden specs are byte-stable
+        assert "engine" not in api.experiment("fig4").preset("tiny").spec()
+
     def test_footprint_cells_need_shape(self):
         payload = build_plan("table1").to_dict()
         payload["cells"][0]["input_dim"] = None

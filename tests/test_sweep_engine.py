@@ -5,7 +5,7 @@ The heavier federation cells run on a shrunken tiny-preset variant so the
 whole module stays seconds-scale.
 """
 
-from dataclasses import replace
+from dataclasses import asdict, replace
 
 import numpy as np
 import pytest
@@ -322,6 +322,185 @@ class TestResumeStore:
         SweepEngine(cache_dir=cache).run(plan42)
         other = SweepEngine(cache_dir=cache, resume=True).run(plan43)
         assert other.resumed_count() == 0
+
+
+def eps_plan(preset, name="eps", epsilons=(0.1, 0.5)):
+    """A Fig. 5-shaped ε grid on one attack (round-cache sharing shape)."""
+    cells = tuple(
+        scenario("safeloc", attack="fgsm", epsilon=eps) for eps in epsilons
+    )
+    return SweepPlan(name=name, preset=preset, cells=cells)
+
+
+class TestProcessExecutor:
+    """`executor="process"`: pool cells, bit-identical to sequential."""
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return SweepEngine(round_cache=False).run(eps_plan(mini_preset()))
+
+    def test_rejects_unknown_executor(self):
+        with pytest.raises(ValueError):
+            SweepEngine(executor="gpu")
+
+    def test_process_pool_matches_sequential(self, reference):
+        pooled = SweepEngine(jobs=2, executor="process").run(
+            eps_plan(mini_preset())
+        )
+        assert summaries_of(pooled) == summaries_of(reference)
+        assert [c.flagged_per_round for c in pooled.cells] == [
+            c.flagged_per_round for c in reference.cells
+        ]
+        assert [c.parameter_count for c in pooled.cells] == [
+            c.parameter_count for c in reference.cells
+        ]
+        assert pooled.executor == "process"
+        # worker stage counters must fold back into the sweep report
+        assert pooled.stats["pretrain"]["misses"] >= 1
+        assert pooled.stats["cells"]["misses"] == len(pooled.cells)
+
+    def test_process_pool_shares_disk_cache(self, reference, tmp_path):
+        """Workers share data/pre-train artifacts through --cache-dir."""
+        cache = str(tmp_path / "cache")
+        SweepEngine(cache_dir=cache).run(eps_plan(mini_preset()))
+        pooled = SweepEngine(
+            jobs=2, executor="process", cache_dir=cache
+        ).run(eps_plan(mini_preset()))
+        assert summaries_of(pooled) == summaries_of(reference)
+        assert pooled.stats["pretrain"]["hits"] == len(pooled.cells)
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_resumed_cells_keep_requested_label(self, executor, tmp_path):
+        """Resume relabeling (cache keys are label-free) must survive
+        parallel execution on either pool: resumed cells come back
+        wearing the *requested* spec, fresh cells run on the pool."""
+        preset = mini_preset()
+        cache = str(tmp_path / "cache")
+        stored = eps_plan(preset, name="a").cells
+        stored = tuple(
+            ScenarioSpec(**{**asdict(spec), "label": f"stored/{i}"})
+            for i, spec in enumerate(stored)
+        )
+        SweepEngine(cache_dir=cache).run(
+            SweepPlan(name="a", preset=preset, cells=stored)
+        )
+        requested = tuple(
+            ScenarioSpec(**{**asdict(spec), "label": f"wanted/{i}"})
+            for i, spec in enumerate(stored)
+        )
+        resumed = SweepEngine(
+            jobs=2, executor=executor, cache_dir=cache, resume=True
+        ).run(SweepPlan(name="b", preset=preset, cells=requested))
+        assert resumed.resumed_count() == len(requested)
+        assert tuple(c.spec for c in resumed.cells) == requested
+        assert all(c.spec.label.startswith("wanted/") for c in resumed.cells)
+
+
+class TestRoundCache:
+    """Federate-stage client-update cache: ε grids share honest rounds."""
+
+    @pytest.fixture(scope="class")
+    def uncached(self):
+        return SweepEngine(round_cache=False).run(eps_plan(mini_preset()))
+
+    def test_epsilon_grid_bit_identical_with_hits(self, uncached):
+        cached = SweepEngine(round_cache=True).run(eps_plan(mini_preset()))
+        assert summaries_of(cached) == summaries_of(uncached)
+        assert [c.flagged_per_round for c in cached.cells] == [
+            c.flagged_per_round for c in uncached.cells
+        ]
+        trained, reused = cached.update_counts()
+        # first cell trains all clients; every later ε cell reuses the
+        # honest majority and retrains only the attacker
+        preset = mini_preset()
+        honest = preset.num_clients - preset.num_malicious
+        extra_cells = len(cached.cells) - 1
+        assert reused == honest * extra_cells
+        assert trained == preset.num_clients + extra_cells
+        assert "round cache" in cached.format_stats()
+        assert uncached.stats.get("federate") is None
+
+    def test_strategy_ablation_shares_malicious_updates_too(self):
+        """Strategies only influence updates through the broadcast state,
+        so round 1 of a strategy ablation shares *all* clients."""
+        preset = mini_preset()
+        cells = tuple(
+            scenario(
+                "safeloc", attack="fgsm", epsilon=0.5, strategy=strategy
+            )
+            for strategy in ("saliency-relative", "fedavg")
+        )
+        sweep = SweepEngine().run(
+            SweepPlan(name="strat", preset=preset, cells=cells)
+        )
+        trained, reused = sweep.update_counts()
+        assert reused == preset.num_clients  # whole round 1 of cell 2
+        assert trained == preset.num_clients
+
+    def test_round_cache_persists_under_cache_dir(self, uncached, tmp_path):
+        cache = str(tmp_path / "cache")
+        plan = eps_plan(mini_preset())
+        SweepEngine(cache_dir=cache).run(plan)
+        assert list((tmp_path / "cache" / "federate").glob("*.npz"))
+        # a fresh engine (cold memo, no resume) reloads every round-1
+        # update from disk and still reproduces bit for bit
+        again = SweepEngine(cache_dir=cache).run(plan)
+        assert summaries_of(again) == summaries_of(uncached)
+        # every round-1 update of every cell (the attackers' included)
+        # was persisted by the first run, so nothing retrains
+        trained, reused = again.update_counts()
+        assert trained == 0
+        assert reused == mini_preset().num_clients * len(plan.cells)
+
+    def test_update_encode_decode_roundtrip(self):
+        import numpy as np
+
+        from repro.experiments.artifacts import decode_update, encode_update
+        from repro.fl.aggregation import ClientUpdate
+
+        update = ClientUpdate(
+            client_name="client-3",
+            state={
+                "w": np.arange(6, dtype=np.float64).reshape(2, 3) / 7.0,
+                "b": np.float32([0.25, -1.5]),
+            },
+            num_samples=11,
+            train_loss=0.125,
+            flagged_poisoned=2,
+            is_malicious=True,
+        )
+        decoded = decode_update(encode_update(update))
+        assert decoded.client_name == update.client_name
+        assert decoded.num_samples == 11
+        assert decoded.train_loss == 0.125
+        assert decoded.flagged_poisoned == 2
+        assert decoded.is_malicious is True
+        assert set(decoded.state) == {"w", "b"}
+        for key in update.state:
+            assert decoded.state[key].dtype == update.state[key].dtype
+            assert (decoded.state[key] == update.state[key]).all()
+            # decoded arrays never alias the encoder's input
+            assert decoded.state[key] is not update.state[key]
+
+
+class TestSweepResultStats:
+    def test_cells_per_second_never_inf(self):
+        from repro.experiments.engine import CellResult, SweepResult
+
+        warm = SweepResult(
+            plan_name="p", preset_name="tiny", seed=42, kind="federation",
+            cells=[CellResult(spec=ScenarioSpec(), resumed=True)],
+            stats={}, duration_s=0.0,
+        )
+        assert warm.cells_per_second == 0.0
+        assert "n/a cells/s" in warm.format_stats()
+        assert "inf" not in warm.format_stats()
+        timed = SweepResult(
+            plan_name="p", preset_name="tiny", seed=42, kind="federation",
+            cells=[CellResult(spec=ScenarioSpec())], stats={},
+            duration_s=2.0,
+        )
+        assert timed.cells_per_second == 0.5
 
 
 class TestFast32Preset:
