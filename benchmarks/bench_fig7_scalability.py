@@ -2,9 +2,181 @@
 
 Expected shape (§V.E): FEDHIL's mean error rises as poisoned clients grow
 from 1 to half the federation; SAFELOC stays stable and lowest throughout.
+
+Beyond the paper-shaped pytest entry, this file is a CLI for the
+thousand-client extension the fold-batched client engine unlocks::
+
+    PYTHONPATH=src:benchmarks python benchmarks/bench_fig7_scalability.py \
+        [--max-clients 1024] [--sampled-peers 8] [--output BENCH_fig7.json]
+
+It sweeps FEDLS federations at 256/512/1024 total clients (1/8 poisoned)
+under ``client_engine="batched"`` with the O(n·k) ``sampled_peers``
+detector, and writes a JSON artefact recording, per point, the detection
+metrics (mean error, flagged counts) **and the wall time per federation
+round** — the scalability number the batched engine is accountable for.
+The wall time per round divides the cell's total duration by the round
+count, so it amortizes the one-off per-cell stages (evaluation, client
+dataset generation) across rounds.
 """
 
-from repro.experiments.fig7_scalability import run_fig7
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from dataclasses import replace
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.engine import SweepEngine
+from repro.experiments.fig7_scalability import plan_fig7, run_fig7
+from repro.experiments.scenarios import tiny_preset
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+JSON_PATH = os.path.join(REPO_ROOT, "BENCH_fig7.json")
+
+#: the large-scale grid: (total, poisoned) pairs, an eighth poisoned
+SCALE_STEPS = (256, 512, 1024)
+POISONED_FRACTION = 8
+
+
+def large_scale_grid(max_clients: int) -> Sequence[tuple]:
+    return tuple(
+        (total, total // POISONED_FRACTION)
+        for total in SCALE_STEPS
+        if total <= max_clients
+    )
+
+
+def run_scalability(
+    max_clients: int = 512,
+    sampled_peers: int = 8,
+    detector_epochs: int = 40,
+    seed: int = 42,
+    engine: Optional[SweepEngine] = None,
+) -> Dict[str, object]:
+    """FEDLS at 256..max_clients total clients, batched client engine +
+    sampled-peers detection; returns the JSON-artefact payload."""
+    grid = large_scale_grid(max_clients)
+    if not grid:
+        raise ValueError(
+            f"--max-clients must be >= {SCALE_STEPS[0]}, got {max_clients}"
+        )
+    preset = replace(tiny_preset(seed), client_engine="batched")
+    plan = plan_fig7(
+        preset,
+        frameworks=("fedls",),
+        grid=grid,
+        framework_kwargs={
+            "sampled_peers": sampled_peers,
+            "detector_epochs": detector_epochs,
+        },
+    )
+    sweep = (engine or SweepEngine()).run(plan)
+    points = []
+    for cell in sweep.cells:
+        points.append(
+            {
+                "num_clients": cell.spec.num_clients,
+                "num_malicious": cell.spec.num_malicious,
+                "mean_error_m": cell.error_summary.mean,
+                "worst_error_m": cell.error_summary.worst,
+                "flagged_per_round": list(cell.flagged_per_round),
+                "duration_s": round(cell.duration_s, 2),
+                "wall_time_per_round_s": round(
+                    cell.duration_s / preset.num_rounds, 2
+                ),
+            }
+        )
+    return {
+        "meta": {
+            "benchmark": (
+                "fig7 scalability extension — FEDLS, batched client "
+                "engine, sampled-peers detection"
+            ),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+            "preset": preset.name,
+            "client_engine": preset.client_engine,
+            "num_rounds": preset.num_rounds,
+            "sampled_peers": sampled_peers,
+            "detector_epochs": detector_epochs,
+            "attack": "label_flip",
+        },
+        "points": points,
+    }
+
+
+def format_report(results: Dict[str, object]) -> str:
+    meta = results["meta"]
+    lines = [
+        f"fig7 scalability — FEDLS, client_engine={meta['client_engine']}, "
+        f"sampled_peers={meta['sampled_peers']} "
+        f"[{meta['preset']}, {meta['num_rounds']} rounds]",
+        "",
+    ]
+    for point in results["points"]:
+        lines.append(
+            f"  {point['num_clients']:>5d} clients "
+            f"({point['num_malicious']:>4d} poisoned): "
+            f"mean error {point['mean_error_m']:.2f} m, "
+            f"{point['wall_time_per_round_s']:.2f} s/round "
+            f"(cell {point['duration_s']:.2f} s, flagged "
+            f"{point['flagged_per_round']})"
+        )
+    return "\n".join(lines)
+
+
+def write_json(results: Dict[str, object], path: str = JSON_PATH) -> str:
+    with open(path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--max-clients",
+        type=int,
+        default=512,
+        help="largest total client count to sweep (points at "
+        f"{SCALE_STEPS} up to this bound; default 512)",
+    )
+    parser.add_argument(
+        "--sampled-peers",
+        type=int,
+        default=8,
+        help="FEDLS O(n·k) detector peers per fold (default 8)",
+    )
+    parser.add_argument(
+        "--detector-epochs",
+        type=int,
+        default=40,
+        help="FEDLS detector fit budget per round (default 40)",
+    )
+    parser.add_argument(
+        "--output",
+        default=JSON_PATH,
+        help="where to write the JSON artefact (default repo-root "
+        "BENCH_fig7.json)",
+    )
+    args = parser.parse_args(argv)
+    results = run_scalability(
+        max_clients=args.max_clients,
+        sampled_peers=args.sampled_peers,
+        detector_epochs=args.detector_epochs,
+    )
+    print(format_report(results))
+    path = write_json(results, args.output)
+    print(f"\n[written to {path}]")
+    return 0
 
 
 def test_fig7_scalability(benchmark, preset, save_report):
@@ -22,3 +194,7 @@ def test_fig7_scalability(benchmark, preset, save_report):
     assert result.growth("fedhil") > result.growth("safeloc"), (
         "FEDHIL's error should grow faster with poisoned clients"
     )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

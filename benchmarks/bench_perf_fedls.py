@@ -13,7 +13,13 @@ every run**:
   epoch budget), with the kept/dropped decision overlap per round;
 * ``fig6_column`` — the end-to-end Fig. 6 FEDLS column at the tiny
   preset, batched vs serial engines sharing one pre-train through the
-  scenario engine; the error table must be identical.
+  scenario engine; the error table must be identical;
+* ``client_round`` — one full federation round, the serial per-client
+  loop vs the fold-batched client engine (``client_engine="batched"``)
+  at 8/32/128/512 clients, with every update state compared bit for bit;
+* ``sampled_peers`` — FEDLS detection with the O(n·k) seeded peer
+  sampling vs the full O(n²) leave-one-out program, plus the serial vs
+  batched agreement of the sampled path (≤1e-10, the exact contract).
 
 ``scripts/run_benchmarks.py --suite fedls`` runs it and writes
 ``BENCH_fedls.json`` at the repo root; any equivalence failure makes the
@@ -30,10 +36,15 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro.baselines.dnn import DNNLocalizer
 from repro.baselines.fedls import LatentSpaceAggregation, robust_normalize
+from repro.data import FingerprintDataset
 from repro.experiments.engine import SweepEngine
 from repro.experiments.runner import run_framework
 from repro.experiments.scenarios import tiny_preset
+from repro.fl import FedAvg, FederatedClient, FederatedServer
+from repro.fl.client import ClientConfig
+from repro.utils.rng import SeedSequence
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 JSON_PATH = os.path.join(REPO_ROOT, "BENCH_fedls.json")
@@ -202,6 +213,140 @@ def bench_fig6_column(quick: bool = False) -> Dict[str, object]:
     }
 
 
+#: client-round suite shape (synthetic cohort, DNN clients)
+ROUND_FEATURES, ROUND_CLASSES = 14, 6
+ROUND_SAMPLES, ROUND_EPOCHS, ROUND_BATCH = 48, 5, 8
+ROUND_CLIENT_COUNTS = (8, 32, 128, 512)
+
+
+def _round_cohort(n_clients: int) -> List[FederatedClient]:
+    """n honest DNN clients on private synthetic surveys (fresh models)."""
+    clients = []
+    for i in range(n_clients):
+        rng = np.random.default_rng(10_000 + i)
+        dataset = FingerprintDataset(
+            rng.uniform(0, 1, size=(ROUND_SAMPLES, ROUND_FEATURES)),
+            rng.integers(0, ROUND_CLASSES, size=ROUND_SAMPLES),
+        )
+        clients.append(
+            FederatedClient(
+                f"c{i}",
+                DNNLocalizer(
+                    ROUND_FEATURES, ROUND_CLASSES, hidden=(32,), seed=i
+                ),
+                dataset,
+                ClientConfig(epochs=ROUND_EPOCHS, lr=0.01, batch_size=ROUND_BATCH),
+                seeds=SeedSequence(100 + i),
+            )
+        )
+    return clients
+
+
+def _run_engine_round(engine: str, n_clients: int):
+    """One federation round under one client engine; returns (seconds,
+    update list, final GM state)."""
+    server = FederatedServer(
+        DNNLocalizer(ROUND_FEATURES, ROUND_CLASSES, hidden=(32,), seed=999),
+        FedAvg(),
+        _round_cohort(n_clients),
+        seeds=SeedSequence(7),
+        client_engine=engine,
+    )
+    start = time.perf_counter()
+    record = server.run_round()
+    elapsed = time.perf_counter() - start
+    return elapsed, record.updates, server.model.state_dict()
+
+
+def _updates_identical(a, b) -> bool:
+    if len(a) != len(b):
+        return False
+    for u_a, u_b in zip(a, b):
+        if u_a.train_loss != u_b.train_loss:
+            return False
+        for key in u_a.state:
+            if not np.array_equal(u_a.state[key], u_b.state[key]):
+                return False
+    return True
+
+
+def bench_client_round(
+    client_counts: Sequence[int] = ROUND_CLIENT_COUNTS,
+    repeats: int = 3,
+) -> Dict[str, dict]:
+    """Serial per-client loop vs the fold-batched client engine, one full
+    federation round (broadcast, self-label, train, aggregate) on
+    identical cohorts; every client update compared bit for bit."""
+    cells: Dict[str, dict] = {}
+    for n_clients in client_counts:
+        serial_best = batched_best = float("inf")
+        for _ in range(repeats):
+            serial_s, serial_updates, serial_gm = _run_engine_round(
+                "serial", n_clients
+            )
+            batched_s, batched_updates, batched_gm = _run_engine_round(
+                "batched", n_clients
+            )
+            serial_best = min(serial_best, serial_s)
+            batched_best = min(batched_best, batched_s)
+        identical = _updates_identical(serial_updates, batched_updates) and all(
+            np.array_equal(serial_gm[key], batched_gm[key])
+            for key in serial_gm
+        )
+        cells[str(n_clients)] = {
+            "epochs": ROUND_EPOCHS,
+            "serial_ms": round(serial_best * 1e3, 2),
+            "batched_ms": round(batched_best * 1e3, 2),
+            "speedup": round(serial_best / batched_best, 2),
+            "bit_identical_updates": bool(identical),
+        }
+    return cells
+
+
+def bench_sampled_peers(
+    n_clients: int = 128,
+    k: int = 8,
+    epochs: int = 120,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """The O(n·k) sampled-peers detector vs the full O(n²) LOO program.
+
+    Sampling is approximate vs full LOO by design (the kept-set overlap
+    is recorded), but the serial and batched engines must agree on the
+    *sampled* path at ≤1e-10 — that exactness is the gated contract.
+    """
+    normalized = _normalized_summaries(n_clients, seed=n_clients)
+    full = LatentSpaceAggregation(detector_epochs=epochs, seed=0)
+    sampled = LatentSpaceAggregation(
+        detector_epochs=epochs, seed=0, sampled_peers=k
+    )
+    full_best = sampled_best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        full_errors = full.leave_one_out_errors(normalized, 1)
+        full_best = min(full_best, time.perf_counter() - start)
+        start = time.perf_counter()
+        sampled_errors = sampled.leave_one_out_errors(normalized, 1)
+        sampled_best = min(sampled_best, time.perf_counter() - start)
+    serial_sampled = sampled.leave_one_out_errors(
+        normalized, 1, engine="serial"
+    )
+    engine_diff = float(np.abs(sampled_errors - serial_sampled).max())
+    return {
+        "n_clients": n_clients,
+        "sampled_peers": k,
+        "epochs": epochs,
+        "full_loo_ms": round(full_best * 1e3, 2),
+        "sampled_ms": round(sampled_best * 1e3, 2),
+        "speedup": round(full_best / sampled_best, 2),
+        "kept_set_overlap": float(
+            (_kept_mask(full_errors) == _kept_mask(sampled_errors)).mean()
+        ),
+        "engine_max_abs_diff": engine_diff,
+        "engine_agreement_ok": bool(engine_diff < 1e-10),
+    }
+
+
 def run_all(quick: bool = False) -> Dict[str, object]:
     """Full benchmark → result dict (shape of ``BENCH_fedls.json``)."""
     client_counts = (8, 32) if quick else CLIENT_COUNTS
@@ -210,6 +355,15 @@ def run_all(quick: bool = False) -> Dict[str, object]:
                              repeats=2 if quick else 3)
     warm = bench_warm_start(epochs=epochs, n_rounds=3 if quick else 5)
     fig6 = bench_fig6_column(quick=quick)
+    round_counts = (8, 32) if quick else ROUND_CLIENT_COUNTS
+    client_round = bench_client_round(
+        client_counts=round_counts, repeats=2 if quick else 3
+    )
+    peers = bench_sampled_peers(
+        n_clients=32 if quick else 128,
+        epochs=epochs,
+        repeats=2 if quick else 3,
+    )
     headline = fit[str(HEADLINE_CLIENTS)]
     return {
         "meta": {
@@ -232,6 +386,8 @@ def run_all(quick: bool = False) -> Dict[str, object]:
         "detector_fit": fit,
         "warm_start": warm,
         "fig6_column": fig6,
+        "client_round": client_round,
+        "sampled_peers": peers,
     }
 
 
@@ -248,6 +404,18 @@ def equivalence_failures(results: Dict[str, object]) -> List[str]:
             )
     if not results["fig6_column"]["identical_error_tables"]:
         failures.append("fig6 FEDLS column differs between engines")
+    for n_clients, cell in results["client_round"].items():
+        if not cell["bit_identical_updates"]:
+            failures.append(
+                f"batched client engine diverged from the serial loop at "
+                f"{n_clients} clients"
+            )
+    if not results["sampled_peers"]["engine_agreement_ok"]:
+        failures.append(
+            "sampled-peers detection disagrees between serial and batched "
+            f"engines (max|err diff| "
+            f"{results['sampled_peers']['engine_max_abs_diff']:.2e})"
+        )
     return failures
 
 
@@ -289,6 +457,21 @@ def format_report(results: Dict[str, object]) -> str:
         f"{fig6['batched_s']} s ({fig6['speedup']}x), identical error "
         f"tables: {fig6['identical_error_tables']}"
     )
+    lines.append("\nclient round, serial loop -> batched client engine:")
+    for n_clients, cell in results["client_round"].items():
+        lines.append(
+            f"  {n_clients:>4s} clients  {cell['speedup']:6.2f}x  "
+            f"({cell['serial_ms']:9.2f} -> {cell['batched_ms']:8.2f} ms, "
+            f"bit-identical {cell['bit_identical_updates']})"
+        )
+    peers = results["sampled_peers"]
+    lines.append(
+        f"\nsampled peers (n={peers['n_clients']}, k="
+        f"{peers['sampled_peers']}): full LOO {peers['full_loo_ms']} ms -> "
+        f"sampled {peers['sampled_ms']} ms ({peers['speedup']}x, kept-set "
+        f"overlap {peers['kept_set_overlap']:.2f}, engine diff "
+        f"{peers['engine_max_abs_diff']:.1e})"
+    )
     return "\n".join(lines)
 
 
@@ -305,3 +488,4 @@ def test_perf_fedls(save_report):
     save_report("perf_fedls", format_report(results))
     assert equivalence_ok(results)
     assert results["headline"]["speedup"] > 1.0
+    assert results["client_round"]["32"]["speedup"] > 1.0

@@ -52,6 +52,7 @@ from repro.experiments.engine import (
 )
 from repro.experiments.runner import ExperimentResult, run_framework
 from repro.experiments.scenarios import Preset, get_preset
+from repro.fl.server import CLIENT_ENGINES
 from repro.experiments.specio import (
     SpecValidationError,
     load_plan,
@@ -146,6 +147,19 @@ class ExperimentBuilder:
     def override(self, **fields) -> "ExperimentBuilder":
         """Override arbitrary :class:`Preset` fields (escape hatch)."""
         self._overrides.update(fields)
+        return self
+
+    def client_engine(self, engine: str) -> "ExperimentBuilder":
+        """Client execution engine per federation round: ``"serial"``
+        (per-client loop, the bit-exact reference) or ``"batched"``
+        (fold-stacked cohort training — identical results at float64,
+        see :mod:`repro.fl.batched_round`)."""
+        if engine not in CLIENT_ENGINES:
+            raise ValueError(
+                f"client_engine must be one of {CLIENT_ENGINES}, "
+                f"got {engine!r}"
+            )
+        self._overrides["client_engine"] = engine
         return self
 
     # -- execution shape ---------------------------------------------------
@@ -288,12 +302,19 @@ def run_single(
     num_malicious: Optional[int] = None,
     framework_kwargs: Optional[Dict] = None,
     engine: Optional[SweepEngine] = None,
+    client_engine: Optional[str] = None,
 ) -> ExperimentResult:
-    """One federation under one scenario (the ``repro run`` command)."""
+    """One federation under one scenario (the ``repro run`` command).
+
+    ``client_engine`` overrides the preset's client execution engine
+    (``"serial"``/``"batched"`` — bit-identical at float64).
+    """
     if isinstance(preset, str):
         preset = get_preset(preset, seed=42 if seed is None else seed)
     elif seed is not None and seed != preset.seed:
         preset = replace(preset, seed=seed)
+    if client_engine is not None and client_engine != preset.client_engine:
+        preset = replace(preset, client_engine=client_engine)
     return run_framework(
         framework,
         preset,
@@ -316,8 +337,13 @@ def run_spec(
     collect: bool = True,
     executor: Optional[str] = None,
     round_cache: Optional[bool] = None,
+    client_engine: Optional[str] = None,
 ):
     """Execute a sweep spec — a file path, a payload dict, or a plan.
+
+    ``client_engine`` overrides the spec preset's client execution
+    engine (``"serial"``/``"batched"`` — bit-identical at float64, so
+    the override never changes results, only round wall-time).
 
     When the plan's name matches a registered artefact (every golden
     spec does) and ``collect=True``, the artefact's collector shapes the
@@ -341,6 +367,18 @@ def run_spec(
         payload = load_payload(spec)
         hints = payload.get("engine") or {}
         plan = SweepPlan.from_dict(payload, validate=False)
+    if (
+        client_engine is not None
+        and client_engine != plan.preset.client_engine
+    ):
+        if client_engine not in CLIENT_ENGINES:
+            raise ValueError(
+                f"client_engine must be one of {CLIENT_ENGINES}, "
+                f"got {client_engine!r}"
+            )
+        plan = replace(
+            plan, preset=replace(plan.preset, client_engine=client_engine)
+        )
     if engine is None:
         engine = SweepEngine(
             jobs=jobs if jobs is not None else hints.get("jobs"),

@@ -93,6 +93,14 @@ class DNNLocalizer(LocalizationModel):
     def predict(self, features: np.ndarray) -> np.ndarray:
         return self.logits(features).argmax(axis=1)
 
+    def fold_batch_network(self) -> Optional[Sequential]:
+        """The plain classifier network, stackable by the batched client
+        engine — unless a subclass replaced :meth:`train_epochs` with a
+        loop the fold-batched program does not reproduce."""
+        if type(self).train_epochs is not DNNLocalizer.train_epochs:
+            return None
+        return self.network
+
     def gradient_oracle(self) -> GradientOracle:
         return classifier_gradient_oracle(self.network, SparseCrossEntropyLoss())
 

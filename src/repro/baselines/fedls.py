@@ -193,6 +193,30 @@ def leave_one_out_index(n: int) -> np.ndarray:
     return grid[grid != np.arange(n)[:, None]].reshape(n, n - 1)
 
 
+def sampled_peer_index(
+    n: int, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``(n, k)`` gather matrix: row ``i`` holds ``k`` distinct peers of ``i``.
+
+    The O(n·k) replacement for the full ``(n, n−1)`` leave-one-out
+    matrix: fold ``i``'s detector trains on a seeded sample of its peers
+    instead of all of them, turning the peer tensor (and the stacked
+    GEMMs over it) from O(n²) to O(n·k).  Rows are drawn fold by fold in
+    index order from ``rng``, so a given ``(seed, round)`` produces one
+    peer assignment that the serial and batched detector paths share —
+    they train on identical data and agree at ≤1e-10 like the full-LOO
+    paths do.
+    """
+    if not 2 <= k <= n - 1:
+        raise ValueError(
+            f"sampled peers must satisfy 2 <= k <= n-1, got k={k} for n={n}"
+        )
+    full = leave_one_out_index(n)
+    return np.stack(
+        [rng.choice(full[row], size=k, replace=False) for row in range(n)]
+    )
+
+
 class LatentSpaceAggregation(AggregationStrategy):
     """Drop latent-space-anomalous LM updates, FedAvg the rest.
 
@@ -221,6 +245,13 @@ class LatentSpaceAggregation(AggregationStrategy):
             fresh federation never inherits another run's detectors.
         warm_start_epochs: Reduced per-round budget once warm
             (default: ``detector_epochs // 4``, at least 1).
+        sampled_peers: When set, each fold's detector trains on this many
+            seeded-sampled peers instead of all ``n−1`` — the O(n·k)
+            scalability mode for large federations (see
+            :func:`sampled_peer_index`).  ``None`` (default) keeps the
+            exact full leave-one-out program.  Values ≥ ``n−1`` fall back
+            to full LOO, so a fixed ``k`` is safe across cohort sizes.
+            Both detector engines share one peer assignment per round.
     """
 
     name = "fedls-latent"
@@ -233,6 +264,7 @@ class LatentSpaceAggregation(AggregationStrategy):
         detector_engine: str = "batched",
         warm_start: bool = False,
         warm_start_epochs: Optional[int] = None,
+        sampled_peers: Optional[int] = None,
     ):
         if outlier_factor <= 1.0:
             raise ValueError("outlier_factor must be > 1")
@@ -247,6 +279,10 @@ class LatentSpaceAggregation(AggregationStrategy):
             raise ValueError("warm_start requires the batched engine")
         if warm_start_epochs is not None and warm_start_epochs <= 0:
             raise ValueError("warm_start_epochs must be positive")
+        if sampled_peers is not None and sampled_peers < 2:
+            raise ValueError(
+                f"sampled_peers must be >= 2 when set, got {sampled_peers}"
+            )
         self.outlier_factor = float(outlier_factor)
         self.detector_epochs = int(detector_epochs)
         self.seed = int(seed)
@@ -256,6 +292,9 @@ class LatentSpaceAggregation(AggregationStrategy):
             int(warm_start_epochs)
             if warm_start_epochs is not None
             else max(1, self.detector_epochs // 4)
+        )
+        self.sampled_peers = (
+            int(sampled_peers) if sampled_peers is not None else None
         )
         self._local_round = 0
         self._warm_network: Optional[BatchedSequential] = None
@@ -349,14 +388,32 @@ class LatentSpaceAggregation(AggregationStrategy):
             self.seed + 1000 * round_index + idx for idx in range(n_folds)
         ]
 
+    def _peer_index(self, n: int, round_index: int) -> np.ndarray:
+        """The round's peer-gather matrix, shared by both engines.
+
+        Full ``(n, n−1)`` leave-one-out by default; ``(n, k)`` seeded
+        sampling when ``sampled_peers`` is active and actually smaller
+        than the full peer set.  Recomputing the sample from
+        ``(seed, round)`` each call keeps the serial and batched paths —
+        and repeated runs — on identical peer assignments.
+        """
+        k = self.sampled_peers
+        if k is None or k >= n - 1:
+            return leave_one_out_index(n)
+        rng = spawn_rng(
+            self.seed + 1000 * round_index, "fedls-peer-sample"
+        )
+        return sampled_peer_index(n, k, rng)
+
     def _loo_errors_serial(
         self, normalized: np.ndarray, round_index: int
     ) -> np.ndarray:
         """One fresh 120-epoch autoencoder per fold — the reference path."""
         n = normalized.shape[0]
+        peer_index = self._peer_index(n, round_index)
         errors = np.empty(n)
         for idx, fold_seed in enumerate(self._fold_seeds(n, round_index)):
-            peers = np.delete(normalized, idx, axis=0)
+            peers = normalized[peer_index[idx]]
             detector = UpdateAutoencoder(
                 normalized.shape[1],
                 epochs=self.detector_epochs,
@@ -389,7 +446,7 @@ class LatentSpaceAggregation(AggregationStrategy):
                 epochs = self.warm_start_epochs
         if network is None:
             network = self._build_detectors(feature_dim, n, round_index)
-        peers = normalized[leave_one_out_index(n)]
+        peers = normalized[self._peer_index(n, round_index)]
         loss = BatchedMSELoss()
         optimizer = BatchedAdam(network.trainable_parameters(), lr=DETECTOR_LR)
         for _ in range(epochs):
@@ -438,13 +495,15 @@ def make_fedls(
     detector_engine: str = "batched",
     warm_start: bool = False,
     warm_start_epochs: Optional[int] = None,
+    sampled_peers: Optional[int] = None,
 ) -> FrameworkSpec:
     """FEDLS framework bundle.
 
     The detector knobs pass straight through to
     :class:`LatentSpaceAggregation`, so sweeps can enable the approximate
-    warm-start mode (or pin the serial reference engine) per cell via
-    ``framework_kwargs`` — e.g. ``{"warm_start": True}``.
+    warm-start mode, pin the serial reference engine, or switch to the
+    O(n·k) ``sampled_peers`` detector per cell via ``framework_kwargs``
+    — e.g. ``{"warm_start": True}`` or ``{"sampled_peers": 16}``.
     """
     return FrameworkSpec(
         name="fedls",
@@ -458,6 +517,7 @@ def make_fedls(
             detector_engine=detector_engine,
             warm_start=warm_start,
             warm_start_epochs=warm_start_epochs,
+            sampled_peers=sampled_peers,
         ),
         description="FEDLS: DNN + latent-space update anomaly filter [24]",
     )

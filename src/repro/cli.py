@@ -23,8 +23,13 @@ Commands:
 thread|process`` (what kind of pool the cells run on — ``process``
 scales past the GIL on multi-core hosts), ``--cache-dir PATH``
 (on-disk artifact cache shared across invocations), ``--resume``
-(skip cells already finished in the cache dir) and
-``--no-round-cache`` (disable the federate-stage client-update cache).
+(skip cells already finished in the cache dir),
+``--no-round-cache`` (disable the federate-stage client-update cache)
+and ``--client-engine serial|batched`` (per-round client execution:
+the serial per-client reference loop, or fold-batched cohort training
+that runs every honest client's local epochs as one stacked matmul
+program — bit-identical at float64).  ``run`` accepts
+``--client-engine`` too.
 """
 
 from __future__ import annotations
@@ -52,7 +57,7 @@ def _api():
 
 
 def _builder(artefact: str, args: argparse.Namespace):
-    return (
+    builder = (
         _api().experiment(artefact)
         .preset(args.preset)
         .seed(args.seed)
@@ -62,6 +67,9 @@ def _builder(artefact: str, args: argparse.Namespace):
         .resume(args.resume)
         .round_cache(not args.no_round_cache)
     )
+    if getattr(args, "client_engine", None) is not None:
+        builder = builder.client_engine(args.client_engine)
+    return builder
 
 
 def _print_result(result) -> None:
@@ -85,7 +93,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 def _cmd_ablation(args: argparse.Namespace) -> int:
     api = _api()
-    result = (
+    builder = (
         api.ablation(args.axis)
         .preset(args.preset)
         .seed(args.seed)
@@ -94,9 +102,10 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
         .cache(args.cache_dir)
         .resume(args.resume)
         .round_cache(not args.no_round_cache)
-        .run()
     )
-    _print_result(result)
+    if args.client_engine is not None:
+        builder = builder.client_engine(args.client_engine)
+    _print_result(builder.run())
     return 0
 
 
@@ -109,6 +118,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         attack=args.attack,
         epsilon=args.epsilon,
         building=args.building,
+        client_engine=args.client_engine,
     )
     print(
         f"{result.framework} / {result.attack} eps={result.epsilon} on "
@@ -130,6 +140,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             cache_dir=args.cache_dir,
             resume=args.resume,
             round_cache=False if args.no_round_cache else None,
+            client_engine=args.client_engine,
         )
     except api.SpecValidationError as error:
         print(error, file=sys.stderr)
@@ -217,6 +228,20 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         "keyed on the broadcast GM state; on by default, bit-identical "
         "to recomputing)",
     )
+    _add_client_engine_option(parser)
+
+
+def _add_client_engine_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--client-engine",
+        choices=("serial", "batched"),
+        default=None,
+        help="client execution engine per federation round: 'serial' "
+        "(per-client loop, the bit-exact reference) or 'batched' "
+        "(fold-stacked cohort training — one 3-D matmul program per "
+        "round, identical results at float64; default: the preset's "
+        "engine)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -249,6 +274,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--building", default=None)
     run.add_argument("--preset", default="fast", choices=presets)
     run.add_argument("--seed", type=int, default=42)
+    _add_client_engine_option(run)
     run.set_defaults(func=_cmd_run)
 
     swp = sub.add_parser(

@@ -87,7 +87,8 @@ for _name, _plan, _collect, _paper, _doc, _options in (
      "Fig. 6 — SAFELOC vs the state of the art per attack",
      ("frameworks",)),
     ("fig7", plan_fig7, collect_fig7, True,
-     "Fig. 7 — error vs (total, poisoned) client counts", ()),
+     "Fig. 7 — error vs (total, poisoned) client counts",
+     ("frameworks", "grid", "framework_kwargs")),
     ("ablation-aggregation", plan_aggregation_ablation, collect_ablation,
      False, "Ablation — saliency vs FedAvg and classical robust rules", ()),
     ("ablation-denoise", plan_denoise_ablation, collect_ablation, False,

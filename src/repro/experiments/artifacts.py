@@ -241,6 +241,60 @@ class ArtifactCache:
         )
         return decode_update(encoded), hit
 
+    def peek_client_update(self, key: str) -> Optional[ClientUpdate]:
+        """The cached update for ``key``, or ``None`` — never computes.
+
+        The probe half of the batched client engine's consult/populate
+        split: a cohort probes every fold first, trains only the misses in
+        one stacked program, then stores them via
+        :meth:`store_client_update`.  A probe records one federate hit or
+        miss — the store records nothing — so engines that probe+store and
+        engines that call :meth:`get_client_update` report identical
+        counter totals for identical work.
+        """
+        memo_key = ("federate", key)
+        with self._locks.lock(memo_key):
+            with self._memo_lock:
+                encoded = self._memo.get(memo_key)
+            if encoded is None:
+                path = self._path("federate", key, ".npz")
+                if path and os.path.exists(path):
+                    try:
+                        encoded = _read_bytes(path)
+                    except OSError:
+                        with contextlib.suppress(OSError):
+                            os.remove(path)
+                        encoded = None
+                    else:
+                        with self._memo_lock:
+                            self._memo[memo_key] = encoded
+        if encoded is None:
+            self.stats.record("federate", hit=False)
+            return None
+        self.stats.record("federate", hit=True)
+        return decode_update(encoded)
+
+    def store_client_update(self, key: str, update: ClientUpdate) -> ClientUpdate:
+        """Store one computed update; returns the decoded round-trip copy.
+
+        Counterpart of :meth:`peek_client_update` (which already counted
+        the miss).  Returns ``decode(encode(update))`` so callers consume
+        exactly what a later cache hit would return — byte-for-byte the
+        same arrays, never aliasing the caller's tensors.
+        """
+        encoded = encode_update(update)
+        memo_key = ("federate", key)
+        with self._locks.lock(memo_key):
+            path = self._path("federate", key, ".npz")
+            if path:
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                tmp = self._path("federate", _tmp_name(key), ".npz")
+                _write_bytes(tmp, encoded)
+                os.replace(tmp, path)
+            with self._memo_lock:
+                self._memo[memo_key] = encoded
+        return decode_update(encoded)
+
     # -- finished cells (resume) ------------------------------------------
     def load_cell(self, key: str) -> Optional[Dict]:
         """A previously stored cell record, or None."""
@@ -318,6 +372,65 @@ class RoundCache:
         """The signature the server hands back to :meth:`get_update`."""
         return state_signature(state)
 
+    def cacheable(self, broadcast_signature: str) -> bool:
+        """Whether this round's broadcast passes the signature gate."""
+        return (
+            self.shared_signature is None
+            or broadcast_signature == self.shared_signature
+        )
+
+    def _key(
+        self, client_index: int, round_index: int, broadcast_signature: str
+    ) -> str:
+        """Content key for one (client, round, broadcast) triple.
+
+        Deliberately **engine-free**: the serial loop and the batched
+        cohort produce bit-identical updates, so a round computed by one
+        engine must be a hit for the other.
+        """
+        return content_key(
+            {
+                **self.base,
+                "client": client_index,
+                "attack": self.client_attacks[client_index],
+                "round": round_index,
+                "broadcast": broadcast_signature,
+            }
+        )
+
+    def lookup(
+        self, client_index: int, round_index: int, broadcast_signature: str
+    ) -> Optional[ClientUpdate]:
+        """Probe for one client's cached update without computing.
+
+        Non-cacheable rounds return ``None`` and leave the counters
+        untouched; cacheable rounds record one federate hit or miss.
+        Pair every miss with a :meth:`store` once the update is trained.
+        """
+        if not self.cacheable(broadcast_signature):
+            return None
+        return self.artifacts.peek_client_update(
+            self._key(client_index, round_index, broadcast_signature)
+        )
+
+    def store(
+        self,
+        client_index: int,
+        round_index: int,
+        broadcast_signature: str,
+        update: ClientUpdate,
+    ) -> ClientUpdate:
+        """Populate one client's update after a :meth:`lookup` miss.
+
+        Returns the decoded round-trip copy (what a later hit would
+        return); non-cacheable rounds pass ``update`` through unstored.
+        """
+        if not self.cacheable(broadcast_signature):
+            return update
+        return self.artifacts.store_client_update(
+            self._key(client_index, round_index, broadcast_signature), update
+        )
+
     def get_update(
         self,
         client_index: int,
@@ -329,20 +442,9 @@ class RoundCache:
         computing (and storing) it on a miss.  Non-cacheable rounds (the
         signature gate) fall straight through to ``compute`` and leave
         the hit/miss counters untouched."""
-        if (
-            self.shared_signature is not None
-            and broadcast_signature != self.shared_signature
-        ):
+        if not self.cacheable(broadcast_signature):
             return compute()
-        key = content_key(
-            {
-                **self.base,
-                "client": client_index,
-                "attack": self.client_attacks[client_index],
-                "round": round_index,
-                "broadcast": broadcast_signature,
-            }
-        )
+        key = self._key(client_index, round_index, broadcast_signature)
         update, _ = self.artifacts.get_client_update(key, compute)
         return update
 

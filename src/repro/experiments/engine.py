@@ -108,13 +108,16 @@ PRETRAIN_NEUTRAL_KWARGS: Dict[str, frozenset] = {
             "detector_engine",
             "warm_start",
             "warm_start_epochs",
+            "sampled_peers",
         }
     ),
 }
 
 #: preset fields that cannot influence a single cell's numbers (grids the
 #: drivers expand into explicit spec fields, display metadata, and the
-#: scheduling knob that is bit-neutral by construction).
+#: scheduling knobs that are bit-neutral by construction — ``max_workers``
+#: reorders nothing and ``client_engine`` is pinned bit-identical to the
+#: serial loop, so cells resumed across engines share one entry).
 _CELL_NEUTRAL_PRESET_FIELDS = frozenset(
     {
         "name",
@@ -126,6 +129,7 @@ _CELL_NEUTRAL_PRESET_FIELDS = frozenset(
         "scalability_grid",
         "latency_repeats",
         "max_workers",
+        "client_engine",
     }
 )
 

@@ -65,9 +65,23 @@ class Fig7Result:
         )
 
 
-def plan_fig7(preset: Preset) -> SweepPlan:
+def plan_fig7(
+    preset: Preset,
+    frameworks: Optional[Tuple[str, ...]] = None,
+    grid: Optional[Tuple[Tuple[int, int], ...]] = None,
+    framework_kwargs: Optional[Dict[str, object]] = None,
+) -> SweepPlan:
     """The Fig. 7 grid: (framework, (total, poisoned)) on the first
-    building."""
+    building.
+
+    ``frameworks`` restricts/reorders the framework set (default: the
+    paper's SAFELOC/ONLAD/FEDHIL trio), ``grid`` overrides the preset's
+    ``scalability_grid`` — e.g. ``((256, 32), (512, 64), (1024, 128))``
+    for the thousand-client sweep under ``client_engine="batched"`` —
+    and ``framework_kwargs`` rides along on every cell (e.g.
+    ``{"sampled_peers": 8}`` to put FEDLS on its O(n·k) detector path
+    at those scales).
+    """
     cells = tuple(
         scenario(
             framework,
@@ -75,9 +89,10 @@ def plan_fig7(preset: Preset) -> SweepPlan:
             epsilon=SCALABILITY_EPSILON,
             num_clients=total,
             num_malicious=poisoned,
+            framework_kwargs=framework_kwargs,
         )
-        for framework in SCALABILITY_FRAMEWORKS
-        for total, poisoned in preset.scalability_grid
+        for framework in (frameworks or SCALABILITY_FRAMEWORKS)
+        for total, poisoned in (grid or preset.scalability_grid)
     )
     return SweepPlan(name="fig7", preset=preset, cells=cells)
 
@@ -107,7 +122,12 @@ def collect_fig7(plan: SweepPlan, sweep: SweepResult) -> Fig7Result:
     )
 
 
-def run_fig7(preset: Preset, engine: Optional[SweepEngine] = None) -> Fig7Result:
-    """Reproduce the scalability sweep on the preset's first building."""
-    plan = plan_fig7(preset)
+def run_fig7(
+    preset: Preset,
+    engine: Optional[SweepEngine] = None,
+    **options,
+) -> Fig7Result:
+    """Reproduce the scalability sweep on the preset's first building;
+    ``options`` are forwarded to :func:`plan_fig7`."""
+    plan = plan_fig7(preset, **options)
     return collect_fig7(plan, (engine or SweepEngine()).run(plan))

@@ -68,6 +68,10 @@ class Preset:
     latency_repeats: int = 30
     #: client-update thread count per round (None = sequential reference)
     max_workers: Optional[int] = None
+    #: client execution engine: "serial" (per-client loop, the bit-exact
+    #: reference) or "batched" (fold-stacked cohort training; identical
+    #: results at float64 — see :mod:`repro.fl.batched_round`)
+    client_engine: str = "serial"
     #: numpy float width the whole stack computes at ("float64" is the
     #: bit-for-bit reference; "float32" halves state memory/bandwidth —
     #: see the ``fast32`` preset)
@@ -101,6 +105,7 @@ class Preset:
             pretrain_epochs=self.pretrain_epochs,
             pretrain_lr=self.pretrain_lr,
             max_workers=self.max_workers,
+            client_engine=self.client_engine,
         )
 
     # -- serialization -----------------------------------------------------
@@ -130,6 +135,7 @@ class Preset:
             "scalability_grid": [list(pair) for pair in self.scalability_grid],
             "latency_repeats": self.latency_repeats,
             "max_workers": self.max_workers,
+            "client_engine": self.client_engine,
             "compute_dtype": self.compute_dtype,
         }
 

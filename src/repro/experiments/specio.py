@@ -56,6 +56,7 @@ _PRESET_FIELD_TYPES = {
     "scalability_grid": list,
     "latency_repeats": int,
     "max_workers": (int, type(None)),
+    "client_engine": str,
     "compute_dtype": str,
 }
 
@@ -335,6 +336,11 @@ def validate_plan_payload(
             errors.append(
                 f"preset.compute_dtype: expected 'float32' or 'float64', "
                 f"got {preset.get('compute_dtype')!r}"
+            )
+        if preset.get("client_engine") not in (None, "serial", "batched"):
+            errors.append(
+                f"preset.client_engine: expected 'serial' or 'batched', "
+                f"got {preset.get('client_engine')!r}"
             )
     cells = payload.get("cells")
     if not isinstance(cells, list) or not cells:

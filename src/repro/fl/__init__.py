@@ -33,8 +33,9 @@ from repro.fl.state import (
 )
 from repro.fl.interfaces import LocalizationModel
 from repro.fl.aggregation import AggregationStrategy, ClientUpdate, FedAvg
-from repro.fl.client import FederatedClient
-from repro.fl.server import FederatedServer, RoundRecord
+from repro.fl.batched_round import ClientCohort
+from repro.fl.client import FederatedClient, client_round_rng, round_stream
+from repro.fl.server import CLIENT_ENGINES, FederatedServer, RoundRecord
 from repro.fl.simulation import (
     FederationConfig,
     build_client_datasets,
@@ -64,7 +65,11 @@ __all__ = [
     "AggregationStrategy",
     "ClientUpdate",
     "FedAvg",
+    "ClientCohort",
+    "CLIENT_ENGINES",
     "FederatedClient",
+    "client_round_rng",
+    "round_stream",
     "FederatedServer",
     "RoundRecord",
     "FederationConfig",

@@ -1,0 +1,233 @@
+"""Batched client engine: one fold-stacked training program per round.
+
+The serial federation loop walks clients one by one, so a round over *n*
+tiny identical networks pays ``n × epochs × batches`` Python-level
+training steps.  But the per-client work is embarrassingly fold-shaped:
+every honest client trains the *same architecture* (its copy of the
+broadcast GM) on its own data with the same schedule.  A
+:class:`ClientCohort` therefore stacks the clients' networks onto a fold
+axis via :meth:`~repro.nn.batched.BatchedSequential.from_modules` and
+runs the whole local-training schedule — per-fold shuffled mini-batches,
+one :class:`~repro.nn.batched.BatchedAdam`, per-fold losses — as stacked
+3-D matmuls, then unstacks the folds into the very same
+:class:`~repro.fl.aggregation.ClientUpdate` objects the aggregation
+layer already consumes.
+
+**Equivalence contract.**  Each phase mirrors the serial
+:meth:`~repro.fl.client.FederatedClient.local_update` exactly:
+
+* broadcast / self-labeling / poisoning run *per client on the client's
+  own model* (:meth:`~repro.fl.client.FederatedClient.begin_local_round`),
+  so pseudo-label forwards and attack gradients see the exact serial
+  batch shapes and rng streams;
+* training randomness comes from the shared
+  :func:`~repro.fl.client.client_round_rng` helper — fold ``k`` draws one
+  ``permutation`` per epoch from its own ``train-round-r`` stream, the
+  same single draw the serial loop makes;
+* the stacked step is 3-D matmul + elementwise ops along the fold axis
+  (see :mod:`repro.nn.batched`), so fold ``k``'s trajectory is
+  bit-identical to serial client ``k``'s at float64.
+
+Clients whose model declines fold-batching
+(:meth:`~repro.fl.interfaces.LocalizationModel.fold_batch_network`
+returns ``None`` — e.g. SAFELOC's RCE-defended fused network, ONLAD's
+model pair) fall back to the serial path inside the cohort, so
+``client_engine="batched"`` is safe for every framework.
+
+Cohorts partition on the training schedule ``(epochs, lr, batch_size,
+n_samples, layer shapes)``; malicious clients train under the attacker
+schedule and thus batch as their own cohort after poisoning, exactly as
+the paper's threat model separates them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.datasets import FingerprintDataset
+from repro.fl.aggregation import ClientUpdate
+from repro.fl.client import FederatedClient, client_round_rng
+from repro.fl.interfaces import StateDict
+from repro.nn.batched import (
+    BatchedAdam,
+    BatchedSequential,
+    BatchedSparseCrossEntropyLoss,
+    iterate_fold_batches,
+)
+
+
+class ClientCohort:
+    """Runs one federation round's client updates as fold-batched programs.
+
+    Owned by the :class:`~repro.fl.server.FederatedServer` when
+    ``client_engine="batched"``; :meth:`collect_updates` is a drop-in
+    replacement for the serial per-client loop and returns the same
+    updates in the same client order.
+
+    Args:
+        clients: The federation's clients, in server order.
+    """
+
+    def __init__(self, clients: Sequence[FederatedClient]):
+        if not clients:
+            raise ValueError("cohort needs at least one client")
+        self.clients = list(clients)
+
+    def collect_updates(
+        self,
+        global_state: StateDict,
+        round_index: int,
+        cache=None,
+    ) -> List[ClientUpdate]:
+        """All client updates for one round, in client order.
+
+        When a :class:`~repro.experiments.artifacts.RoundCache` is given,
+        every fold is consulted before any training (cache keys are
+        engine-free, so rounds computed by the serial engine hit here and
+        vice versa) and every trained fold populates it.
+        """
+        n = len(self.clients)
+        updates: List[Optional[ClientUpdate]] = [None] * n
+        signature = (
+            cache.broadcast_signature(global_state) if cache is not None else None
+        )
+        pending: List[int] = []
+        for index, client in enumerate(self.clients):
+            client.resolve_round(round_index)
+            if cache is not None:
+                hit = cache.lookup(index, round_index, signature)
+                if hit is not None:
+                    updates[index] = hit
+                    continue
+            pending.append(index)
+
+        # broadcast + self-label + poison per client, on the client's own
+        # model — identical batch shapes and rng draws to the serial path
+        prepared: Dict[int, FingerprintDataset] = {
+            index: self.clients[index].begin_local_round(
+                global_state, round_index
+            )
+            for index in pending
+        }
+
+        finished: Dict[int, ClientUpdate] = {}
+        for indices in self._partition(pending, prepared):
+            if len(indices) == 1 or self._network(indices[0]) is None:
+                for index in indices:
+                    finished[index] = self._train_serial(
+                        index, prepared[index], round_index
+                    )
+            else:
+                finished.update(
+                    self._train_batched(indices, prepared, round_index)
+                )
+
+        for index in pending:
+            update = finished[index]
+            if cache is not None:
+                update = cache.store(index, round_index, signature, update)
+            updates[index] = update
+        return updates  # type: ignore[return-value]
+
+    # -- cohort partitioning ----------------------------------------------
+    def _network(self, index: int):
+        return self.clients[index].model.fold_batch_network()
+
+    def _partition(
+        self, pending: List[int], prepared: Dict[int, FingerprintDataset]
+    ) -> List[List[int]]:
+        """Group trainable clients into fold-stackable cohorts.
+
+        The key is everything the stacked program shares across folds:
+        the training schedule, the sample count (folds share batch
+        boundaries) and the layer shapes.  Clients whose model declines
+        batching get singleton groups (serial fallback).
+        """
+        groups: Dict[Tuple, List[int]] = {}
+        for index in pending:
+            client = self.clients[index]
+            network = self._network(index)
+            if network is None:
+                groups[("serial", index)] = [index]
+                continue
+            shape = tuple(
+                (
+                    type(layer).__name__,
+                    getattr(layer, "in_features", None),
+                    getattr(layer, "out_features", None),
+                )
+                for layer in network.layers
+            )
+            key = (
+                "batched",
+                client.config.epochs,
+                client.config.lr,
+                client.config.batch_size,
+                len(prepared[index]),
+                shape,
+            )
+            groups.setdefault(key, []).append(index)
+        return list(groups.values())
+
+    # -- training paths ----------------------------------------------------
+    def _train_serial(
+        self, index: int, dataset: FingerprintDataset, round_index: int
+    ) -> ClientUpdate:
+        """Exact serial tail of ``local_update`` for one prepared client."""
+        client = self.clients[index]
+        train_rng = client_round_rng(client.seeds, "train", round_index)
+        loss = client.model.train_epochs(
+            dataset,
+            epochs=client.config.epochs,
+            lr=client.config.lr,
+            rng=train_rng,
+            batch_size=client.config.batch_size,
+        )
+        return client.build_update(dataset, loss)
+
+    def _train_batched(
+        self,
+        indices: List[int],
+        prepared: Dict[int, FingerprintDataset],
+        round_index: int,
+    ) -> Dict[int, ClientUpdate]:
+        """One stacked training program for a schedule-uniform cohort."""
+        clients = [self.clients[index] for index in indices]
+        config = clients[0].config
+        datasets = [prepared[index] for index in indices]
+        features = np.stack([dataset.features for dataset in datasets])
+        labels = np.stack([dataset.labels for dataset in datasets])
+        rngs = [
+            client_round_rng(client.seeds, "train", round_index)
+            for client in clients
+        ]
+        network = BatchedSequential.from_modules(
+            [client.model.fold_batch_network() for client in clients]
+        )
+        loss = BatchedSparseCrossEntropyLoss()
+        optimizer = BatchedAdam(network.trainable_parameters(), lr=config.lr)
+        network.train()
+        fold_final = np.zeros(len(indices))
+        for _ in range(config.epochs):
+            batch_losses: List[np.ndarray] = []
+            for batch_features, batch_labels in iterate_fold_batches(
+                features, labels, config.batch_size, rngs
+            ):
+                network.zero_grad()
+                loss(network.forward(batch_features), batch_labels)
+                network.backward(loss.backward())
+                optimizer.step()
+                batch_losses.append(loss.fold_losses.copy())
+            # per fold, the mean over this epoch's batch losses — the same
+            # np.mean over the same values the serial loop computes
+            fold_final = np.mean(batch_losses, axis=0)
+        out: Dict[int, ClientUpdate] = {}
+        for fold, index in enumerate(indices):
+            client = self.clients[index]
+            network.scatter_fold(fold, client.model.fold_batch_network())
+            out[index] = client.build_update(
+                datasets[fold], float(fold_final[fold])
+            )
+        return out

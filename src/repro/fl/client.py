@@ -20,6 +20,24 @@ from repro.fl.interfaces import LocalizationModel, StateDict
 from repro.utils.rng import SeedSequence
 
 
+def round_stream(kind: str, round_index: int) -> str:
+    """Name of the per-round rng stream for ``kind`` ("attack"/"train").
+
+    Both client engines derive their randomness through this single
+    helper, so a (client, round) pair maps to one stream label no matter
+    which engine runs the round — the invariant behind the bit-exact
+    serial/batched equivalence and the engine-free round cache.
+    """
+    return f"{kind}-round-{round_index}"
+
+
+def client_round_rng(
+    seeds: SeedSequence, kind: str, round_index: int
+) -> np.random.Generator:
+    """The generator a client uses for ``kind`` in round ``round_index``."""
+    return seeds.rng(round_stream(kind, round_index))
+
+
 @dataclass
 class ClientConfig:
     """Client-side training hyperparameters (§V.A defaults)."""
@@ -84,37 +102,72 @@ class FederatedClient:
     def is_malicious(self) -> bool:
         return self.attack is not None
 
-    def local_update(
-        self, global_state: StateDict, round_index: Optional[int] = None
-    ) -> ClientUpdate:
-        """Run one round of local training and return the LM.
+    def resolve_round(self, round_index: Optional[int]) -> int:
+        """Pin the client to ``round_index`` (1-based) and return it.
 
-        The attack (when present) is re-applied against the *current* GM's
-        gradients every round, matching the paper's threat model where the
-        attacker owns the device and adapts to each broadcast model.
-
-        ``round_index`` names the 1-based round the update belongs to; it
-        selects the per-round rng streams, so a server that satisfied
-        earlier rounds from the federate cache can still request round
-        ``r`` and get bit-identical randomness to an uncached federation.
-        ``None`` keeps the legacy self-counting behavior.
+        ``None`` keeps the legacy self-counting behavior.  Both engines
+        call this first, so a server that satisfied earlier rounds from
+        the federate cache can still request round ``r`` and get
+        bit-identical randomness to an uncached federation.
         """
         if round_index is None:
             round_index = self._round + 1
         self._round = round_index
+        return round_index
+
+    def begin_local_round(
+        self, global_state: StateDict, round_index: int
+    ) -> FingerprintDataset:
+        """Everything before local training: broadcast, self-label, poison.
+
+        Loads the GM into the client's model, replaces labels with the
+        GM's own predictions (§III self-labeling), and — for malicious
+        clients — re-applies the attack against the *current* GM's
+        gradients, matching the paper's threat model where the attacker
+        owns the device and adapts to each broadcast model.  Returns the
+        dataset local training should consume.
+        """
         self.model.load_state_dict(global_state)
         dataset = self.dataset
         if self.self_labeling:
             dataset = dataset.with_labels(self.model.predict(dataset.features))
-        flagged = 0
         if self.attack is not None:
-            rng = self.seeds.rng(f"attack-round-{round_index}")
+            rng = client_round_rng(self.seeds, "attack", round_index)
             oracle = (
                 self.model.gradient_oracle() if self.attack.is_backdoor else None
             )
             report = self.attack.poison(dataset, oracle, rng)
             dataset = report.dataset
-        train_rng = self.seeds.rng(f"train-round-{round_index}")
+        return dataset
+
+    def build_update(
+        self, dataset: FingerprintDataset, loss: float
+    ) -> ClientUpdate:
+        """Package the model's current weights as this round's LM update."""
+        return ClientUpdate(
+            client_name=self.name,
+            state=self.model.state_dict(),
+            num_samples=len(dataset),
+            train_loss=float(loss),
+            flagged_poisoned=int(getattr(self.model, "last_flagged_count", 0)),
+            is_malicious=self.is_malicious,
+        )
+
+    def local_update(
+        self, global_state: StateDict, round_index: Optional[int] = None
+    ) -> ClientUpdate:
+        """Run one round of local training and return the LM.
+
+        The reference (serial) client engine: the batched engine
+        (:class:`~repro.fl.batched_round.ClientCohort`) replays exactly
+        these phases — :meth:`begin_local_round`, training seeded by
+        :func:`client_round_rng`, :meth:`build_update` — with the epoch
+        loop fold-stacked, and must stay bit-identical to this method at
+        float64.
+        """
+        round_index = self.resolve_round(round_index)
+        dataset = self.begin_local_round(global_state, round_index)
+        train_rng = client_round_rng(self.seeds, "train", round_index)
         loss = self.model.train_epochs(
             dataset,
             epochs=self.config.epochs,
@@ -122,12 +175,4 @@ class FederatedClient:
             rng=train_rng,
             batch_size=self.config.batch_size,
         )
-        flagged = getattr(self.model, "last_flagged_count", 0)
-        return ClientUpdate(
-            client_name=self.name,
-            state=self.model.state_dict(),
-            num_samples=len(dataset),
-            train_loss=float(loss),
-            flagged_poisoned=int(flagged),
-            is_malicious=self.is_malicious,
-        )
+        return self.build_update(dataset, loss)

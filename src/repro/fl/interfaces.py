@@ -77,6 +77,19 @@ class LocalizationModel(ABC):
         """Total scalar parameters (Table I metric)."""
         return int(sum(v.size for v in self.state_dict().values()))
 
+    def fold_batch_network(self):
+        """Optional hook for the batched client engine.
+
+        Implementations whose :meth:`train_epochs` is exactly the plain
+        mini-batch classifier loop (fresh Adam + sparse cross-entropy over
+        shuffled batches, no client-side defense) return the underlying
+        :class:`~repro.nn.module.Sequential` so a
+        :class:`~repro.fl.batched_round.ClientCohort` can stack it on a
+        fold axis.  The default ``None`` keeps the model on the serial
+        per-client path.
+        """
+        return None
+
     def evaluate_loss(self, dataset: FingerprintDataset) -> Optional[float]:
         """Optional hook: classification loss on a dataset (None when the
         implementation does not expose one)."""

@@ -16,12 +16,16 @@ import numpy as np
 
 from repro.data.datasets import FingerprintDataset
 from repro.fl.aggregation import AggregationStrategy, ClientUpdate
+from repro.fl.batched_round import ClientCohort
 from repro.fl.client import FederatedClient
 from repro.fl.interfaces import LocalizationModel, StateDict
 from repro.utils.logging import get_logger
 from repro.utils.rng import SeedSequence
 
 logger = get_logger("fl.server")
+
+#: recognized client execution engines (see :class:`FederatedServer`)
+CLIENT_ENGINES = ("serial", "batched")
 
 
 @dataclass
@@ -59,6 +63,16 @@ class FederatedServer:
             A client's update is a pure function of that triple (per-round
             named rng streams, private model copy overwritten by every
             broadcast), so cached federations match uncached ones exactly.
+        client_engine: ``"serial"`` (the default and the bit-for-bit
+            reference) walks clients one by one; ``"batched"`` hands each
+            round to a :class:`~repro.fl.batched_round.ClientCohort`,
+            which fold-stacks schedule-uniform clients into one 3-D
+            matmul training program.  Both engines share per-(client,
+            round) rng streams and round-cache keys, so they produce
+            bit-identical updates at float64 and interchangeably hit each
+            other's cache entries.  ``max_workers`` only affects the
+            serial engine (the batched engine's parallelism is the fold
+            axis itself).
     """
 
     def __init__(
@@ -69,11 +83,17 @@ class FederatedServer:
         seeds: Optional[SeedSequence] = None,
         max_workers: Optional[int] = None,
         update_cache=None,
+        client_engine: str = "serial",
     ):
         if not clients:
             raise ValueError("federation needs at least one client")
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if client_engine not in CLIENT_ENGINES:
+            raise ValueError(
+                f"unknown client_engine {client_engine!r}; "
+                f"expected one of {CLIENT_ENGINES}"
+            )
         self.model = model
         self.strategy = strategy
         # a strategy instance may be reused across federations (shared
@@ -84,6 +104,8 @@ class FederatedServer:
         self.seeds = seeds or SeedSequence(1)
         self.max_workers = max_workers
         self.update_cache = update_cache
+        self.client_engine = client_engine
+        self._cohort: Optional[ClientCohort] = None
         self.history: List[RoundRecord] = []
 
     def pretrain(
@@ -106,6 +128,12 @@ class FederatedServer:
         self, global_state: StateDict, round_index: int
     ) -> List[ClientUpdate]:
         """All client updates for one round, in client order."""
+        if self.client_engine == "batched":
+            if self._cohort is None:
+                self._cohort = ClientCohort(self.clients)
+            return self._cohort.collect_updates(
+                global_state, round_index, cache=self.update_cache
+            )
         compute = self._update_fn(global_state, round_index)
         workers = self.max_workers
         if workers is None or workers <= 1 or len(self.clients) == 1:

@@ -22,7 +22,7 @@ from repro.data.fingerprints import FingerprintCollector
 from repro.fl.aggregation import AggregationStrategy
 from repro.fl.client import ClientConfig, FederatedClient
 from repro.fl.interfaces import LocalizationModel
-from repro.fl.server import FederatedServer
+from repro.fl.server import CLIENT_ENGINES, FederatedServer
 from repro.utils.rng import SeedSequence
 
 
@@ -48,6 +48,10 @@ class FederationConfig:
             (``None`` = strictly sequential, the reproducibility default;
             parallel rounds produce identical results — see
             :class:`~repro.fl.server.FederatedServer`).
+        client_engine: ``"serial"`` (per-client Python loop, the bit-exact
+            reference) or ``"batched"`` (fold-stacked cohort training, one
+            3-D matmul program per round — see
+            :mod:`repro.fl.batched_round`).  Bit-identical at float64.
     """
 
     num_clients: int = 6
@@ -62,12 +66,18 @@ class FederationConfig:
     pretrain_epochs: int = 60
     pretrain_lr: float = 0.001
     max_workers: Optional[int] = None
+    client_engine: str = "serial"
 
     def __post_init__(self):
         if self.num_clients <= 0:
             raise ValueError("num_clients must be positive")
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError("max_workers must be >= 1 when set")
+        if self.client_engine not in CLIENT_ENGINES:
+            raise ValueError(
+                f"unknown client_engine {self.client_engine!r}; "
+                f"expected one of {CLIENT_ENGINES}"
+            )
         if not 0 <= self.num_malicious <= self.num_clients:
             raise ValueError(
                 "num_malicious must be between 0 and num_clients, got "
@@ -167,4 +177,5 @@ def build_federation(
         clients=clients,
         seeds=seeds.child("server"),
         max_workers=config.max_workers,
+        client_engine=config.client_engine,
     )

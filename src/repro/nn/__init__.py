@@ -25,6 +25,8 @@ from repro.nn.batched import (
     BatchedLinear,
     BatchedMSELoss,
     BatchedSequential,
+    BatchedSparseCrossEntropyLoss,
+    iterate_fold_batches,
 )
 from repro.nn.layers import (
     Dropout,
@@ -90,7 +92,9 @@ __all__ = [
     "BatchedLinear",
     "BatchedSequential",
     "BatchedMSELoss",
+    "BatchedSparseCrossEntropyLoss",
     "BatchedAdam",
+    "iterate_fold_batches",
     "Linear",
     "TiedLinear",
     "ReLU",

@@ -14,8 +14,15 @@ leading axis instead, so one training step is a handful of 3-D
   a plain per-fold network;
 * :class:`BatchedMSELoss` — per-fold mean-squared error whose gradient
   matches :class:`~repro.nn.losses.MSELoss` fold by fold;
+* :class:`BatchedSparseCrossEntropyLoss` — per-fold softmax
+  cross-entropy whose gradient matches
+  :class:`~repro.nn.losses.SparseCrossEntropyLoss` fold by fold (the
+  kernel behind the batched federated-client engine);
 * :class:`BatchedAdam` — Adam over the stacked parameters: one
-  elementwise pass per tensor updates every fold.
+  elementwise pass per tensor updates every fold;
+* :func:`iterate_fold_batches` — per-fold shuffled mini-batch slicing,
+  each fold consuming its own generator exactly as
+  :func:`~repro.data.datasets.iterate_batches` would.
 
 **Equivalence contract.**  ``np.matmul`` on a 3-D stack runs the same
 GEMM per fold that the serial loop runs per network, and every other op
@@ -31,11 +38,12 @@ Elementwise activations (:class:`~repro.nn.layers.ReLU`,
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.nn.dtype import default_dtype
+from repro.nn.functional import log_softmax
 from repro.nn.init import get_initializer
 from repro.nn.layers import Linear
 from repro.nn.module import Module, Parameter, Sequential
@@ -184,6 +192,83 @@ class BatchedSequential(Sequential):
             raise ValueError(f"inconsistent fold counts: {sorted(folds)}")
         self.n_folds = folds.pop() if folds else 0
 
+    @classmethod
+    def from_modules(cls, modules: Sequence[Sequential]) -> "BatchedSequential":
+        """Stack structurally identical per-fold networks (copied weights).
+
+        Every module must be a :class:`Sequential` with the same layer
+        sequence: :class:`~repro.nn.layers.Linear` layers are stacked via
+        :meth:`BatchedLinear.from_linears`, parameter-free layers
+        (activations) are re-instantiated.  Fold ``k`` of the result holds
+        an exact copy of ``modules[k]``'s weights, so batched training
+        starting from the stack bit-matches serial training starting from
+        the originals.
+        """
+        if not modules:
+            raise ValueError("need at least one module to stack")
+        first = modules[0]
+        for idx, module in enumerate(modules):
+            if not isinstance(module, Sequential):
+                raise TypeError(
+                    f"fold {idx} is not a Sequential: {type(module).__name__}"
+                )
+            if len(module.layers) != len(first.layers):
+                raise ValueError(
+                    f"fold {idx} has {len(module.layers)} layers, "
+                    f"fold 0 has {len(first.layers)}"
+                )
+            for position, (layer, ref) in enumerate(
+                zip(module.layers, first.layers)
+            ):
+                if type(layer) is not type(ref):
+                    raise TypeError(
+                        f"layer {position} differs across folds: "
+                        f"{type(ref).__name__} vs {type(layer).__name__}"
+                    )
+        stacked: List[Module] = []
+        for position, layer in enumerate(first.layers):
+            if isinstance(layer, Linear):
+                stacked.append(
+                    BatchedLinear.from_linears(
+                        [module.layers[position] for module in modules]
+                    )
+                )
+            elif layer.parameters():
+                raise TypeError(
+                    f"cannot stack parametered layer {type(layer).__name__}"
+                )
+            else:
+                stacked.append(type(layer)())
+        return cls(*stacked)
+
+    def scatter_fold(self, fold: int, target: Sequential) -> None:
+        """Copy fold ``k``'s weights back into a per-fold network in place.
+
+        The inverse of :meth:`from_modules` for one fold: ``target`` must
+        be structurally identical to the networks the stack was built
+        from.  Used by the batched client engine to hand each client its
+        trained weights without rebuilding the client's model object.
+        """
+        if not 0 <= fold < max(self.n_folds, 1):
+            raise IndexError(f"fold {fold} out of range [0, {self.n_folds})")
+        if len(target.layers) != len(self.layers):
+            raise ValueError(
+                f"target has {len(target.layers)} layers, stack has "
+                f"{len(self.layers)}"
+            )
+        for position, (batched, single) in enumerate(
+            zip(self.layers, target.layers)
+        ):
+            if isinstance(batched, BatchedLinear):
+                if not isinstance(single, Linear):
+                    raise TypeError(
+                        f"layer {position}: expected Linear, got "
+                        f"{type(single).__name__}"
+                    )
+                single.weight.data = batched.weight.data[fold].copy()
+                if batched.use_bias:
+                    single.bias.data = batched.bias.data[fold].copy()
+
     def unstack_fold(self, fold: int) -> Sequential:
         """Fold ``k``'s network as a plain per-fold :class:`Sequential`.
 
@@ -250,6 +335,106 @@ class BatchedMSELoss:
 
     def __call__(self, prediction: np.ndarray, target: np.ndarray) -> float:
         return self.forward(prediction, target)
+
+
+class BatchedSparseCrossEntropyLoss:
+    """Per-fold softmax cross-entropy over ``(n_folds, batch, classes)``.
+
+    Each fold's slice reproduces
+    :class:`~repro.nn.losses.SparseCrossEntropyLoss` exactly: logits are
+    promoted to float64 before the log-softmax, the per-fold loss is the
+    mean negative log-likelihood over that fold's batch, and ``backward``
+    returns ``(softmax − onehot) / batch`` per fold — the batch (not the
+    fold count) is the divisor, so fold ``k``'s gradient is bit-identical
+    to what the serial loss hands fold ``k`` alone.  ``forward`` returns
+    the mean of the per-fold losses (diagnostic; the per-fold values stay
+    in :attr:`fold_losses`).
+    """
+
+    def __init__(self) -> None:
+        self._probs: Optional[np.ndarray] = None
+        self._labels: Optional[np.ndarray] = None
+        self.fold_losses: Optional[np.ndarray] = None
+
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        logits = np.asarray(prediction, dtype=np.float64)
+        labels = np.asarray(target, dtype=np.int64)
+        if logits.ndim != 3:
+            raise ValueError(
+                f"expected (n_folds, batch, classes) logits, got {logits.shape}"
+            )
+        if labels.shape != logits.shape[:2]:
+            raise ValueError(
+                f"labels shape {labels.shape} does not match logit stack "
+                f"{logits.shape[:2]}"
+            )
+        if labels.size and (
+            labels.min() < 0 or labels.max() >= logits.shape[2]
+        ):
+            raise ValueError(
+                f"labels out of range [0, {logits.shape[2]}): "
+                f"[{labels.min()}, {labels.max()}]"
+            )
+        logp = log_softmax(logits, axis=-1)
+        self._probs = np.exp(logp)
+        self._labels = labels
+        gathered = np.take_along_axis(logp, labels[:, :, None], axis=2)
+        self.fold_losses = -gathered[:, :, 0].mean(axis=1)
+        return float(self.fold_losses.mean())
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._labels is None:
+            raise RuntimeError("backward called before forward")
+        grad = self._probs.copy()
+        n_folds, batch = self._labels.shape
+        grad[
+            np.arange(n_folds)[:, None],
+            np.arange(batch)[None, :],
+            self._labels,
+        ] -= 1.0
+        return grad / batch
+
+    def __call__(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        return self.forward(prediction, target)
+
+
+def iterate_fold_batches(
+    features: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int,
+    rngs: Sequence[np.random.Generator],
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield per-fold shuffled ``(features, labels)`` mini-batch stacks.
+
+    The fold axis leads: ``features`` is ``(n_folds, n, feat)``,
+    ``labels`` ``(n_folds, n)``.  Each fold draws **one** permutation from
+    its own generator per call — the same single ``rng.permutation(n)``
+    that :func:`~repro.data.datasets.iterate_batches` draws per epoch —
+    then every fold is sliced at the same offsets (the serial loop's
+    batch boundaries depend only on ``n`` and ``batch_size``, never on
+    the data).  Fold ``k``'s sequence of batches is therefore exactly the
+    sequence the serial loop would feed network ``k``, including the
+    final partial batch.
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    features = np.asarray(features)
+    labels = np.asarray(labels)
+    if features.ndim != 3 or labels.shape != features.shape[:2]:
+        raise ValueError(
+            f"expected (n_folds, n, feat) features with (n_folds, n) labels, "
+            f"got {features.shape} / {labels.shape}"
+        )
+    n_folds, n = labels.shape
+    if len(rngs) != n_folds:
+        raise ValueError(
+            f"need one rng per fold: got {len(rngs)} for {n_folds} folds"
+        )
+    order = np.stack([rng.permutation(n) for rng in rngs])
+    fold_idx = np.arange(n_folds)[:, None]
+    for start in range(0, n, batch_size):
+        idx = order[:, start : start + batch_size]
+        yield features[fold_idx, idx], labels[fold_idx, idx]
 
 
 class BatchedAdam(Adam):

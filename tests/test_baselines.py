@@ -370,6 +370,73 @@ class TestFedlsBatchedEquivalence:
             np.testing.assert_allclose(out[key], ref[key], atol=1e-10)
 
 
+class TestFedlsSampledPeers:
+    """The O(n·k) detector mode: seeded peer sampling vs full LOO."""
+
+    def test_peer_matrix_shape_and_validity(self):
+        from repro.baselines.fedls import sampled_peer_index
+
+        index = sampled_peer_index(9, 4, np.random.default_rng(0))
+        assert index.shape == (9, 4)
+        for row in range(9):
+            assert row not in index[row]  # never your own update
+            assert len(set(index[row])) == 4  # distinct peers
+
+    def test_validation(self):
+        from repro.baselines.fedls import sampled_peer_index
+
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sampled_peer_index(6, 1, rng)
+        with pytest.raises(ValueError):
+            sampled_peer_index(6, 6, rng)
+        with pytest.raises(ValueError):
+            LatentSpaceAggregation(sampled_peers=1)
+
+    def test_serial_batched_agree_across_rounds(self):
+        normalized = np.random.default_rng(3).normal(size=(10, 20))
+        agg = LatentSpaceAggregation(
+            seed=7, detector_epochs=30, sampled_peers=4
+        )
+        for round_index in (1, 2, 5):
+            e_serial = agg.leave_one_out_errors(
+                normalized, round_index, engine="serial"
+            )
+            e_batched = agg.leave_one_out_errors(
+                normalized, round_index, engine="batched"
+            )
+            np.testing.assert_allclose(e_serial, e_batched, atol=1e-10)
+
+    def test_peer_assignment_deterministic_per_round(self):
+        agg = LatentSpaceAggregation(seed=7, sampled_peers=3)
+        first = agg._peer_index(8, 2)
+        np.testing.assert_array_equal(first, agg._peer_index(8, 2))
+        assert not np.array_equal(first, agg._peer_index(8, 3))
+
+    def test_large_k_falls_back_to_full_loo(self):
+        from repro.baselines.fedls import leave_one_out_index
+
+        agg = LatentSpaceAggregation(seed=0, sampled_peers=12)
+        np.testing.assert_array_equal(
+            agg._peer_index(6, 1), leave_one_out_index(6)
+        )
+
+    def test_outlier_still_detected_with_sampled_peers(self):
+        gm = _gm_state(0)
+        honest = [_update(i, gm, jitter=0.01) for i in range(1, 9)]
+        poisoned = _update(88, gm, jitter=2.0, malicious=True)
+        agg = LatentSpaceAggregation(
+            seed=0, detector_epochs=40, sampled_peers=4
+        )
+        merged = agg.aggregate(gm, honest + [poisoned])
+        shift = max(np.abs(merged[k] - gm[k]).max() for k in gm)
+        assert shift < 0.5
+
+    def test_factory_passes_knob_through(self):
+        spec = make_framework("fedls", D, C, seed=0, sampled_peers=5)
+        assert spec.strategy.sampled_peers == 5
+
+
 class TestFedlsRoundDeterminism:
     """Regression: detector seeds derive from the federation's round
     index, not from how many times the strategy instance was called."""

@@ -1,0 +1,406 @@
+"""Fold-batched client engine (`repro.fl.batched_round`).
+
+Four contracts:
+
+* equivalence — ``client_engine="batched"`` reproduces the serial
+  per-client loop bit for bit at float64, mixed honest/malicious cohorts
+  included;
+* shared seeds — both engines derive per-(client, round) randomness
+  through one helper (:func:`~repro.fl.client.client_round_rng`), so a
+  round is the same round no matter which engine runs it;
+* engine-free cache — a federate round cache warmed by one engine is
+  fully reused by the other, with exact hit counts;
+* any-two-paths — every (client engine × cell executor × round cache)
+  combination produces the same error tables as the sequential serial
+  reference.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.attacks import LabelFlip
+from repro.baselines.dnn import DNNLocalizer
+from repro.data import FingerprintDataset
+from repro.experiments.artifacts import ArtifactCache, RoundCache
+from repro.experiments.engine import SweepEngine, SweepPlan, scenario
+from repro.experiments.scenarios import tiny_preset
+from repro.fl import (
+    CLIENT_ENGINES,
+    ClientCohort,
+    FedAvg,
+    FederatedClient,
+    FederatedServer,
+    FederationConfig,
+    client_round_rng,
+    round_stream,
+)
+from repro.fl.client import ClientConfig
+from repro.utils.rng import SeedSequence
+
+NUM_APS = 10
+NUM_RPS = 6
+
+
+def _dataset(seed=0, n=30):
+    rng = np.random.default_rng(seed)
+    return FingerprintDataset(
+        rng.uniform(0, 1, size=(n, NUM_APS)),
+        rng.integers(0, NUM_RPS, size=n),
+        building="b",
+        device="d",
+    )
+
+
+def _model(seed=0):
+    return DNNLocalizer(NUM_APS, NUM_RPS, hidden=(16,), seed=seed)
+
+
+def _clients(n=5, malicious=(4,), n_samples=30):
+    """A mixed cohort: honest clients on one schedule, attackers on a
+    heavier one (the paper's threat model), fresh models per call."""
+    clients = []
+    for i in range(n):
+        attack = (
+            LabelFlip(1.0, num_classes=NUM_RPS) if i in malicious else None
+        )
+        config = (
+            ClientConfig(epochs=5, lr=0.02)
+            if attack
+            else ClientConfig(epochs=3, lr=0.01)
+        )
+        clients.append(
+            FederatedClient(
+                f"c{i}",
+                _model(i),
+                _dataset(i, n=n_samples),
+                config,
+                attack=attack,
+                seeds=SeedSequence(100 + i),
+            )
+        )
+    return clients
+
+
+def _server(engine, clients=None, cache=None, max_workers=None):
+    return FederatedServer(
+        _model(99),
+        FedAvg(),
+        clients if clients is not None else _clients(),
+        seeds=SeedSequence(7),
+        max_workers=max_workers,
+        update_cache=cache,
+        client_engine=engine,
+    )
+
+
+def _assert_histories_equal(a, b):
+    assert len(a.history) == len(b.history)
+    for rec_a, rec_b in zip(a.history, b.history):
+        assert len(rec_a.updates) == len(rec_b.updates)
+        for u_a, u_b in zip(rec_a.updates, rec_b.updates):
+            assert u_a.client_name == u_b.client_name
+            assert u_a.num_samples == u_b.num_samples
+            assert u_a.train_loss == u_b.train_loss
+            assert u_a.is_malicious == u_b.is_malicious
+            for key in u_a.state:
+                np.testing.assert_array_equal(u_a.state[key], u_b.state[key])
+    np.testing.assert_equal(a.model.state_dict(), b.model.state_dict())
+
+
+class TestRoundSeedHelper:
+    """Both engines must pull randomness through one shared derivation."""
+
+    def test_stream_names(self):
+        assert round_stream("train", 3) == "train-round-3"
+        assert round_stream("attack", 12) == "attack-round-12"
+
+    def test_rng_matches_named_stream(self):
+        seeds = SeedSequence(42)
+        a = client_round_rng(seeds, "train", 5)
+        b = SeedSequence(42).rng("train-round-5")
+        np.testing.assert_array_equal(a.normal(size=8), b.normal(size=8))
+
+    def test_local_update_consumes_helper_streams(self):
+        """Replaying local_update's phases with client_round_rng streams
+        reproduces it exactly — pinning which streams the serial engine
+        uses, which is what the batched engine mirrors."""
+        gm = _model(9).state_dict()
+
+        via_local_update = _clients(n=2)
+        updates = [c.local_update(gm, round_index=2) for c in via_local_update]
+
+        replayed = _clients(n=2)
+        for client, expected in zip(replayed, updates):
+            client.resolve_round(2)
+            dataset = client.begin_local_round(gm, 2)
+            loss = client.model.train_epochs(
+                dataset,
+                epochs=client.config.epochs,
+                lr=client.config.lr,
+                rng=client_round_rng(client.seeds, "train", 2),
+                batch_size=client.config.batch_size,
+            )
+            update = client.build_update(dataset, loss)
+            assert update.train_loss == expected.train_loss
+            for key in expected.state:
+                np.testing.assert_array_equal(
+                    update.state[key], expected.state[key]
+                )
+
+    def test_resolve_round_keeps_legacy_self_counting(self):
+        client = _clients(n=1, malicious=())[0]
+        assert client.resolve_round(None) == 1
+        assert client.resolve_round(None) == 2
+        assert client.resolve_round(7) == 7
+        assert client.resolve_round(None) == 8
+
+
+class TestEngineValidation:
+    def test_unknown_engine_rejected_everywhere(self):
+        assert CLIENT_ENGINES == ("serial", "batched")
+        with pytest.raises(ValueError):
+            _server("gpu")
+        with pytest.raises(ValueError):
+            FederationConfig(client_engine="gpu")
+
+    def test_cohort_needs_clients(self):
+        with pytest.raises(ValueError):
+            ClientCohort([])
+
+
+class TestSerialBatchedEquivalence:
+    def test_bit_exact_mixed_cohort_over_rounds(self):
+        serial = _server("serial")
+        batched = _server("batched")
+        serial.run_rounds(3)
+        batched.run_rounds(3)
+        _assert_histories_equal(serial, batched)
+
+    def test_bit_exact_with_heterogeneous_sample_counts(self):
+        """Different local dataset sizes split the cohort into separate
+        fold groups (batch boundaries differ) — still bit-exact."""
+
+        def cohort():
+            clients = _clients(n=4, malicious=())
+            clients += [
+                FederatedClient(
+                    "c-big",
+                    _model(50),
+                    _dataset(50, n=47),
+                    ClientConfig(epochs=3, lr=0.01),
+                    seeds=SeedSequence(150),
+                )
+            ]
+            return clients
+
+        serial = _server("serial", clients=cohort())
+        batched = _server("batched", clients=cohort())
+        serial.run_rounds(2)
+        batched.run_rounds(2)
+        _assert_histories_equal(serial, batched)
+
+    def test_unbatchable_model_falls_back_to_serial_path(self):
+        """A model that overrides train_epochs declines fold-batching and
+        trains on the serial path inside the cohort — same results."""
+
+        class CustomLoop(DNNLocalizer):
+            def train_epochs(self, *args, **kwargs):
+                return super().train_epochs(*args, **kwargs)
+
+        assert CustomLoop(NUM_APS, NUM_RPS, seed=0).fold_batch_network() is None
+
+        def cohort():
+            return [
+                FederatedClient(
+                    f"c{i}",
+                    CustomLoop(NUM_APS, NUM_RPS, hidden=(16,), seed=i),
+                    _dataset(i),
+                    ClientConfig(epochs=2, lr=0.01),
+                    seeds=SeedSequence(100 + i),
+                )
+                for i in range(3)
+            ]
+
+        serial = _server("serial", clients=cohort())
+        batched = _server("batched", clients=cohort())
+        serial.run_rounds(2)
+        batched.run_rounds(2)
+        _assert_histories_equal(serial, batched)
+
+    def test_partition_groups_by_schedule_and_size(self):
+        clients = _clients(n=5, malicious=(4,))  # 4 honest + 1 attacker
+        cohort = ClientCohort(clients)
+        gm = _model(9).state_dict()
+        pending = list(range(5))
+        for index in pending:
+            clients[index].resolve_round(1)
+        prepared = {
+            index: clients[index].begin_local_round(gm, 1)
+            for index in pending
+        }
+        groups = cohort._partition(pending, prepared)
+        sizes = sorted(len(group) for group in groups)
+        assert sizes == [1, 4]  # honest fold group + attacker singleton
+
+    def test_batched_matches_threaded_serial(self):
+        serial = _server("serial", max_workers=3)
+        batched = _server("batched")
+        serial.run_rounds(2)
+        batched.run_rounds(2)
+        _assert_histories_equal(serial, batched)
+
+
+class TestCrossEngineRoundCache:
+    """A cache warmed by one engine is fully reused by the other."""
+
+    N, ROUNDS = 5, 2
+
+    def _cache(self):
+        return RoundCache(
+            ArtifactCache(),
+            base={"cell": "cross-engine-test"},
+            client_attacks=[None] * 4 + [["label_flip", 1.0]],
+            shared_signature=None,  # cache every round
+        )
+
+    @pytest.mark.parametrize(
+        "first,second", [("serial", "batched"), ("batched", "serial")]
+    )
+    def test_warm_engine_fully_reused_with_exact_counts(self, first, second):
+        cache = self._cache()
+        warm = _server(first, cache=cache)
+        warm.run_rounds(self.ROUNDS)
+        expected = self.N * self.ROUNDS
+        stats = cache.artifacts.stats.snapshot()["federate"]
+        assert stats == {"hits": 0, "misses": expected}
+
+        reuse = _server(second, cache=cache)
+        reuse.run_rounds(self.ROUNDS)
+        stats = cache.artifacts.stats.snapshot()["federate"]
+        assert stats == {"hits": expected, "misses": expected}
+        _assert_histories_equal(warm, reuse)
+
+    def test_cached_federation_matches_uncached(self):
+        cached = _server("batched", cache=self._cache())
+        uncached = _server("batched")
+        cached.run_rounds(self.ROUNDS)
+        uncached.run_rounds(self.ROUNDS)
+        _assert_histories_equal(cached, uncached)
+
+
+# -- sweep-level: engines inside the full experiment pipeline -------------
+
+
+def _mini_preset(engine="serial", seed=42):
+    return replace(
+        tiny_preset(seed),
+        pretrain_epochs=40,
+        num_rounds=1,
+        client_epochs=2,
+        malicious_epochs=5,
+        client_engine=engine,
+    )
+
+
+def _eps_plan(preset, name="eps"):
+    """A Fig. 5-shaped ε grid on a fold-batchable framework."""
+    cells = tuple(
+        scenario(
+            "fedls",
+            attack="fgsm",
+            epsilon=eps,
+            framework_kwargs={"detector_epochs": 20},
+        )
+        for eps in (0.1, 0.5)
+    )
+    return SweepPlan(name=name, preset=preset, cells=cells)
+
+
+def _summaries(sweep_result):
+    sweep = getattr(sweep_result, "sweep", sweep_result)
+    return [cell.error_summary for cell in sweep.cells]
+
+
+class TestCrossEngineSweepCache:
+    """Satellite: an ε grid warmed by one client engine is fully reused
+    by the other — cache keys are engine-free by construction."""
+
+    @pytest.mark.parametrize(
+        "first,second", [("serial", "batched"), ("batched", "serial")]
+    )
+    def test_eps_grid_fully_reused_across_engines(self, first, second):
+        engine = SweepEngine()  # shared in-memory artifact cache
+        preset = _mini_preset(first)
+        warm = engine.run(_eps_plan(preset))
+        trained, reused = warm.update_counts()
+        honest = preset.num_clients - preset.num_malicious
+        # cell 1 trains everyone; cell 2 reuses the honest majority and
+        # retrains only the attacker (its key carries the ε)
+        assert trained == preset.num_clients + 1
+        assert reused == honest
+
+        again = engine.run(_eps_plan(_mini_preset(second)))
+        trained, reused = again.update_counts()
+        assert trained == 0
+        assert reused == preset.num_clients * 2
+        assert _summaries(again) == _summaries(warm)
+
+
+class TestAnyTwoPathsAgree:
+    """Satellite: client_engine × cell executor × round cache — every
+    path must produce the serial sequential reference's tables exactly."""
+
+    @staticmethod
+    def _random_cohort_plan():
+        """Random tiny cohorts, seeded — same cells every run."""
+        rng = np.random.default_rng(77)
+        cells = []
+        for _ in range(3):
+            total = int(rng.integers(3, 7))
+            cells.append(
+                scenario(
+                    "fedls",
+                    attack=str(rng.choice(["fgsm", "label_flip"])),
+                    epsilon=float(rng.choice([0.1, 0.5])),
+                    num_clients=total,
+                    num_malicious=int(rng.integers(1, max(2, total // 2))),
+                    framework_kwargs={"detector_epochs": 20},
+                )
+            )
+        return tuple(cells)
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        plan = SweepPlan(
+            name="paths",
+            preset=_mini_preset("serial"),
+            cells=self._random_cohort_plan(),
+        )
+        return SweepEngine(round_cache=False).run(plan)
+
+    @pytest.mark.parametrize(
+        "client_engine,jobs,executor,round_cache",
+        [
+            ("batched", None, "thread", False),
+            ("batched", None, "thread", True),
+            ("serial", 2, "thread", True),
+            ("batched", 2, "process", True),
+        ],
+    )
+    def test_path_matches_reference(
+        self, reference, client_engine, jobs, executor, round_cache
+    ):
+        plan = SweepPlan(
+            name="paths",
+            preset=_mini_preset(client_engine),
+            cells=self._random_cohort_plan(),
+        )
+        result = SweepEngine(
+            jobs=jobs, executor=executor, round_cache=round_cache
+        ).run(plan)
+        assert _summaries(result) == _summaries(reference)
+        assert [c.flagged_per_round for c in result.cells] == [
+            c.flagged_per_round for c in reference.cells
+        ]

@@ -20,12 +20,17 @@ from repro.nn import (
     BatchedLinear,
     BatchedMSELoss,
     BatchedSequential,
+    BatchedSparseCrossEntropyLoss,
     Linear,
     MSELoss,
     ReLU,
     Sequential,
+    SparseCrossEntropyLoss,
+    Tanh,
     compute_dtype,
+    iterate_fold_batches,
 )
+from repro.data.datasets import FingerprintDataset, iterate_batches
 from repro.nn.gradcheck import check_input_gradient, check_parameter_gradients
 from repro.utils.rng import spawn_rng
 
@@ -222,6 +227,137 @@ class TestBatchedMSELoss:
             BatchedMSELoss()(np.zeros((B, DIN)), np.zeros((B, DIN)))
         with pytest.raises(RuntimeError):
             BatchedMSELoss().backward()
+
+
+class TestFromModules:
+    """Stacking live per-fold networks and scattering weights back."""
+
+    def _singles(self, seed=11):
+        return [
+            _serial_net(DIN, 7, rng) for rng in _rngs(F, seed=seed)
+        ]
+
+    def test_forward_matches_each_source_network(self):
+        singles = self._singles()
+        stacked = BatchedSequential.from_modules(singles)
+        x = np.random.default_rng(0).normal(size=(F, B, DIN))
+        out = stacked.forward(x)
+        for k, single in enumerate(singles):
+            np.testing.assert_array_equal(out[k], single.forward(x[k]))
+
+    def test_weights_are_copies(self):
+        singles = self._singles()
+        stacked = BatchedSequential.from_modules(singles)
+        stacked.layers[0].weight.data += 1.0
+        x = np.random.default_rng(1).normal(size=(F, B, DIN))
+        assert not np.allclose(
+            stacked.forward(x)[0], singles[0].forward(x[0])
+        )
+
+    def test_scatter_fold_round_trips(self):
+        singles = self._singles()
+        stacked = BatchedSequential.from_modules(singles)
+        stacked.layers[0].weight.data *= 1.5
+        stacked.layers[0].bias.data += 0.25
+        targets = self._singles(seed=99)  # different weights, same shape
+        for k, target in enumerate(targets):
+            stacked.scatter_fold(k, target)
+            np.testing.assert_array_equal(
+                target.layers[0].weight.data, stacked.layers[0].weight.data[k]
+            )
+            np.testing.assert_array_equal(
+                target.layers[0].bias.data, stacked.layers[0].bias.data[k]
+            )
+
+    def test_validation(self):
+        singles = self._singles()
+        with pytest.raises(ValueError):
+            BatchedSequential.from_modules([])
+        with pytest.raises(TypeError):
+            BatchedSequential.from_modules([singles[0], Linear(DIN, 7)])
+        short = Sequential(Linear(DIN, 7, _rngs(1)[0]))
+        with pytest.raises(ValueError):
+            BatchedSequential.from_modules([singles[0], short])
+        swapped = Sequential(
+            Linear(DIN, 7, _rngs(1)[0]), Tanh(), Linear(7, DIN, _rngs(1)[0])
+        )
+        with pytest.raises(TypeError):
+            BatchedSequential.from_modules([singles[0], swapped])
+        stacked = BatchedSequential.from_modules(singles)
+        with pytest.raises(IndexError):
+            stacked.scatter_fold(F, singles[0])
+        with pytest.raises(ValueError):
+            stacked.scatter_fold(0, short)
+
+
+class TestBatchedSparseCrossEntropyLoss:
+    C = 5
+
+    def _stacks(self, seed=0):
+        rng = np.random.default_rng(seed)
+        logits = rng.normal(size=(F, B, self.C))
+        labels = rng.integers(0, self.C, size=(F, B))
+        return logits, labels
+
+    def test_loss_and_gradient_match_serial_per_fold(self):
+        logits, labels = self._stacks()
+        batched = BatchedSparseCrossEntropyLoss()
+        total = batched(logits, labels)
+        grad = batched.backward()
+        fold_losses = []
+        for k in range(F):
+            serial = SparseCrossEntropyLoss()
+            fold_losses.append(serial(logits[k], labels[k]))
+            np.testing.assert_array_equal(grad[k], serial.backward())
+        np.testing.assert_array_equal(batched.fold_losses, fold_losses)
+        assert total == float(np.mean(batched.fold_losses))
+
+    def test_validation(self):
+        logits, labels = self._stacks()
+        loss = BatchedSparseCrossEntropyLoss()
+        with pytest.raises(ValueError):
+            loss(logits[0], labels[0])  # missing fold axis
+        with pytest.raises(ValueError):
+            loss(logits, labels[:, :-1])  # shape mismatch
+        with pytest.raises(ValueError):
+            loss(logits, labels + self.C)  # labels out of range
+        with pytest.raises(RuntimeError):
+            BatchedSparseCrossEntropyLoss().backward()
+
+
+class TestIterateFoldBatches:
+    def test_each_fold_matches_serial_iterate_batches(self):
+        """Fold k's batch sequence == iterate_batches on fold k's data."""
+        rng = np.random.default_rng(21)
+        n, feat, batch_size = 23, DIN, 7  # final partial batch included
+        features = rng.normal(size=(F, n, feat))
+        labels = rng.integers(0, 4, size=(F, n))
+        batched = list(
+            iterate_fold_batches(
+                features, labels, batch_size, _rngs(F, seed=5)
+            )
+        )
+        for k in range(F):
+            dataset = FingerprintDataset(features[k], labels[k])
+            serial = list(
+                iterate_batches(
+                    dataset, batch_size, _rngs(F, seed=5)[k]
+                )
+            )
+            assert len(batched) == len(serial)
+            for (bf, bl), (sf, sl) in zip(batched, serial):
+                np.testing.assert_array_equal(bf[k], sf)
+                np.testing.assert_array_equal(bl[k], sl)
+
+    def test_validation(self):
+        features = np.zeros((F, 10, DIN))
+        labels = np.zeros((F, 10), dtype=int)
+        with pytest.raises(ValueError):
+            next(iterate_fold_batches(features, labels, 0, _rngs(F)))
+        with pytest.raises(ValueError):
+            next(iterate_fold_batches(features[0], labels[0], 4, _rngs(F)))
+        with pytest.raises(ValueError):
+            next(iterate_fold_batches(features, labels, 4, _rngs(F - 1)))
 
 
 class TestBatchedAdam:
