@@ -11,12 +11,19 @@ thousand-client extension the fold-batched client engine unlocks::
 
 It sweeps FEDLS federations at 256/512/1024 total clients (1/8 poisoned)
 under ``client_engine="batched"`` with the O(n·k) ``sampled_peers``
-detector, and writes a JSON artefact recording, per point, the detection
-metrics (mean error, flagged counts) **and the wall time per federation
-round** — the scalability number the batched engine is accountable for.
-The wall time per round divides the cell's total duration by the round
-count, so it amortizes the one-off per-cell stages (evaluation, client
-dataset generation) across rounds.
+detector (``--shared-encoder`` additionally sweeps the O(n)
+shared-encoder mode over the same grid, composed with the peer
+sampling, and embeds its points under ``"shared_encoder"``), and writes
+a JSON artefact recording, per point, the detection metrics (mean
+error, server-side dropped counts) **and the wall time per federation round** —
+the scalability number the batched engine is accountable for.  The wall
+time per round divides the cell's total duration by the round count, so
+it amortizes the one-off per-cell stages (evaluation, client dataset
+generation) across rounds.
+
+FEDLS's defense is server-side update dropping, so the client-side
+``flagged_per_round`` counters are structurally zero here —
+``dropped_per_round`` is the column that shows the detector working.
 """
 
 from __future__ import annotations
@@ -56,6 +63,7 @@ def run_scalability(
     sampled_peers: int = 8,
     detector_epochs: int = 40,
     seed: int = 42,
+    shared_encoder: bool = False,
     engine: Optional[SweepEngine] = None,
 ) -> Dict[str, object]:
     """FEDLS at 256..max_clients total clients, batched client engine +
@@ -73,6 +81,7 @@ def run_scalability(
         framework_kwargs={
             "sampled_peers": sampled_peers,
             "detector_epochs": detector_epochs,
+            "shared_encoder": shared_encoder,
         },
     )
     sweep = (engine or SweepEngine()).run(plan)
@@ -85,6 +94,7 @@ def run_scalability(
                 "mean_error_m": cell.error_summary.mean,
                 "worst_error_m": cell.error_summary.worst,
                 "flagged_per_round": list(cell.flagged_per_round),
+                "dropped_per_round": list(cell.dropped_per_round),
                 "duration_s": round(cell.duration_s, 2),
                 "wall_time_per_round_s": round(
                     cell.duration_s / preset.num_rounds, 2
@@ -95,7 +105,12 @@ def run_scalability(
         "meta": {
             "benchmark": (
                 "fig7 scalability extension — FEDLS, batched client "
-                "engine, sampled-peers detection"
+                "engine, "
+                + (
+                    "shared-encoder O(n) detection"
+                    if shared_encoder
+                    else "sampled-peers detection"
+                )
             ),
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
             "numpy": np.__version__,
@@ -107,6 +122,7 @@ def run_scalability(
             "num_rounds": preset.num_rounds,
             "sampled_peers": sampled_peers,
             "detector_epochs": detector_epochs,
+            "shared_encoder": shared_encoder,
             "attack": "label_flip",
         },
         "points": points,
@@ -115,9 +131,14 @@ def run_scalability(
 
 def format_report(results: Dict[str, object]) -> str:
     meta = results["meta"]
+    detector = (
+        "shared_encoder"
+        if meta.get("shared_encoder")
+        else f"sampled_peers={meta['sampled_peers']}"
+    )
     lines = [
         f"fig7 scalability — FEDLS, client_engine={meta['client_engine']}, "
-        f"sampled_peers={meta['sampled_peers']} "
+        f"{detector} "
         f"[{meta['preset']}, {meta['num_rounds']} rounds]",
         "",
     ]
@@ -127,8 +148,8 @@ def format_report(results: Dict[str, object]) -> str:
             f"({point['num_malicious']:>4d} poisoned): "
             f"mean error {point['mean_error_m']:.2f} m, "
             f"{point['wall_time_per_round_s']:.2f} s/round "
-            f"(cell {point['duration_s']:.2f} s, flagged "
-            f"{point['flagged_per_round']})"
+            f"(cell {point['duration_s']:.2f} s, dropped "
+            f"{point['dropped_per_round']})"
         )
     return "\n".join(lines)
 
@@ -162,18 +183,42 @@ def main(argv=None) -> int:
         help="FEDLS detector fit budget per round (default 40)",
     )
     parser.add_argument(
+        "--shared-encoder",
+        action="store_true",
+        help="additionally sweep the O(n) shared-encoder FEDLS detector "
+        "(one pooled encoder, per-fold batched heads; composed with "
+        "--sampled-peers) over the same grid and embed its points under "
+        "'shared_encoder' in the artefact",
+    )
+    parser.add_argument(
         "--output",
         default=JSON_PATH,
         help="where to write the JSON artefact (default repo-root "
         "BENCH_fig7.json)",
     )
     args = parser.parse_args(argv)
+    # one engine for both detector modes: the client datasets and
+    # pre-train artifacts are mode-neutral, so the second sweep times
+    # only what changed — federation rounds under the other detector
+    engine = SweepEngine()
     results = run_scalability(
         max_clients=args.max_clients,
         sampled_peers=args.sampled_peers,
         detector_epochs=args.detector_epochs,
+        engine=engine,
     )
     print(format_report(results))
+    if args.shared_encoder:
+        shared = run_scalability(
+            max_clients=args.max_clients,
+            sampled_peers=args.sampled_peers,
+            detector_epochs=args.detector_epochs,
+            shared_encoder=True,
+            engine=engine,
+        )
+        print()
+        print(format_report(shared))
+        results["shared_encoder"] = shared
     path = write_json(results, args.output)
     print(f"\n[written to {path}]")
     return 0

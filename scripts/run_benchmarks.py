@@ -16,8 +16,10 @@ trajectory is tracked PR over PR:
   (detector fit at 8/32/128 clients, warm-start trajectory, end-to-end
   fig6 FEDLS column), the batched vs serial **client-round engine**
   (one stacked matmul program per federation round, 8–512 clients,
-  bit-identity asserted) and sampled-peers vs full leave-one-out
-  detection → ``BENCH_fedls.json``.
+  bit-identity asserted — for plain DNN cohorts *and* the composite
+  SAFELOC/ONLAD models), sampled-peers vs full leave-one-out detection
+  and the O(n) shared-encoder detector (kept-set agreement gated)
+  → ``BENCH_fedls.json``.
 
 Every suite re-asserts its equivalence contracts and the runner exits
 non-zero when any of them fails, so bench runs double as a correctness

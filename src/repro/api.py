@@ -443,6 +443,9 @@ def info() -> Dict[str, List[Dict[str, object]]]:
                 "paper": component.paper,
                 "defaults": dict(component.defaults),
                 "doc": component.doc,
+                "supports_batched_clients": (
+                    component.supports_batched_clients
+                ),
             }
             for component in registry.components(namespace)
         ]

@@ -150,8 +150,10 @@ class ClusteredAggregation(AggregationStrategy):
         updates: Sequence[ClientUpdate],
     ) -> np.ndarray:
         if packed.n_clients == 1:
+            self.last_dropped_count = 0
             return packed.matrix[0].copy()
         kept = self._keep_cluster(packed.deltas(gm_vector))
+        self.last_dropped_count = int(packed.n_clients - kept.sum())
         weights = np.asarray(
             [max(1, u.num_samples) for u, k in zip(updates, kept) if k],
             dtype=np.float64,
@@ -166,10 +168,12 @@ class ClusteredAggregation(AggregationStrategy):
     ) -> StateDict:
         updates = self._require_updates(updates)
         if len(updates) == 1:
+            self.last_dropped_count = 0
             return {k: v.copy() for k, v in updates[0].state.items()}
         deltas = [state_sub(u.state, global_state) for u in updates]
         vectors = np.stack([flatten_state(d)[0] for d in deltas])
         kept_mask = self._keep_cluster(vectors)
+        self.last_dropped_count = int(len(updates) - kept_mask.sum())
         kept = [u for u, k in zip(updates, kept_mask) if k]
         return state_weighted_mean(
             [u.state for u in kept], [max(1, u.num_samples) for u in kept]

@@ -20,6 +20,13 @@ matches it at ≤1e-10 (float64).  The per-fold loop survives as
 equivalence tests and the benchmark baseline.  An opt-in warm-start mode
 (:class:`LatentSpaceAggregation` ``warm_start=True``) carries detector
 weights across rounds at a reduced epoch budget.
+
+Two scalability modes compose on top: ``sampled_peers=k`` shrinks each
+fold's peer tensor from ``n−1`` rows to ``k`` (O(n·k) data), and
+``shared_encoder=True`` replaces the ``n`` independent detectors with
+one encoder fitted on the pooled cohort plus per-fold batched decoder
+*heads* — an O(n) program in which only the tiny heads remain per-fold
+(see :meth:`LatentSpaceAggregation._shared_encoder_errors`).
 """
 
 from __future__ import annotations
@@ -252,6 +259,13 @@ class LatentSpaceAggregation(AggregationStrategy):
             exact full leave-one-out program.  Values ≥ ``n−1`` fall back
             to full LOO, so a fixed ``k`` is safe across cohort sizes.
             Both detector engines share one peer assignment per round.
+        shared_encoder: Train **one** encoder on the pooled cohort and
+            only per-fold batched decoder heads on the peer sets — the
+            O(n) detection program past peer sampling (composes with
+            ``sampled_peers``: the head tensor shrinks to ``(n, k, ·)``).
+            Approximate by design, like ``warm_start`` (with which it is
+            mutually exclusive); requires the batched engine.
+            :meth:`aggregate_serial` stays the exact full-LOO reference.
     """
 
     name = "fedls-latent"
@@ -265,6 +279,7 @@ class LatentSpaceAggregation(AggregationStrategy):
         warm_start: bool = False,
         warm_start_epochs: Optional[int] = None,
         sampled_peers: Optional[int] = None,
+        shared_encoder: bool = False,
     ):
         if outlier_factor <= 1.0:
             raise ValueError("outlier_factor must be > 1")
@@ -283,6 +298,13 @@ class LatentSpaceAggregation(AggregationStrategy):
             raise ValueError(
                 f"sampled_peers must be >= 2 when set, got {sampled_peers}"
             )
+        if shared_encoder and detector_engine == "serial":
+            raise ValueError("shared_encoder requires the batched engine")
+        if shared_encoder and warm_start:
+            raise ValueError(
+                "shared_encoder and warm_start are mutually exclusive "
+                "approximations — pick one"
+            )
         self.outlier_factor = float(outlier_factor)
         self.detector_epochs = int(detector_epochs)
         self.seed = int(seed)
@@ -296,6 +318,7 @@ class LatentSpaceAggregation(AggregationStrategy):
         self.sampled_peers = (
             int(sampled_peers) if sampled_peers is not None else None
         )
+        self.shared_encoder = bool(shared_encoder)
         self._local_round = 0
         self._warm_network: Optional[BatchedSequential] = None
 
@@ -334,6 +357,7 @@ class LatentSpaceAggregation(AggregationStrategy):
     ) -> StateDict:
         updates = self._require_updates(updates)
         round_index = self._next_round_index()
+        self.last_dropped_count = 0
         if len(updates) < 3:
             return state_weighted_mean(
                 [u.state for u in updates],
@@ -347,6 +371,7 @@ class LatentSpaceAggregation(AggregationStrategy):
         kept = [u for u, e in zip(updates, errors) if e <= threshold]
         if not kept:  # never drop everyone
             kept = list(updates)
+        self.last_dropped_count = len(updates) - len(kept)
         return state_weighted_mean(
             [u.state for u in kept], [max(1, u.num_samples) for u in kept]
         )
@@ -375,12 +400,17 @@ class LatentSpaceAggregation(AggregationStrategy):
         """Each row's reconstruction error under its leave-one-out detector.
 
         ``engine`` defaults to the instance's configured
-        ``detector_engine``.
+        ``detector_engine``.  Passing ``engine="serial"`` explicitly always
+        runs the exact full-LOO reference, even on a ``shared_encoder``
+        strategy — that is what keeps :meth:`aggregate_serial` usable as
+        the agreement baseline for the approximate mode.
         """
         if engine is None:
             engine = self.detector_engine
         if engine == "serial":
             return self._loo_errors_serial(normalized, round_index)
+        if self.shared_encoder:
+            return self._shared_encoder_errors(normalized, round_index)
         return self._loo_errors_batched(normalized, round_index)
 
     def _fold_seeds(self, n_folds: int, round_index: int) -> List[int]:
@@ -461,6 +491,61 @@ class LatentSpaceAggregation(AggregationStrategy):
             ((normalized[:, None, :] - recon) ** 2).mean(axis=2)
         )[:, 0]
 
+    def _shared_encoder_errors(
+        self, normalized: np.ndarray, round_index: int
+    ) -> np.ndarray:
+        """O(n) detection: one pooled encoder + per-fold batched heads.
+
+        Phase one fits a single :class:`UpdateAutoencoder` on the whole
+        cohort — seeded ``seed + 1000·round`` on the shared detector
+        stream, same epoch budget as a fold detector, but O(n) rows once
+        instead of n times over.  Phase two freezes its encoder half,
+        encodes the cohort in one pass, and trains only per-fold decoder
+        *heads* (latent → hidden → feat, every fold warm-initialized from
+        the pooled decoder) on each fold's peer latents.  Leave-one-out
+        survives in the heads: fold ``k``'s head never trains on row
+        ``k``, so an outlier still reconstructs badly under its own head.
+
+        The per-epoch cost is the head GEMMs over an ``(n, p, ·)`` tensor
+        with the tiny latent/hidden widths — O(n) when ``sampled_peers``
+        pins ``p``, and still far below full LOO's n four-layer detectors
+        otherwise.  Like ``warm_start`` this is approximate by design:
+        determinism and outlier agreement with the exact
+        :meth:`aggregate_serial` reference are what the tests and the
+        benchmark gate pin, not bit-equality.
+        """
+        n, feature_dim = normalized.shape
+        pooled = UpdateAutoencoder(
+            feature_dim,
+            epochs=self.detector_epochs,
+            seed=self.seed + 1000 * round_index,
+        )
+        pooled.fit(normalized)
+        layers = pooled.network.layers
+        latent = normalized
+        for layer in layers[:4]:  # Linear→ReLU→Linear→ReLU encoder half
+            latent = layer.forward(latent)
+        # per-fold heads: n copies of the pooled decoder half, trained apart
+        heads = BatchedSequential(
+            BatchedLinear.from_linears([layers[4]] * n),
+            ReLU(),
+            BatchedLinear.from_linears([layers[6]] * n),
+        )
+        peer_index = self._peer_index(n, round_index)
+        peer_latent = np.ascontiguousarray(latent[peer_index])
+        peer_target = np.ascontiguousarray(normalized[peer_index])
+        loss = BatchedMSELoss()
+        optimizer = BatchedAdam(heads.trainable_parameters(), lr=DETECTOR_LR)
+        for _ in range(self.detector_epochs):
+            heads.zero_grad()
+            loss(heads.forward(peer_latent), peer_target)
+            heads.backward(loss.backward())
+            optimizer.step()
+        recon = heads.forward(np.ascontiguousarray(latent[:, None, :]))
+        return np.sqrt(
+            ((normalized[:, None, :] - recon) ** 2).mean(axis=2)
+        )[:, 0]
+
     def _build_detectors(
         self, feature_dim: int, n_folds: int, round_index: int
     ) -> BatchedSequential:
@@ -496,14 +581,16 @@ def make_fedls(
     warm_start: bool = False,
     warm_start_epochs: Optional[int] = None,
     sampled_peers: Optional[int] = None,
+    shared_encoder: bool = False,
 ) -> FrameworkSpec:
     """FEDLS framework bundle.
 
     The detector knobs pass straight through to
     :class:`LatentSpaceAggregation`, so sweeps can enable the approximate
     warm-start mode, pin the serial reference engine, or switch to the
-    O(n·k) ``sampled_peers`` detector per cell via ``framework_kwargs``
-    — e.g. ``{"warm_start": True}`` or ``{"sampled_peers": 16}``.
+    O(n·k) ``sampled_peers`` / O(n) ``shared_encoder`` detectors per cell
+    via ``framework_kwargs`` — e.g. ``{"warm_start": True}``,
+    ``{"sampled_peers": 16}`` or ``{"shared_encoder": True}``.
     """
     return FrameworkSpec(
         name="fedls",
@@ -518,6 +605,7 @@ def make_fedls(
             warm_start=warm_start,
             warm_start_epochs=warm_start_epochs,
             sampled_peers=sampled_peers,
+            shared_encoder=shared_encoder,
         ),
         description="FEDLS: DNN + latent-space update anomaly filter [24]",
     )

@@ -79,10 +79,13 @@ class KrumAggregation(AggregationStrategy):
         updates: Sequence[ClientUpdate],
     ) -> np.ndarray:
         if packed.n_clients == 1:
+            self.last_dropped_count = 0
             return packed.matrix[0].copy()
         scores = _scores_from_sq_distances(
             pairwise_sq_distances(packed.matrix), self.num_byzantine
         )
+        # KRUM keeps exactly one LM: everything else is dropped
+        self.last_dropped_count = packed.n_clients - 1
         return packed.matrix[int(np.argmin(scores))].copy()
 
     def aggregate_dict(
@@ -95,6 +98,7 @@ class KrumAggregation(AggregationStrategy):
             chosen = updates[0]
         else:
             chosen = updates[int(np.argmin(self.krum_scores_dict(updates)))]
+        self.last_dropped_count = len(updates) - 1
         return {k: v.copy() for k, v in chosen.state.items()}
 
 

@@ -11,7 +11,7 @@ the weakness Fig. 6 shows.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,8 +19,20 @@ from repro.attacks.base import GradientOracle, classifier_gradient_oracle
 from repro.baselines.dnn import DNNLocalizer
 from repro.data.datasets import FingerprintDataset, iterate_batches
 from repro.fl.aggregation import FedAvg
+from repro.fl.batched_round import (
+    FoldPrep,
+    FoldProgram,
+    layer_shapes,
+    run_classifier_epochs,
+)
 from repro.fl.interfaces import FrameworkSpec, LocalizationModel, StateDict
 from repro.nn import Adam, Linear, MSELoss, ReLU, Sequential, SparseCrossEntropyLoss
+from repro.nn.batched import (
+    BatchedAdam,
+    BatchedMSELoss,
+    BatchedSequential,
+    iterate_fold_batches,
+)
 from repro.utils.rng import spawn_rng
 
 #: ONLAD's localizer + detector pair per Table I (130,185 params).
@@ -161,6 +173,19 @@ class OnDeviceAnomalyModel(LocalizationModel):
             self.localizer.network, SparseCrossEntropyLoss()
         )
 
+    def fold_batch_program(self):
+        """ONLAD's two-model program for the batched client engine.
+
+        Subclasses that customize either training loop decline batching.
+        """
+        if (
+            type(self).train_epochs is not OnDeviceAnomalyModel.train_epochs
+            or type(self)._train_detector
+            is not OnDeviceAnomalyModel._train_detector
+        ):
+            return None
+        return OnladFoldProgram(self)
+
     def clone(self) -> "OnDeviceAnomalyModel":
         copy = OnDeviceAnomalyModel(
             self.input_dim, self.num_classes, tau=self.tau, seed=self.seed
@@ -179,6 +204,83 @@ class OnDeviceAnomalyModel(LocalizationModel):
         return macs_of_state(self.localizer.state_dict()) + macs_of_state(
             self.detector.state_dict()
         )
+
+
+class OnladFoldProgram(FoldProgram):
+    """Fold-batched ONLAD local training — both on-device models, stacked.
+
+    ``prepare`` runs the detector screen per client (flag + subset,
+    recording ``last_flagged_count``) against the broadcast weights.
+    ``train_cohort`` then mirrors the serial two-phase pass: the stacked
+    localizer trains under the stock classifier loop, then the stacked
+    detector autoencoders train under MSE, with each fold's rng stream
+    *continuing* from phase one exactly as the serial loop hands one
+    generator through both models.  Bit-identical to
+    :meth:`OnDeviceAnomalyModel.train_epochs` at float64.
+    """
+
+    def __init__(self, model: OnDeviceAnomalyModel):
+        self.model = model
+
+    def structure_key(self) -> Tuple:
+        return (
+            "onlad",
+            layer_shapes(self.model.localizer.network),
+            layer_shapes(self.model.detector),
+        )
+
+    def prepare(self, dataset: FingerprintDataset) -> Optional[FoldPrep]:
+        model = self.model
+        flagged = model.flag(dataset.features)
+        model.last_flagged_count = int(flagged.sum())
+        kept = dataset.subset(np.flatnonzero(~flagged))
+        if len(kept) == 0:
+            # everything flagged: skip the local update entirely
+            return None
+        return FoldPrep(kept)
+
+    def train_cohort(
+        self,
+        programs: Sequence["OnladFoldProgram"],
+        preps: Sequence[FoldPrep],
+        config,
+        rngs,
+    ) -> np.ndarray:
+        models = [program.model for program in programs]
+        features = np.stack([prep.dataset.features for prep in preps])
+        labels = np.stack([prep.dataset.labels for prep in preps])
+        localizer = BatchedSequential.from_modules(
+            [model.localizer.network for model in models]
+        )
+        fold_final = run_classifier_epochs(
+            localizer,
+            features,
+            labels,
+            config.epochs,
+            config.lr,
+            config.batch_size,
+            rngs,
+        )
+        for fold, model in enumerate(models):
+            localizer.scatter_fold(fold, model.localizer.network)
+        # phase two: the detector autoencoders, each fold's rng stream
+        # continuing where the localizer loop left it (serial contract)
+        detector = BatchedSequential.from_modules(
+            [model.detector for model in models]
+        )
+        optimizer = BatchedAdam(detector.trainable_parameters(), lr=config.lr)
+        mse = BatchedMSELoss()
+        for _ in range(config.epochs):
+            for batch_features, _labels in iterate_fold_batches(
+                features, labels, config.batch_size, rngs
+            ):
+                detector.zero_grad()
+                mse(detector.forward(batch_features), batch_features)
+                detector.backward(mse.backward())
+                optimizer.step()
+        for fold, model in enumerate(models):
+            detector.scatter_fold(fold, model.detector)
+        return fold_final
 
 
 def make_onlad(input_dim: int, num_classes: int, seed: int = 0) -> FrameworkSpec:

@@ -53,7 +53,10 @@ for _name, _factory, _paper, _doc, _extra in (
      "KRUM: MLP + Byzantine-robust single-LM selection [22]", ()),
 ):
     # replace=True gives the built-ins authority over their names even
-    # if an entry-point plugin registered first
+    # if an entry-point plugin registered first.  Every built-in model
+    # exposes a fold-batch program (SAFELOC/ONLAD composite, DNN
+    # classifier), so client_engine="batched" stacks all of them —
+    # a test probes the claim against each model's fold_batch_program().
     registry.add(
         "frameworks",
         _name,
@@ -62,6 +65,7 @@ for _name, _factory, _paper, _doc, _extra in (
         doc=_doc,
         extra_kwargs=_extra,
         replace=True,
+        supports_batched_clients=True,
     )
 
 #: Fig. 6 / Table I comparison set, in the paper's ranking order

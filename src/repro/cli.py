@@ -127,6 +127,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"parameters: {result.parameter_count:,}")
     if any(result.flagged_per_round):
         print(f"flagged per round: {result.flagged_per_round}")
+    if any(result.dropped_per_round):
+        print(f"dropped per round: {result.dropped_per_round}")
     return 0
 
 
@@ -188,6 +190,8 @@ def _cmd_info(args: argparse.Namespace) -> int:
             defaults = _format_defaults(entry["defaults"])
             if defaults:
                 line += f" (defaults: {defaults})"
+            if entry.get("supports_batched_clients"):
+                line += " [batched-clients]"
             print(line)
     return 0
 

@@ -15,7 +15,7 @@
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,8 +24,17 @@ from repro.core.detection import DEFAULT_TAU, ThresholdDetector, reconstruction_
 from repro.core.fused_network import ENCODER_WIDTHS, FusedAutoencoderClassifier
 from repro.core.saliency import SaliencyAggregation
 from repro.data.datasets import FingerprintDataset, iterate_batches
+from repro.fl.batched_round import FoldPrep, FoldProgram, layer_shapes
 from repro.fl.interfaces import FrameworkSpec, LocalizationModel, StateDict
 from repro.nn import Adam, MSELoss, SparseCrossEntropyLoss
+from repro.nn.batched import (
+    BatchedAdam,
+    BatchedLinear,
+    BatchedMSELoss,
+    BatchedSparseCrossEntropyLoss,
+    CompositeStacker,
+    iterate_fold_batches,
+)
 
 
 class SafeLocModel(LocalizationModel):
@@ -100,6 +109,34 @@ class SafeLocModel(LocalizationModel):
         cleaned[flagged] = self.network.reconstruct(features[flagged])
         return cleaned, flagged
 
+    def _screen_training_data(
+        self, dataset: FingerprintDataset
+    ) -> Tuple[Optional[FingerprintDataset], np.ndarray]:
+        """§IV.A client-side screening, shared by the serial and batched paths.
+
+        De-noises flagged fingerprints and records ``last_flagged_count``.
+        Second-pass check: a successfully de-noised fingerprint lands back
+        on the clean manifold (RCE ≤ τ).  Reconstructions that are *still*
+        anomalous came from perturbations too large to invert — training
+        on them would poison the LM, so they are dropped from the local
+        update altogether.  Returns ``(screened dataset, flagged mask)``,
+        or ``(None, flagged)`` when nothing trustworthy survives.
+        """
+        cleaned, flagged = self.denoise(dataset.features)
+        self.last_flagged_count = int(flagged.sum())
+        if flagged.any():
+            still_bad = flagged & self.detector.flag(
+                self.reconstruction_errors(cleaned)
+            )
+            if still_bad.any():
+                keep = np.flatnonzero(~still_bad)
+                if keep.size == 0:
+                    return None, flagged
+                cleaned = cleaned[keep]
+                flagged = flagged[keep]
+                dataset = dataset.subset(keep)
+        return dataset.with_features(cleaned), flagged
+
     # -- LocalizationModel interface ----------------------------------------
     def state_dict(self) -> StateDict:
         return self.network.state_dict()
@@ -119,25 +156,10 @@ class SafeLocModel(LocalizationModel):
         if epochs <= 0:
             raise ValueError("epochs must be positive")
         if self.denoise_training_data and not trusted:
-            cleaned, flagged = self.denoise(dataset.features)
-            self.last_flagged_count = int(flagged.sum())
-            # Second-pass check: a successfully de-noised fingerprint lands
-            # back on the clean manifold (RCE ≤ τ).  Reconstructions that
-            # are *still* anomalous came from perturbations too large to
-            # invert — training on them would poison the LM, so they are
-            # dropped from the local update altogether.
-            if flagged.any():
-                still_bad = flagged & self.detector.flag(
-                    self.reconstruction_errors(cleaned)
-                )
-                if still_bad.any():
-                    keep = np.flatnonzero(~still_bad)
-                    if keep.size == 0:
-                        return 0.0  # nothing trustworthy: skip the update
-                    cleaned = cleaned[keep]
-                    flagged = flagged[keep]
-                    dataset = dataset.subset(keep)
-            dataset = dataset.with_features(cleaned)
+            screened, flagged = self._screen_training_data(dataset)
+            if screened is None:
+                return 0.0  # nothing trustworthy: skip the update
+            dataset = screened
         else:
             flagged = np.zeros(len(dataset), dtype=bool)
             self.last_flagged_count = 0
@@ -203,6 +225,16 @@ class SafeLocModel(LocalizationModel):
         (the GM's loss function, eq. 1-4)."""
         return classifier_gradient_oracle(self.network, SparseCrossEntropyLoss())
 
+    def fold_batch_program(self):
+        """SAFELOC's composite program for the batched client engine.
+
+        Subclasses that customize :meth:`train_epochs` decline batching
+        (the stacked loop would no longer mirror their serial step).
+        """
+        if type(self).train_epochs is not SafeLocModel.train_epochs:
+            return None
+        return SafeLocFoldProgram(self)
+
     def clone(self) -> "SafeLocModel":
         copy = SafeLocModel(
             self.input_dim,
@@ -235,6 +267,106 @@ class SafeLocModel(LocalizationModel):
         )
         classifier_macs = self.network.latent_dim * self.num_classes
         return 2 * encoder_macs + classifier_macs
+
+
+class SafeLocFoldProgram(FoldProgram):
+    """Fold-batched SAFELOC local training — the §IV.A composite, stacked.
+
+    ``prepare`` runs the serial screening phase (de-noise + second-pass
+    drop) per client against the broadcast weights.  ``train_cohort``
+    stacks every fold's encoder, tied decoder and classifier head through
+    one :class:`~repro.nn.batched.CompositeStacker` — so each fold's
+    decoder weight gradients accumulate into that fold's slice of the
+    stacked encoder, exactly as the serial tie accumulates into the
+    per-fold encoder — and runs the joint MSE+CE step as stacked 3-D
+    matmuls, zeroing each fold's flagged rows out of the reconstruction
+    gradient.  Bit-identical to :meth:`SafeLocModel.train_epochs` at
+    float64.
+    """
+
+    def __init__(self, model: SafeLocModel):
+        self.model = model
+
+    def structure_key(self) -> Tuple:
+        network = self.model.network
+        return (
+            "safeloc",
+            layer_shapes(network.encoder),
+            layer_shapes(network.decoder),
+            (network.latent_dim, network.num_classes),
+            self.model.recon_weight,
+        )
+
+    def prepare(self, dataset: FingerprintDataset) -> Optional[FoldPrep]:
+        model = self.model
+        if not model.denoise_training_data:
+            model.last_flagged_count = 0
+            return FoldPrep(dataset, aux=np.zeros(len(dataset), dtype=bool))
+        screened, flagged = model._screen_training_data(dataset)
+        if screened is None:
+            return None
+        return FoldPrep(screened, aux=flagged)
+
+    def train_cohort(
+        self,
+        programs: Sequence["SafeLocFoldProgram"],
+        preps: Sequence[FoldPrep],
+        config,
+        rngs,
+    ) -> np.ndarray:
+        networks = [program.model.network for program in programs]
+        features = np.stack([prep.dataset.features for prep in preps])
+        labels = np.stack([prep.dataset.labels for prep in preps])
+        flagged = np.stack([prep.aux for prep in preps])
+        stacker = CompositeStacker()
+        encoder = stacker.stack([network.encoder for network in networks])
+        decoder = stacker.stack([network.decoder for network in networks])
+        classifier = BatchedLinear.from_linears(
+            [network.classifier for network in networks]
+        )
+        recon_weight = self.model.recon_weight
+        optimizer = BatchedAdam(
+            encoder.trainable_parameters()
+            + decoder.trainable_parameters()
+            + classifier.trainable_parameters(),
+            lr=config.lr,
+        )
+        mse = BatchedMSELoss()
+        ce = BatchedSparseCrossEntropyLoss()
+        fold_idx = np.arange(len(programs))[:, None]
+        fold_final = np.zeros(len(programs))
+        for _ in range(config.epochs):
+            batch_losses = []
+            for batch_features, batch_labels, idx in iterate_fold_batches(
+                features, labels, config.batch_size, rngs, with_index=True
+            ):
+                encoder.zero_grad()
+                decoder.zero_grad()
+                classifier.zero_grad()
+                latent = encoder.forward(batch_features)
+                reconstruction = decoder.forward(latent)
+                logits = classifier.forward(latent)
+                # de-noising objective: reconstruct the CLEAN fingerprint
+                mse(reconstruction, batch_features)
+                ce(logits, batch_labels)
+                grad_recon = recon_weight * mse.backward()
+                # flagged rows were *replaced by reconstructions*; only the
+                # classification branch learns from them (see train_epochs)
+                grad_recon[flagged[fold_idx, idx]] = 0.0
+                grad_latent = decoder.backward(grad_recon)
+                grad_latent = grad_latent + classifier.backward(ce.backward())
+                encoder.backward(grad_latent)
+                optimizer.step()
+                batch_losses.append(
+                    ce.fold_losses + recon_weight * mse.fold_losses
+                )
+            fold_final = np.mean(batch_losses, axis=0)
+        for fold, network in enumerate(networks):
+            encoder.scatter_fold(fold, network.encoder)
+            decoder.scatter_fold(fold, network.decoder)
+            network.classifier.weight.data = classifier.weight.data[fold].copy()
+            network.classifier.bias.data = classifier.bias.data[fold].copy()
+        return fold_final
 
 
 def make_safeloc(

@@ -109,6 +109,7 @@ PRETRAIN_NEUTRAL_KWARGS: Dict[str, frozenset] = {
             "warm_start",
             "warm_start_epochs",
             "sampled_peers",
+            "shared_encoder",
         }
     ),
 }
@@ -379,6 +380,10 @@ class CellResult:
     building: str = ""
     error_summary: Optional[ErrorSummary] = None
     flagged_per_round: List[int] = field(default_factory=list)
+    #: server-side update drops per round (FEDLS/FEDCC/KRUM filters) —
+    #: client-side ``flagged_per_round`` never sees these, so frameworks
+    #: whose whole defense is server-side would otherwise read as inert
+    dropped_per_round: List[int] = field(default_factory=list)
     parameter_count: int = 0
     metrics: Dict[str, float] = field(default_factory=dict)
     duration_s: float = 0.0
@@ -395,6 +400,7 @@ class CellResult:
                 asdict(self.error_summary) if self.error_summary else None
             ),
             "flagged_per_round": list(self.flagged_per_round),
+            "dropped_per_round": list(self.dropped_per_round),
             "parameter_count": self.parameter_count,
             "metrics": self.metrics,
             "duration_s": self.duration_s,
@@ -413,6 +419,7 @@ class CellResult:
             building=record.get("building", ""),
             error_summary=ErrorSummary(**summary) if summary else None,
             flagged_per_round=list(record.get("flagged_per_round", [])),
+            dropped_per_round=list(record.get("dropped_per_round", [])),
             parameter_count=int(record.get("parameter_count", 0)),
             metrics=dict(record.get("metrics", {})),
             duration_s=float(record.get("duration_s", 0.0)),
@@ -765,6 +772,7 @@ class SweepEngine:
             building=building_name,
             error_summary=summary,
             flagged_per_round=[r.num_flagged for r in server.history],
+            dropped_per_round=[r.num_dropped for r in server.history],
             parameter_count=server.model.parameter_count(),
             pretrain_cache_hit=pretrain_hit,
         )

@@ -31,6 +31,8 @@ class ExperimentResult:
         error_summary: Cross-device localization errors of the final GM.
         flagged_per_round: Client-side detector flags per round (0 for
             frameworks without client-side detection).
+        dropped_per_round: Server-side update drops per round (0 for
+            strategies that never exclude whole updates).
         parameter_count: GM parameter total (Table I metric).
     """
 
@@ -40,6 +42,7 @@ class ExperimentResult:
     building: str
     error_summary: ErrorSummary
     flagged_per_round: list = field(default_factory=list)
+    dropped_per_round: list = field(default_factory=list)
     parameter_count: int = 0
 
     @classmethod
@@ -52,6 +55,7 @@ class ExperimentResult:
             building=cell.building,
             error_summary=cell.error_summary,
             flagged_per_round=list(cell.flagged_per_round),
+            dropped_per_round=list(cell.dropped_per_round),
             parameter_count=cell.parameter_count,
         )
 

@@ -56,6 +56,13 @@ class AggregationStrategy:
     #: or ``None`` when the strategy is driven outside a server loop.
     round_index: Optional[int] = None
 
+    #: Updates the server-side filter excluded from the most recent
+    #: ``aggregate`` call.  Client-side ``flagged_poisoned`` counts never
+    #: see these drops (the filter runs after local training), so this is
+    #: the only place FEDLS-style defenses become observable; strategies
+    #: that never drop leave it at 0.
+    last_dropped_count: int = 0
+
     def begin_round(self, round_index: int) -> None:
         """Announce the upcoming round's 1-based index.
 
@@ -72,6 +79,7 @@ class AggregationStrategy:
         strategy, so one instance can serve several federations without
         leaking round counters or caches between them."""
         self.round_index = None
+        self.last_dropped_count = 0
 
     def aggregate(
         self,

@@ -90,6 +90,28 @@ class LocalizationModel(ABC):
         """
         return None
 
+    def fold_batch_program(self):
+        """Optional hook: the fold-batched *training program* for this model.
+
+        Richer than :meth:`fold_batch_network`: a program
+        (:class:`~repro.fl.batched_round.FoldProgram`) also owns the
+        serial per-client preprocessing (client-side defenses that screen
+        the data before any gradient step) and the stacked training loop
+        itself, which is what lets composite models — SAFELOC's fused
+        denoiser+localizer pipeline, ONLAD's localizer/detector pair —
+        run fold-batched too.  The default adapts
+        :meth:`fold_batch_network`: models exposing a plain classifier
+        ``Sequential`` get the stock
+        :class:`~repro.fl.batched_round.ClassifierFoldProgram`; models
+        exposing neither stay on the serial per-client path (``None``).
+        """
+        network = self.fold_batch_network()
+        if network is None:
+            return None
+        from repro.fl.batched_round import ClassifierFoldProgram
+
+        return ClassifierFoldProgram(network)
+
     def evaluate_loss(self, dataset: FingerprintDataset) -> Optional[float]:
         """Optional hook: classification loss on a dataset (None when the
         implementation does not expose one)."""

@@ -37,6 +37,11 @@ class RoundRecord:
     mean_client_loss: float
     num_malicious: int
     num_flagged: int
+    #: updates the server-side filter excluded during aggregation —
+    #: the only visibility into defenses (FEDLS, FEDCC, KRUM) that drop
+    #: whole updates after local training rather than flagging samples
+    #: client-side like ``num_flagged`` counts
+    num_dropped: int = 0
 
 
 class FederatedServer:
@@ -173,14 +178,17 @@ class FederatedServer:
             mean_client_loss=float(np.mean([u.train_loss for u in updates])),
             num_malicious=sum(u.is_malicious for u in updates),
             num_flagged=sum(u.flagged_poisoned for u in updates),
+            num_dropped=int(self.strategy.last_dropped_count),
         )
         self.history.append(record)
         logger.info(
-            "round %d: mean client loss %.4f (%d malicious, %d flagged)",
+            "round %d: mean client loss %.4f (%d malicious, %d flagged, "
+            "%d dropped)",
             record.round_index,
             record.mean_client_loss,
             record.num_malicious,
             record.num_flagged,
+            record.num_dropped,
         )
         return record
 

@@ -26,6 +26,8 @@ from repro.nn.batched import (
     BatchedMSELoss,
     BatchedSequential,
     BatchedSparseCrossEntropyLoss,
+    BatchedTiedLinear,
+    CompositeStacker,
     iterate_fold_batches,
 )
 from repro.nn.layers import (
@@ -90,7 +92,9 @@ __all__ = [
     "Parameter",
     "Sequential",
     "BatchedLinear",
+    "BatchedTiedLinear",
     "BatchedSequential",
+    "CompositeStacker",
     "BatchedMSELoss",
     "BatchedSparseCrossEntropyLoss",
     "BatchedAdam",

@@ -9,9 +9,16 @@ leading axis instead, so one training step is a handful of 3-D
 
 * :class:`BatchedLinear` — parameters ``(n_folds, in, out)`` /
   ``(n_folds, out)`` over inputs ``(n_folds, batch, in)``;
+* :class:`BatchedTiedLinear` — the fold-batched
+  :class:`~repro.nn.layers.TiedLinear`: per-fold transposed views onto a
+  stacked source's weights, owning only a bias stack;
 * :class:`BatchedSequential` — a :class:`~repro.nn.module.Sequential`
   that validates the shared fold axis and can extract any single fold as
   a plain per-fold network;
+* :class:`CompositeStacker` — stacks *multi-stage* per-fold networks
+  (encoder / tied decoder / classifier head) while preserving
+  cross-stage weight tying, the piece that lets SAFELOC's fused model
+  fold-batch;
 * :class:`BatchedMSELoss` — per-fold mean-squared error whose gradient
   matches :class:`~repro.nn.losses.MSELoss` fold by fold;
 * :class:`BatchedSparseCrossEntropyLoss` — per-fold softmax
@@ -45,10 +52,26 @@ import numpy as np
 from repro.nn.dtype import default_dtype
 from repro.nn.functional import log_softmax
 from repro.nn.init import get_initializer
-from repro.nn.layers import Linear
+from repro.nn.layers import Linear, TiedLinear
 from repro.nn.module import Module, Parameter, Sequential
 from repro.nn.optim import Adam
 from repro.utils.rng import fallback_rng
+
+
+def _as_fold_stack(x: np.ndarray, n_folds: int) -> np.ndarray:
+    """Promote to a ``(n_folds, batch, features)`` stack and validate."""
+    x = np.asarray(x, dtype=default_dtype())
+    if x.ndim == 2:  # one sample per fold
+        x = x[:, None, :]
+    if x.ndim != 3:
+        raise ValueError(
+            f"expected (n_folds, batch, features) input, got shape {x.shape}"
+        )
+    if x.shape[0] != n_folds:
+        raise ValueError(
+            f"input carries {x.shape[0]} folds, layer has {n_folds}"
+        )
+    return x
 
 
 class BatchedLinear(Module):
@@ -134,18 +157,7 @@ class BatchedLinear(Module):
         return batched
 
     def _as_folded(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=default_dtype())
-        if x.ndim == 2:  # one sample per fold
-            x = x[:, None, :]
-        if x.ndim != 3:
-            raise ValueError(
-                f"expected (n_folds, batch, features) input, got shape {x.shape}"
-            )
-        if x.shape[0] != self.n_folds:
-            raise ValueError(
-                f"input carries {x.shape[0]} folds, layer has {self.n_folds}"
-            )
-        return x
+        return _as_fold_stack(x, self.n_folds)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = self._as_folded(x)
@@ -172,6 +184,97 @@ class BatchedLinear(Module):
         return grad_output @ self.weight.data.transpose(0, 2, 1)
 
 
+class BatchedTiedLinear(Module):
+    """``n_folds`` tied dense layers over one stacked source's weights.
+
+    The fold-batched :class:`~repro.nn.layers.TiedLinear`: fold ``k``
+    computes ``y[k] = x[k] @ W[k].T + b[k]`` against fold ``k`` of the
+    source :class:`BatchedLinear`'s weight stack, owns only its bias
+    stack, and (unless ``train_weight=False``) accumulates the tied
+    weight gradient ``g[k].T @ x[k]`` into the source — the same shared
+    tensor the serial tie writes, so each fold's gradient flow is
+    bit-identical to its per-fold twin.  Mirroring ``TiedLinear``, the
+    source is deliberately *not* registered as a submodule: parameter
+    walks report the shared weights exactly once, via the source's own
+    stage.
+    """
+
+    def __init__(self, source: BatchedLinear, train_weight: bool = True):
+        super().__init__()
+        if not isinstance(source, BatchedLinear):
+            raise TypeError("BatchedTiedLinear requires a BatchedLinear source")
+        self.source = source
+        self._modules.pop("source", None)  # avoid double-counting parameters
+        object.__setattr__(self, "source", source)
+        self.train_weight = bool(train_weight)
+        self.n_folds = source.n_folds
+        self.in_features = source.out_features
+        self.out_features = source.in_features
+        self.bias = Parameter(
+            np.zeros((source.n_folds, self.out_features)), "bias"
+        )
+        self._input: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_tied(
+        cls, layers: Sequence[TiedLinear], source: BatchedLinear
+    ) -> "BatchedTiedLinear":
+        """Stack per-fold tied layers against an already-stacked source."""
+        if not layers:
+            raise ValueError("need at least one TiedLinear to stack")
+        first = layers[0]
+        if any(
+            layer.in_features != first.in_features
+            or layer.out_features != first.out_features
+            or layer.train_weight != first.train_weight
+            for layer in layers
+        ):
+            raise ValueError("all folds must share one tied-layer shape")
+        if len(layers) != source.n_folds:
+            raise ValueError(
+                f"{len(layers)} tied folds against a {source.n_folds}-fold "
+                "source"
+            )
+        if (
+            first.in_features != source.out_features
+            or first.out_features != source.in_features
+        ):
+            raise ValueError(
+                f"tied shape ({first.in_features}, {first.out_features}) "
+                f"does not mirror source ({source.in_features}, "
+                f"{source.out_features})"
+            )
+        batched = cls(source, train_weight=first.train_weight)
+        batched.bias.data = np.stack([layer.bias.data for layer in layers])
+        return batched
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = _as_fold_stack(x, self.n_folds)
+        if x.shape[2] != self.in_features:
+            raise ValueError(
+                f"BatchedTiedLinear expected {self.in_features} features, "
+                f"got {x.shape[2]}"
+            )
+        self._input = x
+        return (
+            x @ self.source.weight.data.transpose(0, 2, 1)
+            + self.bias.data[:, None, :]
+        )
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        grad_output = _as_fold_stack(grad_output, self.n_folds)
+        if self.train_weight and self.source.weight.trainable:
+            # per fold: dW[k] += g[k].T @ x[k], into the shared stack
+            self.source.weight.grad += (
+                grad_output.transpose(0, 2, 1) @ self._input
+            )
+        if self.bias.trainable:
+            self.bias.grad += grad_output.sum(axis=1)
+        return grad_output @ self.source.weight.data
+
+
 class BatchedSequential(Sequential):
     """A :class:`Sequential` of fold-batched layers sharing one fold axis.
 
@@ -186,60 +289,34 @@ class BatchedSequential(Sequential):
         folds = {
             layer.n_folds
             for layer in self.layers
-            if isinstance(layer, BatchedLinear)
+            if isinstance(layer, (BatchedLinear, BatchedTiedLinear))
         }
         if len(folds) > 1:
             raise ValueError(f"inconsistent fold counts: {sorted(folds)}")
         self.n_folds = folds.pop() if folds else 0
 
     @classmethod
-    def from_modules(cls, modules: Sequence[Sequential]) -> "BatchedSequential":
+    def from_modules(
+        cls,
+        modules: Sequence[Sequential],
+        stacker: Optional["CompositeStacker"] = None,
+    ) -> "BatchedSequential":
         """Stack structurally identical per-fold networks (copied weights).
 
         Every module must be a :class:`Sequential` with the same layer
         sequence: :class:`~repro.nn.layers.Linear` layers are stacked via
         :meth:`BatchedLinear.from_linears`, parameter-free layers
-        (activations) are re-instantiated.  Fold ``k`` of the result holds
-        an exact copy of ``modules[k]``'s weights, so batched training
+        (activations) are re-instantiated, and
+        :class:`~repro.nn.layers.TiedLinear` layers become
+        :class:`BatchedTiedLinear` views — their source must have been
+        stacked already, either earlier in the same module or in a
+        previous stage of the ``stacker`` passed in (see
+        :class:`CompositeStacker`).  Fold ``k`` of the result holds an
+        exact copy of ``modules[k]``'s weights, so batched training
         starting from the stack bit-matches serial training starting from
         the originals.
         """
-        if not modules:
-            raise ValueError("need at least one module to stack")
-        first = modules[0]
-        for idx, module in enumerate(modules):
-            if not isinstance(module, Sequential):
-                raise TypeError(
-                    f"fold {idx} is not a Sequential: {type(module).__name__}"
-                )
-            if len(module.layers) != len(first.layers):
-                raise ValueError(
-                    f"fold {idx} has {len(module.layers)} layers, "
-                    f"fold 0 has {len(first.layers)}"
-                )
-            for position, (layer, ref) in enumerate(
-                zip(module.layers, first.layers)
-            ):
-                if type(layer) is not type(ref):
-                    raise TypeError(
-                        f"layer {position} differs across folds: "
-                        f"{type(ref).__name__} vs {type(layer).__name__}"
-                    )
-        stacked: List[Module] = []
-        for position, layer in enumerate(first.layers):
-            if isinstance(layer, Linear):
-                stacked.append(
-                    BatchedLinear.from_linears(
-                        [module.layers[position] for module in modules]
-                    )
-                )
-            elif layer.parameters():
-                raise TypeError(
-                    f"cannot stack parametered layer {type(layer).__name__}"
-                )
-            else:
-                stacked.append(type(layer)())
-        return cls(*stacked)
+        return (stacker or CompositeStacker()).stack(modules, cls=cls)
 
     def scatter_fold(self, fold: int, target: Sequential) -> None:
         """Copy fold ``k``'s weights back into a per-fold network in place.
@@ -259,7 +336,16 @@ class BatchedSequential(Sequential):
         for position, (batched, single) in enumerate(
             zip(self.layers, target.layers)
         ):
-            if isinstance(batched, BatchedLinear):
+            if isinstance(batched, BatchedTiedLinear):
+                # the tied weight lives in (and scatters via) the source
+                # stage; only the bias is this layer's own
+                if not isinstance(single, TiedLinear):
+                    raise TypeError(
+                        f"layer {position}: expected TiedLinear, got "
+                        f"{type(single).__name__}"
+                    )
+                single.bias.data = batched.bias.data[fold].copy()
+            elif isinstance(batched, BatchedLinear):
                 if not isinstance(single, Linear):
                     raise TypeError(
                         f"layer {position}: expected Linear, got "
@@ -298,6 +384,114 @@ class BatchedSequential(Sequential):
             else:
                 extracted.append(type(layer)())
         return Sequential(*extracted)
+
+
+class CompositeStacker:
+    """Stacks the stages of per-fold *composite* networks, preserving
+    cross-stage weight tying.
+
+    SAFELOC's fused model is not one ``Sequential`` — it is an encoder,
+    a decoder of :class:`~repro.nn.layers.TiedLinear` views onto the
+    encoder's weights, and a classifier head.  Stacking each stage
+    independently would break the tying: every fold's decoder must share
+    its weight tensor with *that fold's slice* of the stacked encoder.
+    A stacker remembers, for every per-fold ``Linear`` it has stacked,
+    which :class:`BatchedLinear` and fold index now hold its weights;
+    when a later stage presents a ``TiedLinear``, the tie is re-created
+    against the already-stacked source — one :class:`BatchedTiedLinear`
+    whose weight gradient accumulates into the stacked encoder exactly
+    as each serial tie accumulates into its per-fold encoder.
+
+    One stacker per cohort, :meth:`stack` called once per stage in
+    dependency order (sources before ties)::
+
+        stacker = CompositeStacker()
+        enc = stacker.stack([m.encoder for m in models])
+        dec = stacker.stack([m.decoder for m in models])   # ties resolve
+        clf = stacker.stack([m.classifier for m in models])
+    """
+
+    def __init__(self) -> None:
+        # id(per-fold Linear) -> (stacked layer, fold index)
+        self._stacked: dict = {}
+
+    @staticmethod
+    def _validate_structure(modules: Sequence[Sequential]) -> None:
+        first = modules[0]
+        for idx, module in enumerate(modules):
+            if not isinstance(module, Sequential):
+                raise TypeError(
+                    f"fold {idx} is not a Sequential: {type(module).__name__}"
+                )
+            if len(module.layers) != len(first.layers):
+                raise ValueError(
+                    f"fold {idx} has {len(module.layers)} layers, "
+                    f"fold 0 has {len(first.layers)}"
+                )
+            for position, (layer, ref) in enumerate(
+                zip(module.layers, first.layers)
+            ):
+                if type(layer) is not type(ref):
+                    raise TypeError(
+                        f"layer {position} differs across folds: "
+                        f"{type(ref).__name__} vs {type(layer).__name__}"
+                    )
+
+    def _resolve_tie(
+        self, position: int, ties: Sequence[TiedLinear]
+    ) -> BatchedTiedLinear:
+        """Re-create per-fold ties against the already-stacked source."""
+        resolved = self._stacked.get(id(ties[0].source))
+        if resolved is None:
+            raise ValueError(
+                f"layer {position}: TiedLinear source was not stacked by "
+                "this stacker — stack the source stage first (one "
+                "CompositeStacker per cohort, stages in dependency order)"
+            )
+        source, _ = resolved
+        for fold, tie in enumerate(ties):
+            entry = self._stacked.get(id(tie.source))
+            if entry is None or entry[0] is not source or entry[1] != fold:
+                raise ValueError(
+                    f"layer {position}: fold {fold}'s tied source does not "
+                    f"map to fold {fold} of the stacked source stage — "
+                    "folds must be passed in the same order for every stage"
+                )
+        return BatchedTiedLinear.from_tied(ties, source)
+
+    def stack(
+        self,
+        modules: Sequence[Sequential],
+        cls: Optional[type] = None,
+    ) -> "BatchedSequential":
+        """Stack one stage of structurally identical per-fold networks.
+
+        ``Linear`` layers are stacked via
+        :meth:`BatchedLinear.from_linears` and recorded so later stages
+        can tie against them; ``TiedLinear`` layers resolve through the
+        record; parameter-free layers are re-instantiated.
+        """
+        if not modules:
+            raise ValueError("need at least one module to stack")
+        self._validate_structure(modules)
+        first = modules[0]
+        stacked: List[Module] = []
+        for position, layer in enumerate(first.layers):
+            folds = [module.layers[position] for module in modules]
+            if isinstance(layer, TiedLinear):
+                stacked.append(self._resolve_tie(position, folds))
+            elif isinstance(layer, Linear):
+                batched = BatchedLinear.from_linears(folds)
+                for fold, single in enumerate(folds):
+                    self._stacked[id(single)] = (batched, fold)
+                stacked.append(batched)
+            elif layer.parameters():
+                raise TypeError(
+                    f"cannot stack parametered layer {type(layer).__name__}"
+                )
+            else:
+                stacked.append(type(layer)())
+        return (cls or BatchedSequential)(*stacked)
 
 
 class BatchedMSELoss:
@@ -403,7 +597,8 @@ def iterate_fold_batches(
     labels: np.ndarray,
     batch_size: int,
     rngs: Sequence[np.random.Generator],
-) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    with_index: bool = False,
+) -> Iterator[Tuple[np.ndarray, ...]]:
     """Yield per-fold shuffled ``(features, labels)`` mini-batch stacks.
 
     The fold axis leads: ``features`` is ``(n_folds, n, feat)``,
@@ -415,6 +610,12 @@ def iterate_fold_batches(
     the data).  Fold ``k``'s sequence of batches is therefore exactly the
     sequence the serial loop would feed network ``k``, including the
     final partial batch.
+
+    With ``with_index=True`` each step yields ``(features, labels,
+    index)`` where ``index`` is the ``(n_folds, batch)`` positions into
+    each fold's sample axis — the batched analogue of the serial loop's
+    permutation slice, for slicing per-fold sample masks (e.g. SAFELOC's
+    flagged rows) alongside the data.
     """
     if batch_size <= 0:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -434,7 +635,10 @@ def iterate_fold_batches(
     fold_idx = np.arange(n_folds)[:, None]
     for start in range(0, n, batch_size):
         idx = order[:, start : start + batch_size]
-        yield features[fold_idx, idx], labels[fold_idx, idx]
+        if with_index:
+            yield features[fold_idx, idx], labels[fold_idx, idx], idx
+        else:
+            yield features[fold_idx, idx], labels[fold_idx, idx]
 
 
 class BatchedAdam(Adam):

@@ -149,6 +149,11 @@ class ComponentInfo:
         accepts: Every kwarg name the factory accepts.
         open_kwargs: Factory takes ``**kwargs`` beyond ``accepts`` (its
             kwarg surface is open; strict filtering passes everything).
+        supports_batched_clients: For frameworks — whether the stock
+            model exposes a fold-batch program, so ``client_engine=
+            "batched"`` stacks its local training instead of falling back
+            to the serial per-client loop.  ``None`` means undeclared
+            (plugins that never said either way).
     """
 
     namespace: str
@@ -159,6 +164,7 @@ class ComponentInfo:
     defaults: Dict[str, object] = field(default_factory=dict)
     accepts: frozenset = frozenset()
     open_kwargs: bool = False
+    supports_batched_clients: Optional[bool] = None
 
     def accepts_kwarg(self, kwarg: str) -> bool:
         return self.open_kwargs or kwarg in self.accepts
@@ -191,6 +197,7 @@ class Registry:
         defaults: Optional[Dict[str, object]] = None,
         extra_kwargs: Optional[Tuple[str, ...]] = None,
         replace: bool = False,
+        supports_batched_clients: Optional[bool] = None,
     ) -> Callable[[Callable], Callable]:
         """Decorator registering ``factory`` as ``namespace/name``.
 
@@ -211,6 +218,7 @@ class Registry:
                 defaults=defaults,
                 extra_kwargs=extra_kwargs,
                 replace=replace,
+                supports_batched_clients=supports_batched_clients,
             )
             return factory
 
@@ -227,6 +235,7 @@ class Registry:
         defaults: Optional[Dict[str, object]] = None,
         extra_kwargs: Optional[Tuple[str, ...]] = None,
         replace: bool = False,
+        supports_batched_clients: Optional[bool] = None,
     ) -> ComponentInfo:
         """Imperative registration (what the decorator delegates to)."""
         space = self._space(namespace)
@@ -247,6 +256,7 @@ class Registry:
             defaults=dict(defaults if defaults is not None else sig_defaults),
             accepts=frozenset((*sig_defaults, *extra_kwargs)),
             open_kwargs=open_kwargs,
+            supports_batched_clients=supports_batched_clients,
         )
         with self._lock:
             if name in space and not replace:

@@ -571,6 +571,88 @@ class TestFedlsWarmStart:
         assert agg._local_round == 0
 
 
+class TestFedlsSharedEncoder:
+    """The O(n) detector mode: pooled encoder + per-fold batched heads."""
+
+    def _cohort(self, n_honest=8):
+        gm = _gm_state(0)
+        honest = [_update(i, gm, jitter=0.01) for i in range(1, n_honest + 1)]
+        poisoned = _update(88, gm, jitter=2.0, malicious=True)
+        return gm, honest + [poisoned]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatentSpaceAggregation(
+                shared_encoder=True, detector_engine="serial"
+            )
+        with pytest.raises(ValueError):
+            LatentSpaceAggregation(shared_encoder=True, warm_start=True)
+
+    def test_errors_deterministic_and_round_keyed(self):
+        normalized = np.random.default_rng(3).normal(size=(10, 20))
+        agg = LatentSpaceAggregation(
+            seed=7, detector_epochs=30, shared_encoder=True
+        )
+        twin = LatentSpaceAggregation(
+            seed=7, detector_epochs=30, shared_encoder=True
+        )
+        first = agg.leave_one_out_errors(normalized, 1)
+        np.testing.assert_array_equal(
+            first, twin.leave_one_out_errors(normalized, 1)
+        )
+        # different rounds draw different pooled-encoder seeds
+        assert not np.allclose(first, agg.leave_one_out_errors(normalized, 2))
+
+    def test_outlier_filtered_like_full_loo(self):
+        gm, updates = self._cohort()
+        shared = LatentSpaceAggregation(
+            seed=0, detector_epochs=40, shared_encoder=True
+        )
+        merged = shared.aggregate(gm, updates)
+        shift = max(np.abs(merged[k] - gm[k]).max() for k in gm)
+        assert shift < 0.5
+        assert shared.last_dropped_count >= 1
+        # the exact full-LOO reference stays reachable on the same
+        # instance: the shared mode is server-side only, so agreement on
+        # the kept set is the contract (not bit-equality)
+        normalized = shared.normalized_summaries(gm, updates)
+        e_shared = shared.leave_one_out_errors(normalized, 1)
+        e_ref = shared.leave_one_out_errors(normalized, 1, engine="serial")
+
+        def flags(errors):
+            threshold = shared.outlier_factor * (np.median(errors) + 1e-12)
+            return set(np.flatnonzero(errors > threshold))
+
+        assert flags(e_shared) == flags(e_ref) == {len(updates) - 1}
+
+    def test_composes_with_sampled_peers(self):
+        gm, updates = self._cohort()
+        agg = LatentSpaceAggregation(
+            seed=0, detector_epochs=40, shared_encoder=True, sampled_peers=4
+        )
+        merged = agg.aggregate(gm, updates)
+        shift = max(np.abs(merged[k] - gm[k]).max() for k in gm)
+        assert shift < 0.5
+        assert agg.last_dropped_count >= 1
+
+    def test_factory_passes_knob_through(self):
+        spec = make_framework("fedls", D, C, seed=0, shared_encoder=True)
+        assert spec.strategy.shared_encoder
+
+    def test_dropped_count_tracked_and_reset(self):
+        gm, updates = self._cohort()
+        agg = LatentSpaceAggregation(seed=0, detector_epochs=40)
+        assert agg.last_dropped_count == 0
+        agg.aggregate(gm, updates)
+        assert agg.last_dropped_count >= 1
+        # the <3-updates fallback aggregates everyone: no drops recorded
+        agg.aggregate(gm, updates[:2])
+        assert agg.last_dropped_count == 0
+        agg.aggregate(gm, updates)
+        agg.reset()
+        assert agg.last_dropped_count == 0
+
+
 class TestOnDeviceAnomalyModel:
     def test_state_dict_has_both_networks(self):
         model = OnDeviceAnomalyModel(D, C, seed=0)

@@ -99,14 +99,37 @@ def _assert_histories_equal(a, b):
     assert len(a.history) == len(b.history)
     for rec_a, rec_b in zip(a.history, b.history):
         assert len(rec_a.updates) == len(rec_b.updates)
+        assert rec_a.num_flagged == rec_b.num_flagged
+        assert rec_a.num_dropped == rec_b.num_dropped
         for u_a, u_b in zip(rec_a.updates, rec_b.updates):
             assert u_a.client_name == u_b.client_name
             assert u_a.num_samples == u_b.num_samples
             assert u_a.train_loss == u_b.train_loss
             assert u_a.is_malicious == u_b.is_malicious
+            assert u_a.flagged_poisoned == u_b.flagged_poisoned
             for key in u_a.state:
                 np.testing.assert_array_equal(u_a.state[key], u_b.state[key])
     np.testing.assert_equal(a.model.state_dict(), b.model.state_dict())
+
+
+def _batched_group_sizes(clients, gm, round_index=1):
+    """Sizes of the partition groups that would take the fold-batched
+    path (>1 fold and a resolved program) — the engagement probe."""
+    cohort = ClientCohort(clients)
+    pending = list(range(len(clients)))
+    for index in pending:
+        clients[index].resolve_round(round_index)
+    prepared = {
+        index: clients[index].begin_local_round(gm, round_index)
+        for index in pending
+    }
+    programs, preps = {}, {}
+    groups = cohort._partition(pending, prepared, programs, preps)
+    return [
+        len(group)
+        for group in groups
+        if len(group) > 1 and group[0] in programs
+    ]
 
 
 class TestRoundSeedHelper:
@@ -240,7 +263,7 @@ class TestSerialBatchedEquivalence:
             index: clients[index].begin_local_round(gm, 1)
             for index in pending
         }
-        groups = cohort._partition(pending, prepared)
+        groups = cohort._partition(pending, prepared, {}, {})
         sizes = sorted(len(group) for group in groups)
         assert sizes == [1, 4]  # honest fold group + attacker singleton
 
@@ -250,6 +273,134 @@ class TestSerialBatchedEquivalence:
         serial.run_rounds(2)
         batched.run_rounds(2)
         _assert_histories_equal(serial, batched)
+
+
+class TestCompositeCohortEquivalence:
+    """SAFELOC's denoiser+classifier pipeline and ONLAD's two-model
+    program, fold-batched through the composite stackers — bit-exact
+    against the serial per-client loop, with the batched path proven to
+    actually engage (not silently falling back to the serial tail)."""
+
+    @staticmethod
+    def _safeloc_model(seed):
+        from repro.core.safeloc import SafeLocModel
+
+        return SafeLocModel(
+            NUM_APS, NUM_RPS, seed=seed, encoder_widths=(16, 8)
+        )
+
+    @staticmethod
+    def _onlad_model(seed):
+        from repro.baselines.onlad import OnDeviceAnomalyModel
+
+        # a generous tau: the default 0.1 with an untrained detector
+        # flags everything (skip-the-round on every fold), and a middling
+        # one leaves each fold a different kept-sample count (all
+        # singleton groups) — 0.9 keeps whole datasets so folds group
+        return OnDeviceAnomalyModel(NUM_APS, NUM_RPS, tau=0.9, seed=seed)
+
+    def _cohort(self, model_factory, n=5, malicious=(4,)):
+        clients = []
+        for i in range(n):
+            attack = (
+                LabelFlip(1.0, num_classes=NUM_RPS)
+                if i in malicious
+                else None
+            )
+            config = (
+                ClientConfig(epochs=4, lr=0.02)
+                if attack
+                else ClientConfig(epochs=2, lr=0.01)
+            )
+            clients.append(
+                FederatedClient(
+                    f"c{i}",
+                    model_factory(i),
+                    _dataset(i),
+                    config,
+                    attack=attack,
+                    seeds=SeedSequence(100 + i),
+                )
+            )
+        return clients
+
+    def _server(self, engine, model_factory):
+        return FederatedServer(
+            model_factory(99),
+            FedAvg(),
+            self._cohort(model_factory),
+            seeds=SeedSequence(7),
+            client_engine=engine,
+        )
+
+    def test_safeloc_bit_exact_over_rounds(self):
+        serial = self._server("serial", self._safeloc_model)
+        batched = self._server("batched", self._safeloc_model)
+        serial.run_rounds(2)
+        batched.run_rounds(2)
+        _assert_histories_equal(serial, batched)
+
+    def test_safeloc_batched_path_engages(self):
+        gm = self._safeloc_model(99).state_dict()
+        sizes = _batched_group_sizes(self._cohort(self._safeloc_model), gm)
+        assert sizes and max(sizes) > 1
+
+    def test_safeloc_screening_survives_batching(self):
+        """Client-side flag counts (the denoiser screen) agree across
+        engines round for round — prepare() runs the same screen the
+        serial loop does."""
+        serial = self._server("serial", self._safeloc_model)
+        batched = self._server("batched", self._safeloc_model)
+        serial.run_rounds(2)
+        batched.run_rounds(2)
+        assert [r.num_flagged for r in serial.history] == [
+            r.num_flagged for r in batched.history
+        ]
+
+    def test_onlad_bit_exact_over_rounds(self):
+        serial = self._server("serial", self._onlad_model)
+        batched = self._server("batched", self._onlad_model)
+        serial.run_rounds(2)
+        batched.run_rounds(2)
+        _assert_histories_equal(serial, batched)
+
+    def test_onlad_batched_path_engages(self):
+        gm = self._onlad_model(99).state_dict()
+        sizes = _batched_group_sizes(self._cohort(self._onlad_model), gm)
+        assert sizes and max(sizes) > 1
+
+    def test_onlad_partial_screening_still_agrees(self):
+        """A middling tau flags a different sample count per fold, so
+        every fold gets its own partition key and rides the serial tail
+        — the fallback must stay bit-exact too."""
+        from repro.baselines.onlad import OnDeviceAnomalyModel
+
+        def middling(seed):
+            return OnDeviceAnomalyModel(NUM_APS, NUM_RPS, tau=0.6, seed=seed)
+
+        serial = self._server("serial", middling)
+        batched = self._server("batched", middling)
+        serial.run_rounds(2)
+        batched.run_rounds(2)
+        _assert_histories_equal(serial, batched)
+
+    def test_onlad_all_flagged_cohort_still_agrees(self):
+        """tau=0 flags every sample: prepare() returns None, every fold
+        rides the serial tail, and both engines reproduce the
+        skip-the-round contract (zero loss, weights stay at the GM)."""
+        from repro.baselines.onlad import OnDeviceAnomalyModel
+
+        def strict(seed):
+            return OnDeviceAnomalyModel(NUM_APS, NUM_RPS, tau=0.0, seed=seed)
+
+        serial = self._server("serial", strict)
+        batched = self._server("batched", strict)
+        serial.run_rounds(1)
+        batched.run_rounds(1)
+        _assert_histories_equal(serial, batched)
+        assert all(
+            u.train_loss == 0.0 for u in batched.history[0].updates
+        )
 
 
 class TestCrossEngineRoundCache:
@@ -349,36 +500,47 @@ class TestCrossEngineSweepCache:
 
 
 class TestAnyTwoPathsAgree:
-    """Satellite: client_engine × cell executor × round cache — every
-    path must produce the serial sequential reference's tables exactly."""
+    """Satellite: framework × client_engine × cell executor × round
+    cache — every path must produce the serial sequential reference's
+    tables exactly, for the classifier cohort (fedls) and both composite
+    fold programs (safeloc, onlad) alike."""
 
-    @staticmethod
-    def _random_cohort_plan():
+    #: per-framework factory kwargs for quick cells
+    FRAMEWORK_KWARGS = {
+        "fedls": {"detector_epochs": 20},
+        "safeloc": {},
+        "onlad": {},
+    }
+
+    @classmethod
+    def _random_cohort_plan(cls, framework):
         """Random tiny cohorts, seeded — same cells every run."""
         rng = np.random.default_rng(77)
         cells = []
-        for _ in range(3):
+        for _ in range(2):
             total = int(rng.integers(3, 7))
             cells.append(
                 scenario(
-                    "fedls",
+                    framework,
                     attack=str(rng.choice(["fgsm", "label_flip"])),
                     epsilon=float(rng.choice([0.1, 0.5])),
                     num_clients=total,
                     num_malicious=int(rng.integers(1, max(2, total // 2))),
-                    framework_kwargs={"detector_epochs": 20},
+                    framework_kwargs=cls.FRAMEWORK_KWARGS[framework] or None,
                 )
             )
         return tuple(cells)
 
-    @pytest.fixture(scope="class")
-    def reference(self):
+    @pytest.fixture(
+        scope="class", params=["fedls", "safeloc", "onlad"]
+    )
+    def reference(self, request):
         plan = SweepPlan(
             name="paths",
             preset=_mini_preset("serial"),
-            cells=self._random_cohort_plan(),
+            cells=self._random_cohort_plan(request.param),
         )
-        return SweepEngine(round_cache=False).run(plan)
+        return request.param, SweepEngine(round_cache=False).run(plan)
 
     @pytest.mark.parametrize(
         "client_engine,jobs,executor,round_cache",
@@ -392,15 +554,19 @@ class TestAnyTwoPathsAgree:
     def test_path_matches_reference(
         self, reference, client_engine, jobs, executor, round_cache
     ):
+        framework, expected = reference
         plan = SweepPlan(
             name="paths",
             preset=_mini_preset(client_engine),
-            cells=self._random_cohort_plan(),
+            cells=self._random_cohort_plan(framework),
         )
         result = SweepEngine(
             jobs=jobs, executor=executor, round_cache=round_cache
         ).run(plan)
-        assert _summaries(result) == _summaries(reference)
+        assert _summaries(result) == _summaries(expected)
         assert [c.flagged_per_round for c in result.cells] == [
-            c.flagged_per_round for c in reference.cells
+            c.flagged_per_round for c in expected.cells
+        ]
+        assert [c.dropped_per_round for c in result.cells] == [
+            c.dropped_per_round for c in expected.cells
         ]

@@ -181,6 +181,30 @@ class TestFederatedServer:
         with pytest.raises(ValueError):
             FederatedServer(_model(), FedAvg(), [])
 
+    def test_round_records_server_side_drops(self):
+        # FedAvg never drops anyone
+        record = self._server().run_round()
+        assert record.num_dropped == 0
+        # a dropping strategy's exclusions land in the round record —
+        # client-side num_flagged never sees server-side filtering
+        from repro.baselines.krum import KrumAggregation
+
+        server = FederatedServer(
+            _model(99),
+            KrumAggregation(),
+            [
+                FederatedClient(
+                    f"c{i}", _model(i), _dataset(i),
+                    ClientConfig(epochs=1, lr=0.01), seeds=SeedSequence(i),
+                )
+                for i in range(3)
+            ],
+            SeedSequence(7),
+        )
+        record = server.run_round()
+        assert record.num_dropped == 2  # KRUM keeps exactly one LM
+        assert record.num_flagged == 0
+
 
 class TestFederationConfig:
     def test_defaults_valid(self):

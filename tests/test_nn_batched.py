@@ -290,6 +290,211 @@ class TestFromModules:
             stacked.scatter_fold(0, short)
 
 
+class TestBatchedTiedLinear:
+    """Fold-batched TiedLinear: transposed views of a stacked source."""
+
+    HID = 7
+
+    def _per_fold_pairs(self, seed=13):
+        from repro.nn import TiedLinear
+
+        pairs = []
+        for rng in _rngs(F, seed=seed):
+            enc = Linear(DIN, self.HID, rng)
+            pairs.append((enc, TiedLinear(enc)))
+        return pairs
+
+    def _stacked_pair(self, pairs):
+        from repro.nn.batched import BatchedTiedLinear
+
+        source = BatchedLinear.from_linears([enc for enc, _ in pairs])
+        tied = BatchedTiedLinear.from_tied([dec for _, dec in pairs], source)
+        return source, tied
+
+    def test_forward_matches_per_fold_tied(self):
+        pairs = self._per_fold_pairs()
+        source, tied = self._stacked_pair(pairs)
+        x = np.random.default_rng(0).normal(size=(F, B, self.HID))
+        out = tied.forward(x)
+        assert out.shape == (F, B, DIN)
+        for k, (_, dec) in enumerate(pairs):
+            np.testing.assert_array_equal(out[k], dec.forward(x[k]))
+
+    def test_gradients_match_per_fold_tied(self):
+        """Bias grad and the tied weight grad flowing into the source
+        must equal each serial fold's — the SAFELOC decoder contract."""
+        pairs = self._per_fold_pairs()
+        source, tied = self._stacked_pair(pairs)
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(F, B, self.HID))
+        grad_out = rng.normal(size=(F, B, DIN))
+        tied.forward(x)
+        grad_in = tied.backward(grad_out)
+        for k, (enc, dec) in enumerate(pairs):
+            dec.forward(x[k])
+            expected_in = dec.backward(grad_out[k])
+            np.testing.assert_array_equal(grad_in[k], expected_in)
+            np.testing.assert_array_equal(
+                source.weight.grad[k], enc.weight.grad
+            )
+            np.testing.assert_array_equal(tied.bias.grad[k], dec.bias.grad)
+
+    def test_frozen_weight_view_trains_only_bias(self):
+        from repro.nn import TiedLinear
+        from repro.nn.batched import BatchedTiedLinear
+
+        encs = [Linear(DIN, self.HID, rng) for rng in _rngs(F, seed=4)]
+        ties = [TiedLinear(enc, train_weight=False) for enc in encs]
+        source = BatchedLinear.from_linears(encs)
+        tied = BatchedTiedLinear.from_tied(ties, source)
+        rng = np.random.default_rng(2)
+        tied.forward(rng.normal(size=(F, B, self.HID)))
+        tied.backward(rng.normal(size=(F, B, DIN)))
+        np.testing.assert_array_equal(
+            source.weight.grad, np.zeros_like(source.weight.grad)
+        )
+        assert np.abs(tied.bias.grad).max() > 0
+
+    def test_fold_independence(self):
+        """Fold 0's gradients ignore every other fold's data."""
+        results = []
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(F, B, self.HID))
+        noisy = x.copy()
+        noisy[1:] += 10.0
+        grad_out = rng.normal(size=(F, B, DIN))
+        for batch in (x, noisy):
+            pairs = self._per_fold_pairs()
+            source, tied = self._stacked_pair(pairs)
+            tied.forward(batch)
+            tied.backward(grad_out)
+            results.append(
+                (source.weight.grad[0].copy(), tied.bias.grad[0].copy())
+            )
+        np.testing.assert_array_equal(results[0][0], results[1][0])
+        np.testing.assert_array_equal(results[0][1], results[1][1])
+
+    def test_validation(self):
+        from repro.nn import TiedLinear
+        from repro.nn.batched import BatchedTiedLinear
+
+        pairs = self._per_fold_pairs()
+        source, _ = self._stacked_pair(pairs)
+        with pytest.raises(TypeError):
+            BatchedTiedLinear(Linear(DIN, self.HID))
+        with pytest.raises(ValueError):
+            BatchedTiedLinear.from_tied([], source)
+        with pytest.raises(ValueError):  # fold count mismatch
+            BatchedTiedLinear.from_tied(
+                [dec for _, dec in pairs[:-1]], source
+            )
+        other = Linear(DIN + 1, self.HID, _rngs(1)[0])
+        with pytest.raises(ValueError):  # shape does not mirror source
+            BatchedTiedLinear.from_tied([TiedLinear(other)] * F, source)
+
+
+class TestCompositeStacker:
+    """Cross-stage stacking with preserved weight tying (SAFELOC shape)."""
+
+    HID = 7
+
+    def _composites(self, seed=21):
+        """Per-fold (encoder, decoder) stages: decoder ties encoder."""
+        from repro.nn import TiedLinear
+
+        folds = []
+        for rng in _rngs(F, seed=seed):
+            enc_lin = Linear(DIN, self.HID, rng)
+            encoder = Sequential(enc_lin, ReLU())
+            decoder = Sequential(TiedLinear(enc_lin))
+            folds.append((encoder, decoder))
+        return folds
+
+    def test_stacked_pipeline_matches_serial(self):
+        from repro.nn.batched import CompositeStacker
+
+        folds = self._composites()
+        stacker = CompositeStacker()
+        encoder = stacker.stack([enc for enc, _ in folds])
+        decoder = stacker.stack([dec for _, dec in folds])
+        x = np.random.default_rng(0).normal(size=(F, B, DIN))
+        latent = encoder.forward(x)
+        recon = decoder.forward(latent)
+        for k, (enc, dec) in enumerate(folds):
+            np.testing.assert_array_equal(
+                recon[k], dec.forward(enc.forward(x[k]))
+            )
+
+    def test_tied_gradient_flows_into_stacked_encoder(self):
+        from repro.nn.batched import CompositeStacker
+
+        folds = self._composites()
+        stacker = CompositeStacker()
+        encoder = stacker.stack([enc for enc, _ in folds])
+        decoder = stacker.stack([dec for _, dec in folds])
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(F, B, DIN))
+        grad_out = rng.normal(size=(F, B, DIN))
+        latent = encoder.forward(x)
+        decoder.forward(latent)
+        encoder.backward(decoder.backward(grad_out))
+        for k, (enc, dec) in enumerate(folds):
+            enc.zero_grad()
+            dec.zero_grad()
+            dec.forward(enc.forward(x[k]))
+            enc.backward(dec.backward(grad_out[k]))
+            np.testing.assert_array_equal(
+                encoder.layers[0].weight.grad[k], enc.layers[0].weight.grad
+            )
+
+    def test_scatter_fold_copies_tied_bias_only(self):
+        from repro.nn.batched import CompositeStacker
+
+        folds = self._composites()
+        stacker = CompositeStacker()
+        stacker.stack([enc for enc, _ in folds])
+        decoder = stacker.stack([dec for _, dec in folds])
+        decoder.layers[0].bias.data += 0.5
+        target_folds = self._composites(seed=99)
+        for k, (_, dec) in enumerate(target_folds):
+            decoder.scatter_fold(k, dec)
+            np.testing.assert_array_equal(
+                dec.layers[0].bias.data, decoder.layers[0].bias.data[k]
+            )
+
+    def test_tie_to_unstacked_source_rejected(self):
+        from repro.nn.batched import CompositeStacker
+
+        folds = self._composites()
+        with pytest.raises(ValueError, match="stack the source stage"):
+            CompositeStacker().stack([dec for _, dec in folds])
+
+    def test_misordered_folds_rejected(self):
+        """Decoders presented in a different fold order than their
+        encoders must be caught — a silent mis-tie would train fold k's
+        decoder against fold j's weights."""
+        from repro.nn.batched import CompositeStacker
+
+        folds = self._composites()
+        stacker = CompositeStacker()
+        stacker.stack([enc for enc, _ in folds])
+        shuffled = [folds[1][1], folds[0][1], folds[2][1]]
+        with pytest.raises(ValueError, match="same order"):
+            stacker.stack(shuffled)
+
+    def test_parametered_non_linear_layer_rejected(self):
+        from repro.nn.batched import CompositeStacker
+        from repro.nn.layers import Parameter
+
+        class Odd(Tanh):
+            def parameters(self):
+                return [Parameter(np.zeros(2), "w")]
+
+        stages = [Sequential(Odd()) for _ in range(F)]
+        with pytest.raises(TypeError):
+            CompositeStacker().stack(stages)
+
+
 class TestBatchedSparseCrossEntropyLoss:
     C = 5
 
@@ -348,6 +553,35 @@ class TestIterateFoldBatches:
             for (bf, bl), (sf, sl) in zip(batched, serial):
                 np.testing.assert_array_equal(bf[k], sf)
                 np.testing.assert_array_equal(bl[k], sl)
+
+    def test_with_index_yields_permutation_slices(self):
+        """with_index=True also hands back the per-fold sample indices of
+        each batch — what SAFELOC uses to slice its flagged-row masks —
+        and the indexed gather reproduces the batch tensors exactly."""
+        rng = np.random.default_rng(22)
+        n, batch_size = 23, 7
+        features = rng.normal(size=(F, n, DIN))
+        labels = rng.integers(0, 4, size=(F, n))
+        plain = list(
+            iterate_fold_batches(features, labels, batch_size, _rngs(F, seed=6))
+        )
+        indexed = list(
+            iterate_fold_batches(
+                features, labels, batch_size, _rngs(F, seed=6),
+                with_index=True,
+            )
+        )
+        assert len(plain) == len(indexed)
+        seen = [[] for _ in range(F)]
+        for (pf, pl), (bf, bl, idx) in zip(plain, indexed):
+            np.testing.assert_array_equal(pf, bf)
+            np.testing.assert_array_equal(pl, bl)
+            for k in range(F):
+                np.testing.assert_array_equal(features[k][idx[k]], bf[k])
+                np.testing.assert_array_equal(labels[k][idx[k]], bl[k])
+                seen[k].extend(idx[k].tolist())
+        for fold_seen in seen:  # one full permutation per fold per epoch
+            assert sorted(fold_seen) == list(range(n))
 
     def test_validation(self):
         features = np.zeros((F, 10, DIN))

@@ -189,3 +189,38 @@ class TestPlugins:
         validate_plan_payload(payload)  # plugin name validates
         spec = scenario("safeloc", strategy=name)
         assert spec.strategy == name
+
+
+class TestBatchedClientsCapability:
+    def test_builtin_frameworks_declare_support(self):
+        from repro.baselines.registry import FRAMEWORK_NAMES
+
+        for name in FRAMEWORK_NAMES:
+            assert registry.get("frameworks", name).supports_batched_clients
+
+    def test_metadata_matches_model_probe(self):
+        """The declared capability must agree with what the stock model
+        actually exposes: a non-None fold_batch_program()."""
+        from repro.baselines.registry import FRAMEWORK_NAMES, make_framework
+
+        for name in FRAMEWORK_NAMES:
+            spec = make_framework(name, 8, 5, seed=0)
+            program = spec.model_factory().fold_batch_program()
+            declared = registry.get(
+                "frameworks", name
+            ).supports_batched_clients
+            assert (program is not None) == bool(declared), name
+
+    def test_plugin_default_is_undeclared(self):
+        fresh = Registry(("frameworks",))
+        info = fresh.add("frameworks", "mystery", lambda: None)
+        assert info.supports_batched_clients is None
+
+    def test_api_info_exposes_capability(self):
+        import repro.api as api
+
+        frameworks = {
+            entry["name"]: entry for entry in api.info()["frameworks"]
+        }
+        assert frameworks["safeloc"]["supports_batched_clients"] is True
+        assert frameworks["onlad"]["supports_batched_clients"] is True
