@@ -29,7 +29,7 @@ Quickstart (the :mod:`repro.api` facade is the stable public surface)::
     print(fig6.format_report())
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = ["__version__", "api", "registry"]
 

@@ -50,6 +50,7 @@ from repro.experiments.engine import (
     SweepPlan,
     SweepResult,
 )
+from repro.experiments.scheduler import ON_ERROR_MODES, SweepInterrupted
 from repro.experiments.runner import ExperimentResult, run_framework
 from repro.experiments.scenarios import Preset, get_preset
 from repro.fl.server import CLIENT_ENGINES
@@ -69,6 +70,7 @@ __all__ = [
     "PAPER_ARTEFACTS",
     "ExperimentBuilder",
     "SpecValidationError",
+    "SweepInterrupted",
     "experiment",
     "ablation",
     "format_sweep_table",
@@ -100,6 +102,9 @@ class ExperimentBuilder:
         self._round_cache: Optional[bool] = None
         self._cache_dir: Optional[str] = None
         self._resume = False
+        self._cell_timeout: Optional[float] = None
+        self._retries: Optional[int] = None
+        self._on_error: Optional[str] = None
         self._engine: Optional[SweepEngine] = None
 
     # -- scenario shape ----------------------------------------------------
@@ -196,6 +201,33 @@ class ExperimentBuilder:
         self._resume = bool(resume)
         return self
 
+    def cell_timeout(
+        self, seconds: Optional[float]
+    ) -> "ExperimentBuilder":
+        """Per-cell wall-clock budget; a hung thread/process cell is
+        preempted, retried (see :meth:`retries`), and ultimately fails
+        with a ``timeout`` record.  ``None`` (default) = unlimited."""
+        self._cell_timeout = None if seconds is None else float(seconds)
+        return self
+
+    def retries(self, retries: Optional[int]) -> "ExperimentBuilder":
+        """Re-dispatches per cell after an exception, timeout or worker
+        crash (deterministic exponential backoff; retried cells
+        reproduce bit-identically).  Default 0."""
+        self._retries = None if retries is None else int(retries)
+        return self
+
+    def on_error(self, mode: Optional[str]) -> "ExperimentBuilder":
+        """Failure policy once retries are exhausted: ``"abort"``
+        (default — re-raise after persisting finished cells) or
+        ``"continue"`` (record a ``CellFailure``, finish the sweep)."""
+        if mode is not None and mode not in ON_ERROR_MODES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_MODES}, got {mode!r}"
+            )
+        self._on_error = mode
+        return self
+
     def engine(self, engine: Optional[SweepEngine]) -> "ExperimentBuilder":
         """Run on an existing engine (shares its artifact cache);
         overrides :meth:`jobs`/:meth:`cache`/:meth:`resume`."""
@@ -229,6 +261,9 @@ class ExperimentBuilder:
             round_cache=(
                 True if self._round_cache is None else self._round_cache
             ),
+            cell_timeout=self._cell_timeout,
+            retries=0 if self._retries is None else self._retries,
+            on_error=self._on_error or "abort",
         )
 
     def plan(self) -> SweepPlan:
@@ -245,10 +280,11 @@ class ExperimentBuilder:
         """The sweep as its versioned JSON-native payload.
 
         Execution preferences set on the builder (``jobs``,
-        ``executor``) ride along in an optional ``engine`` block, which
-        :func:`run_spec` uses as defaults — so a saved spec replays with
-        the scheduling it was authored with.  Unset preferences emit no
-        block (golden specs stay byte-stable).
+        ``executor``, ``cell_timeout``, ``retries``, ``on_error``) ride
+        along in an optional ``engine`` block, which :func:`run_spec`
+        uses as defaults — so a saved spec replays with the scheduling
+        and failure policy it was authored with.  Unset preferences
+        emit no block (golden specs stay byte-stable).
         """
         payload = self.plan().to_dict()
         hints: Dict[str, object] = {}
@@ -256,6 +292,12 @@ class ExperimentBuilder:
             hints["jobs"] = self._jobs
         if self._executor is not None:
             hints["executor"] = self._executor
+        if self._cell_timeout is not None:
+            hints["cell_timeout"] = self._cell_timeout
+        if self._retries is not None:
+            hints["retries"] = self._retries
+        if self._on_error is not None:
+            hints["on_error"] = self._on_error
         if hints:
             payload["engine"] = hints
         return payload
@@ -338,6 +380,9 @@ def run_spec(
     executor: Optional[str] = None,
     round_cache: Optional[bool] = None,
     client_engine: Optional[str] = None,
+    cell_timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    on_error: Optional[str] = None,
 ):
     """Execute a sweep spec — a file path, a payload dict, or a plan.
 
@@ -351,11 +396,13 @@ def run_spec(
     type, bit-identical ``format_report()``.  Free-form plan names
     return the raw :class:`SweepResult`.
 
-    A spec's optional ``engine`` block (``jobs`` / ``executor``, written
-    by :meth:`ExperimentBuilder.save_spec`) supplies defaults for any
+    A spec's optional ``engine`` block (``jobs`` / ``executor`` /
+    ``cell_timeout`` / ``retries`` / ``on_error``, written by
+    :meth:`ExperimentBuilder.save_spec`) supplies defaults for any
     scheduling argument the caller leaves unset; explicit arguments and
     a passed ``engine`` always win.  Scheduling never changes results —
-    all executors are bit-identical — so honoring the hints is safe.
+    all executors are bit-identical and retried cells reproduce exactly
+    — so honoring the hints is safe.
     """
     hints: Dict[str, object] = {}
     if isinstance(spec, SweepPlan):
@@ -390,6 +437,19 @@ def run_spec(
                 else hints.get("executor", "thread")
             ),
             round_cache=True if round_cache is None else round_cache,
+            cell_timeout=(
+                cell_timeout
+                if cell_timeout is not None
+                else hints.get("cell_timeout")
+            ),
+            retries=(
+                retries if retries is not None else hints.get("retries", 0)
+            ),
+            on_error=(
+                on_error
+                if on_error is not None
+                else hints.get("on_error", "abort")
+            ),
         )
     driver = find_collector(plan.name) if collect else None
     if driver is not None:

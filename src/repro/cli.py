@@ -20,16 +20,24 @@ Commands:
 
 ``experiment``, ``ablation`` and ``sweep`` accept ``--jobs N``
 (parallel cells, bit-identical to sequential), ``--executor
-thread|process`` (what kind of pool the cells run on — ``process``
-scales past the GIL on multi-core hosts), ``--cache-dir PATH``
-(on-disk artifact cache shared across invocations), ``--resume``
-(skip cells already finished in the cache dir),
-``--no-round-cache`` (disable the federate-stage client-update cache)
-and ``--client-engine serial|batched`` (per-round client execution:
+serial|thread|process`` (what kind of pool the cells run on —
+``process`` scales past the GIL on multi-core hosts), ``--cache-dir
+PATH`` (on-disk artifact cache shared across invocations),
+``--resume`` (skip cells already finished in the cache dir),
+``--no-round-cache`` (disable the federate-stage client-update cache),
+``--client-engine serial|batched`` (per-round client execution:
 the serial per-client reference loop, or fold-batched cohort training
 that runs every honest client's local epochs as one stacked matmul
-program — bit-identical at float64).  ``run`` accepts
+program — bit-identical at float64), and the fault-tolerance knobs
+``--cell-timeout SECONDS``, ``--retries N`` and ``--on-error
+abort|continue`` (see the scheduler docs).  ``run`` accepts
 ``--client-engine`` too.
+
+Exit codes: 0 clean; 1 spec-validation or runtime error; 2 usage;
+3 the sweep finished but some cells failed under ``--on-error
+continue`` (partial tables must not look like clean runs); 130 the
+sweep was interrupted (Ctrl-C) — finished cells are already persisted
+when a ``--cache-dir`` is set, and a ``--resume`` hint is printed.
 """
 
 from __future__ import annotations
@@ -66,16 +74,41 @@ def _builder(artefact: str, args: argparse.Namespace):
         .cache(args.cache_dir)
         .resume(args.resume)
         .round_cache(not args.no_round_cache)
+        .cell_timeout(args.cell_timeout)
+        .retries(args.retries)
+        .on_error(args.on_error)
     )
     if getattr(args, "client_engine", None) is not None:
         builder = builder.client_engine(args.client_engine)
     return builder
 
 
-def _print_result(result) -> None:
-    print(result.format_report())
-    if getattr(result, "sweep", None) is not None:
-        print(f"[{result.sweep.format_stats()}]")
+def _report_failures(sweep) -> int:
+    """Print a sweep's failure records to stderr; exit contribution 3
+    when any cell failed under ``--on-error continue`` — a partial
+    table must not exit like a clean run."""
+    if sweep is None or not getattr(sweep, "failures", None):
+        return 0
+    print(f"{len(sweep.failures)} cell(s) failed:", file=sys.stderr)
+    for failure in sweep.failures:
+        print(f"  {failure.describe()}", file=sys.stderr)
+    return 3
+
+
+def _print_result(result) -> int:
+    """Print an artefact or sweep result; returns the exit contribution
+    (3 when cells failed under ``--on-error continue``, else 0)."""
+    if hasattr(result, "format_report"):
+        print(result.format_report())
+        sweep = getattr(result, "sweep", None)
+    else:
+        # a raw SweepResult: a free-form plan, or a partial sweep whose
+        # collector needs the full grid to shape its table
+        sweep = result
+        print(_api().format_sweep_table(result))
+    if sweep is not None:
+        print(f"[{sweep.format_stats()}]")
+    return _report_failures(sweep)
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -83,12 +116,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     # one engine for all artefacts: pre-trains cached by one figure are
     # reused by every later figure that shares them
     engine = _builder(names[0], args).build_engine()
+    code = 0
     for name in names:
         start = time.time()
         result = _builder(name, args).engine(engine).run()
-        _print_result(result)
+        code = max(code, _print_result(result))
         print(f"[{name} regenerated in {time.time() - start:.0f}s]\n")
-    return 0
+    return code
 
 
 def _cmd_ablation(args: argparse.Namespace) -> int:
@@ -102,11 +136,13 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
         .cache(args.cache_dir)
         .resume(args.resume)
         .round_cache(not args.no_round_cache)
+        .cell_timeout(args.cell_timeout)
+        .retries(args.retries)
+        .on_error(args.on_error)
     )
     if args.client_engine is not None:
         builder = builder.client_engine(args.client_engine)
-    _print_result(builder.run())
-    return 0
+    return _print_result(builder.run())
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -143,16 +179,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             resume=args.resume,
             round_cache=False if args.no_round_cache else None,
             client_engine=args.client_engine,
+            cell_timeout=args.cell_timeout,
+            retries=args.retries,
+            on_error=args.on_error,
         )
     except api.SpecValidationError as error:
         print(error, file=sys.stderr)
         return 1
-    if hasattr(result, "format_report"):
-        _print_result(result)
-    else:  # free-form plan: generic cell table + stats
-        print(api.format_sweep_table(result))
-        print(f"[{result.format_stats()}]")
-    return 0
+    return _print_result(result)
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -206,11 +240,12 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--executor",
-        choices=("thread", "process"),
+        choices=("serial", "thread", "process"),
         default=None,
         help="pool kind for --jobs: 'thread' (default) shares one "
         "in-process cache, 'process' scales past the GIL on multi-core "
-        "hosts (results are bit-identical either way)",
+        "hosts and isolates cells in killable workers, 'serial' forces "
+        "inline execution (results are bit-identical every way)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -231,6 +266,33 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         help="disable the federate-stage round cache (per-client updates "
         "keyed on the broadcast GM state; on by default, bit-identical "
         "to recomputing)",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock budget: a hung thread/process cell is "
+        "preempted, retried (--retries), and ultimately reported as a "
+        "timeout failure (default: unlimited)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-dispatches per cell after an exception, timeout or "
+        "worker crash, with deterministic exponential backoff — retried "
+        "cells reproduce bit-identically (default 0)",
+    )
+    parser.add_argument(
+        "--on-error",
+        choices=("abort", "continue"),
+        default=None,
+        help="failure policy once retries are exhausted: 'abort' "
+        "(default) re-raises after persisting finished cells; "
+        "'continue' records structured failures, finishes the sweep, "
+        "and exits with status 3",
     )
     _add_client_engine_option(parser)
 
@@ -308,7 +370,44 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--resume requires --cache-dir")
     if getattr(args, "jobs", None) is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
-    return args.func(args)
+    if getattr(args, "retries", None) is not None and args.retries < 0:
+        parser.error("--retries must be >= 0")
+    if (
+        getattr(args, "cell_timeout", None) is not None
+        and args.cell_timeout <= 0
+    ):
+        parser.error("--cell-timeout must be positive")
+    from repro.experiments.scheduler import SweepInterrupted
+
+    try:
+        return args.func(args)
+    except SweepInterrupted as interrupt:
+        _print_interrupt(interrupt, args)
+        return 130
+    except KeyboardInterrupt:
+        print("\ninterrupted", file=sys.stderr)
+        return 130
+
+
+def _print_interrupt(
+    interrupt, args: argparse.Namespace
+) -> None:
+    """The Ctrl-C epilogue: what is saved, and how to pick it back up."""
+    print(f"\n{interrupt}", file=sys.stderr)
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir:
+        print(
+            f"{interrupt.finished} finished cell(s) are saved in "
+            f"{cache_dir!r} — re-run with --resume --cache-dir "
+            f"{cache_dir} to continue where this run stopped",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            "finished cells were NOT persisted (no --cache-dir); re-run "
+            "with --cache-dir PATH to make sweeps resumable",
+            file=sys.stderr,
+        )
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

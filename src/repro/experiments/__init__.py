@@ -18,10 +18,16 @@ Every driver expands its artefact into a declarative
 it through a :class:`~repro.experiments.engine.SweepEngine`
 (``run_figX``), which dedupes the shared data/pre-train stages, runs
 cells optionally in parallel, and supports on-disk caching + resumption.
+Execution is fault-tolerant (:mod:`~repro.experiments.scheduler`):
+per-cell timeouts, retry with deterministic backoff, crash re-dispatch
+and ``on_error="continue"`` degradation, all exercised by the
+deterministic fault-injection harness in
+:mod:`~repro.experiments.chaos`.
 The ``fast`` preset keeps runtimes bench-friendly while exercising the
 exact code paths of the ``paper`` preset.
 """
 
+from repro.experiments.chaos import ChaosSpec
 from repro.experiments.engine import (
     SPEC_SCHEMA_VERSION,
     CellResult,
@@ -33,6 +39,11 @@ from repro.experiments.engine import (
     scenario,
 )
 from repro.experiments.runner import ExperimentResult, run_framework
+from repro.experiments.scheduler import (
+    CellFailure,
+    CellTimeout,
+    SweepInterrupted,
+)
 from repro.experiments.scenarios import (
     Preset,
     fast32_preset,
@@ -63,6 +74,10 @@ __all__ = [
     "SweepEngine",
     "SweepResult",
     "CellResult",
+    "CellFailure",
+    "CellTimeout",
+    "SweepInterrupted",
+    "ChaosSpec",
     "run_plan",
     "SPEC_SCHEMA_VERSION",
     "SpecValidationError",

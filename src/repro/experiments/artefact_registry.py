@@ -62,7 +62,14 @@ class ArtefactDriver:
     def run_plan(
         self, plan: SweepPlan, engine: Optional[SweepEngine] = None
     ):
-        return self.collect(plan, (engine or SweepEngine()).run(plan))
+        sweep = (engine or SweepEngine()).run(plan)
+        if sweep.failures:
+            # collectors shape full grids (Fig. 4's τ×building table
+            # indexes every cell); a sweep degraded by on_error=
+            # "continue" returns raw so the frontend can report the
+            # failures next to the surviving cells
+            return sweep
+        return self.collect(plan, sweep)
 
 
 #: paper artefacts in CLI/report order (``repro experiment all``)

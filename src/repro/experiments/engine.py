@@ -20,6 +20,15 @@ loops around a monolithic ``run_framework``.  Here the grid is **data**:
   state — process workers receive cells as JSON-native payloads and
   return npz/json-serialized :class:`CellResult` records, so sweeps
   scale past the GIL on multi-core hosts;
+* all three executors dispatch through one fault-tolerant scheduler
+  (:mod:`repro.experiments.scheduler`): per-cell wall-clock timeouts,
+  bounded retry with exponential backoff, crash recovery that rebuilds
+  a broken process pool and re-dispatches only in-flight cells, and
+  ``on_error="continue"`` degradation — failed cells become structured
+  :class:`~repro.experiments.scheduler.CellFailure` records on the
+  :class:`SweepResult` instead of poisoning the sweep.  Every finished
+  cell is persisted to the resume ledger the moment it completes, so
+  crashes and Ctrl-C never lose finished work;
 * the federate stage runs behind a **round-level client-update cache**
   (:class:`~repro.experiments.artifacts.RoundCache`): per-client
   updates are keyed on the broadcast GM state signature, so ε-grid and
@@ -43,10 +52,8 @@ pre-training) all share one pre-train per building.
 
 from __future__ import annotations
 
-import multiprocessing
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import asdict, dataclass, field, fields
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -64,7 +71,17 @@ from repro.experiments.artifacts import (
     content_key,
     state_signature,
 )
+from repro.experiments.chaos import maybe_inject, resolve_chaos
 from repro.experiments.scenarios import Preset
+from repro.experiments.scheduler import (
+    ON_ERROR_MODES,
+    CellFailure,
+    CellScheduler,
+    ProcessBackend,
+    SerialBackend,
+    SweepInterrupted,
+    ThreadBackend,
+)
 from repro.fl.simulation import build_federation
 from repro.metrics.localization import ErrorSummary, evaluate_model
 from repro.nn.dtype import compute_dtype
@@ -79,8 +96,12 @@ logger = get_logger("experiments.engine")
 SPEC_FORMAT = "repro.sweep-plan"
 SPEC_SCHEMA_VERSION = 1
 
-#: cell-executor choices (``SweepEngine(executor=...)`` / ``--executor``)
-EXECUTORS = ("thread", "process")
+#: cell-executor choices (``SweepEngine(executor=...)`` / ``--executor``).
+#: ``serial`` forces inline execution regardless of ``jobs``; ``thread``
+#: (the default) runs inline until ``jobs > 1``; ``process`` honors any
+#: ``jobs`` count — even a one-worker pool isolates cells in killable,
+#: timeout-enforceable worker processes.
+EXECUTORS = ("serial", "thread", "process")
 
 #: framework kwargs that provably do not alter the pre-trained weights —
 #: they configure the untrusted-data defense or the aggregation strategy,
@@ -448,6 +469,13 @@ class SweepResult:
     duration_s: float
     jobs: int = 1
     executor: str = "thread"
+    #: cells that exhausted their attempts under ``on_error="continue"``
+    #: (plan order; an aborted sweep raises instead of returning)
+    failures: List[CellFailure] = field(default_factory=list)
+    #: attempt re-dispatches (failed/timed-out/crashed attempts retried)
+    retried: int = 0
+    #: cell-timeout expiries (each also counts as a retry or a failure)
+    timed_out: int = 0
 
     @property
     def cells_per_second(self) -> float:
@@ -496,6 +524,10 @@ class SweepResult:
                     f"round cache: {up_trained} client updates trained, "
                     f"{up_reused} reused"
                 )
+        parts.append(
+            f"{len(self.failures)} failed, {self.retried} retried, "
+            f"{self.timed_out} timed out"
+        )
         parts.append(f"{self.resumed_count()} cells resumed")
         return " | ".join(parts)
 
@@ -510,6 +542,11 @@ class SweepResult:
             "duration_s": self.duration_s,
             "cells_per_second": self.cells_per_second,
             "stats": self.stats,
+            "failures": [
+                failure.to_json_dict() for failure in self.failures
+            ],
+            "retried": self.retried,
+            "timed_out": self.timed_out,
             "cells": [cell.to_json_dict() for cell in self.cells],
         }
 
@@ -538,6 +575,28 @@ class SweepEngine:
             every ε-grid/strategy cell's first post-pre-train round —
             reuse honest-client training.  ``False`` recomputes every
             update (the equivalence-test reference path).
+        cell_timeout: Per-cell wall-clock budget in seconds (``None`` =
+            unlimited).  Enforced where the backend can preempt: a hung
+            process cell is reclaimed by killing and rebuilding the
+            pool (innocent in-flight cells re-dispatch without being
+            charged an attempt), a hung thread cell is abandoned.
+            Serial execution cannot preempt a running cell.
+        retries: Re-dispatches allowed per cell after an exception,
+            timeout or worker crash (0 = fail on first injury).  Cells
+            are pure functions of (preset, spec) — all randomness comes
+            from named seed streams — so a retried cell reproduces
+            bit-identically.
+        on_error: ``"abort"`` (default) re-raises a cell's final error
+            once retries are exhausted — after every already-finished
+            cell reached the resume ledger; ``"continue"`` records a
+            :class:`~repro.experiments.scheduler.CellFailure` on the
+            result and completes the rest of the sweep.
+        backoff_base: First-retry delay in seconds; doubles with each
+            further attempt (deterministic — no jitter).
+        chaos: Test-only deterministic fault injection: a
+            :class:`~repro.experiments.chaos.ChaosSpec`, its token
+            string (``"2:kill"``), or ``None`` to read the
+            ``REPRO_CHAOS`` environment variable.
 
     One engine may run several plans (``experiment all``); its in-memory
     artifact memo then spans artefacts, so e.g. Fig. 6's FEDHIL cells
@@ -551,6 +610,11 @@ class SweepEngine:
         resume: bool = False,
         executor: str = "thread",
         round_cache: bool = True,
+        cell_timeout: Optional[float] = None,
+        retries: int = 0,
+        on_error: str = "abort",
+        backoff_base: float = 0.5,
+        chaos=None,
     ):
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -563,21 +627,45 @@ class SweepEngine:
             raise ValueError(
                 f"executor must be one of {EXECUTORS}, got {executor!r}"
             )
+        if cell_timeout is not None and cell_timeout <= 0:
+            raise ValueError(
+                f"cell_timeout must be positive, got {cell_timeout}"
+            )
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if on_error not in ON_ERROR_MODES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}"
+            )
         self.jobs = jobs
         self.resume = bool(resume)
         self.executor = executor
         self.round_cache = bool(round_cache)
+        self.cell_timeout = cell_timeout
+        self.retries = int(retries)
+        self.on_error = on_error
+        self.backoff_base = float(backoff_base)
+        self.chaos = resolve_chaos(chaos)
         self.artifacts = ArtifactCache(cache_dir)
         self._sig_memo: Dict[tuple, str] = {}
         self._sig_lock = threading.Lock()
 
     # -- public API --------------------------------------------------------
     def run(self, plan: SweepPlan) -> SweepResult:
-        """Execute every cell of a plan; returns results in plan order."""
+        """Execute every cell of a plan; returns results in plan order.
+
+        Under ``on_error="continue"`` cells that exhausted their
+        attempts are dropped from ``cells`` and carried as structured
+        ``failures`` on the result; under ``"abort"`` the final cell
+        error re-raises.  Ctrl-C raises
+        :class:`~repro.experiments.scheduler.SweepInterrupted` — in
+        every case, cells that finished first already reached the
+        resume ledger.
+        """
         start = time.perf_counter()
         before = self.artifacts.stats.snapshot()
         with compute_dtype(plan.preset.compute_dtype):
-            cells = self._execute(plan)
+            cells, failures, retried, timed_out = self._execute(plan)
         stats = StageStats.delta(before, self.artifacts.stats.snapshot())
         result = SweepResult(
             plan_name=plan.name,
@@ -589,6 +677,9 @@ class SweepEngine:
             duration_s=time.perf_counter() - start,
             jobs=self.jobs or 1,
             executor=self.executor,
+            failures=failures,
+            retried=retried,
+            timed_out=timed_out,
         )
         logger.info("%s", result.format_stats())
         return result
@@ -599,32 +690,19 @@ class SweepEngine:
             return self._run_federation_cell(preset, spec)
 
     # -- execution ---------------------------------------------------------
-    def _execute(self, plan: SweepPlan) -> List[CellResult]:
-        runner = lambda spec: self._run_one(plan, spec)
-        workers = self.jobs or 1
-        # footprint cells time wall-clock inference latency — concurrent
-        # cells would contend for the CPU and inflate every measurement
-        if workers <= 1 or len(plan.cells) <= 1 or plan.kind == "footprint":
-            return [runner(spec) for spec in plan.cells]
-        if self.executor == "process":
-            return self._execute_process(plan, workers)
-        with ThreadPoolExecutor(
-            max_workers=min(workers, len(plan.cells))
-        ) as executor:
-            return list(executor.map(runner, plan.cells))
+    def _execute(
+        self, plan: SweepPlan
+    ) -> Tuple[List[CellResult], List[CellFailure], int, int]:
+        """Run a plan through the fault-tolerant scheduler.
 
-    def _execute_process(
-        self, plan: SweepPlan, workers: int
-    ) -> List[CellResult]:
-        """Run a federation plan's cells on a process pool.
-
-        Resume hits are resolved in the parent (the pool never sees
-        them); the rest ship to workers as JSON-native (preset, spec)
-        payloads and come back as serialized :class:`CellResult` records
-        plus each worker's stage-counter delta, which is folded into the
-        parent's stats so sweep reports stay complete.  The parent also
-        persists finished cells to its own cell store, keeping
-        ``--resume`` semantics identical to the thread path.
+        Resume hits are resolved in the parent (no backend ever sees
+        them); pending cells dispatch on the selected
+        :class:`~repro.experiments.scheduler.ExecutorBackend` and each
+        finished cell is persisted to the resume ledger the moment its
+        completion callback fires — out of order, in the scheduler's
+        own thread — so a later failure, abort or interrupt never loses
+        finished work.  Returns plan-ordered surviving cells, the
+        failure records, and the (retried, timed-out) counters.
         """
         results: List[Optional[CellResult]] = [None] * len(plan.cells)
         pending: List[int] = []
@@ -635,33 +713,120 @@ class SweepEngine:
             else:
                 pending.append(index)
         if not pending:
-            return results
+            return [cell for cell in results if cell is not None], [], 0, 0
+        for _ in pending:
+            # counted at dispatch decision, once per cell — retries must
+            # not inflate the "cells" miss counter
+            self.artifacts.stats.record("cells", hit=False)
+
+        def complete(index: int, outcome) -> None:
+            spec = plan.cells[index]
+            if isinstance(outcome, dict):
+                # a process worker's return: fold its stage-counter
+                # delta into the parent stats, rebuild the result
+                self.artifacts.stats.merge(outcome["stats"])
+                result = CellResult.from_json_dict(outcome["cell"])
+            else:
+                result = outcome
+            # workers and stores hash the label-free identity; hand
+            # back the exact requested spec object (labels and all)
+            result.spec = spec
+            if plan.kind == "federation":
+                self.artifacts.store_cell(
+                    self._cell_key(plan, spec), result.to_json_dict()
+                )
+            results[index] = result
+
+        scheduler = CellScheduler(
+            self._backend(plan, len(pending)),
+            cell_timeout=self.cell_timeout,
+            retries=self.retries,
+            on_error=self.on_error,
+            backoff_base=self.backoff_base,
+            on_complete=complete,
+        )
+        try:
+            scheduler.run(pending)
+        except SweepInterrupted as interrupt:
+            # count everything a re-invocation with --resume will skip:
+            # the cells this run finished plus the ones it resumed
+            interrupt.finished += sum(
+                1
+                for cell in results
+                if cell is not None and cell.resumed
+            )
+            interrupt.total = len(plan.cells)
+            interrupt.plan_name = plan.name
+            raise
+        failures: List[CellFailure] = []
+        for index in sorted(scheduler.failures):
+            failure = scheduler.failures[index]
+            failure.spec = plan.cells[index]
+            failures.append(failure)
+        cells = [cell for cell in results if cell is not None]
+        return cells, failures, scheduler.retried, scheduler.timed_out
+
+    def _backend(self, plan: SweepPlan, pending: int):
+        """Pick the executor backend for a plan's pending cells.
+
+        Footprint cells time wall-clock inference latency — concurrent
+        cells would contend for the CPU and inflate every measurement —
+        so they always run serially in-process.  ``process`` is honored
+        at any ``jobs`` count (a one-worker pool still isolates cells
+        in killable, timeout-enforceable workers); the thread pool only
+        engages when it can actually overlap cells.
+        """
+        if plan.kind == "footprint":
+            return SerialBackend(self._runner(plan))
+        if self.executor == "process" and self.jobs is not None:
+            return ProcessBackend(
+                _pool_run_cell,
+                self._process_payload(plan),
+                min(self.jobs, pending),
+            )
+        workers = min(self.jobs or 1, pending)
+        if workers <= 1 or self.executor == "serial":
+            return SerialBackend(self._runner(plan))
+        return ThreadBackend(self._runner(plan), workers)
+
+    def _runner(self, plan: SweepPlan) -> Callable[[int, int], CellResult]:
+        """The serial/thread cell body: (index, attempt) → CellResult."""
+
+        def run(index: int, attempt: int) -> CellResult:
+            spec = plan.cells[index]
+            maybe_inject(self.chaos, index, attempt, "start")
+            start = time.perf_counter()
+            if plan.kind == "footprint":
+                result = self._run_footprint_cell(plan.preset, spec)
+            else:
+                result = self._run_federation_cell(plan.preset, spec)
+            result.duration_s = time.perf_counter() - start
+            maybe_inject(self.chaos, index, attempt, "finish")
+            return result
+
+        return run
+
+    def _process_payload(self, plan: SweepPlan) -> Callable[[int, int], Dict]:
+        """Build the JSON-native process-pool payload for one dispatch —
+        preset + spec + engine knobs, plus the chaos token and the
+        (index, attempt) coordinates so injections reach exactly the
+        worker attempt that should suffer them."""
         shared = {
             "preset": plan.preset.to_dict(),
             "cache_dir": self.artifacts.cache_dir,
             "round_cache": self.round_cache,
+            "chaos": self.chaos.token() if self.chaos else None,
         }
-        tasks = [
-            {**shared, "spec": plan.cells[index].to_dict()}
-            for index in pending
-        ]
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(pending)),
-            mp_context=_pool_context(),
-        ) as pool:
-            for index, outcome in zip(pending, pool.map(_pool_run_cell, tasks)):
-                spec = plan.cells[index]
-                self.artifacts.stats.record("cells", hit=False)
-                self.artifacts.stats.merge(outcome["stats"])
-                result = CellResult.from_json_dict(outcome["cell"])
-                # the worker rebuilt the spec from JSON; hand back the
-                # exact requested spec object (labels and all)
-                result.spec = spec
-                self.artifacts.store_cell(
-                    self._cell_key(plan, spec), result.to_json_dict()
-                )
-                results[index] = result
-        return results
+
+        def payload(index: int, attempt: int) -> Dict:
+            return {
+                **shared,
+                "spec": plan.cells[index].to_dict(),
+                "index": index,
+                "attempt": attempt,
+            }
+
+        return payload
 
     def _resume_cell(
         self, plan: SweepPlan, spec: ScenarioSpec
@@ -679,27 +844,6 @@ class SweepEngine:
         # stored spec may carry another plan's label — the numbers
         # are the requested cell's, the spec must be too
         result.spec = spec
-        return result
-
-    def _run_one(self, plan: SweepPlan, spec: ScenarioSpec) -> CellResult:
-        # footprint cells are wall-clock measurements, not pure functions
-        # of their inputs — never persisted or resumed (stale latencies
-        # from another run or machine must not masquerade as measured)
-        cacheable = plan.kind == "federation"
-        resumed = self._resume_cell(plan, spec)
-        if resumed is not None:
-            return resumed
-        self.artifacts.stats.record("cells", hit=False)
-        start = time.perf_counter()
-        if plan.kind == "footprint":
-            result = self._run_footprint_cell(plan.preset, spec)
-        else:
-            result = self._run_federation_cell(plan.preset, spec)
-        result.duration_s = time.perf_counter() - start
-        if cacheable:
-            self.artifacts.store_cell(
-                self._cell_key(plan, spec), result.to_json_dict()
-            )
         return result
 
     def _run_federation_cell(
@@ -962,15 +1106,6 @@ class SweepEngine:
         )
 
 
-def _pool_context():
-    """``fork`` where the platform offers it (workers inherit the loaded
-    package and warm caches for free); the platform default elsewhere —
-    the worker entry point is a plain importable function either way."""
-    if "fork" in multiprocessing.get_all_start_methods():
-        return multiprocessing.get_context("fork")
-    return multiprocessing.get_context()
-
-
 #: per-pool-worker engine memo keyed on construction knobs: every cell a
 #: worker process executes shares one in-memory artifact cache, so e.g.
 #: a worker that ran one ε cell reuses its data/pre-train for the next
@@ -985,6 +1120,11 @@ def _pool_run_cell(task: Dict) -> Dict:
     serialized :class:`CellResult` plus this cell's stage-counter delta,
     so nothing crosses the pool but plain dicts — the parent folds the
     counters into its stats and re-attaches the requested spec.
+
+    The optional ``chaos`` token plus the cell's (index, attempt)
+    coordinates drive deterministic fault injection *inside the worker*
+    — a ``kill`` injection here is a real ``os._exit``, breaking the
+    pool exactly like an OOM-killed worker would.
     """
     key = (task["cache_dir"], task["round_cache"])
     engine = _WORKER_ENGINES.get(key)
@@ -995,11 +1135,16 @@ def _pool_run_cell(task: Dict) -> Dict:
         _WORKER_ENGINES[key] = engine
     preset = Preset.from_dict(task["preset"])
     spec = ScenarioSpec.from_dict(task["spec"])
+    chaos = resolve_chaos(task["chaos"]) if task.get("chaos") else None
+    index = task.get("index", -1)
+    attempt = task.get("attempt", 0)
     before = engine.artifacts.stats.snapshot()
     start = time.perf_counter()
+    maybe_inject(chaos, index, attempt, "start", process_worker=True)
     with compute_dtype(preset.compute_dtype):
         result = engine._run_federation_cell(preset, spec)
     result.duration_s = time.perf_counter() - start
+    maybe_inject(chaos, index, attempt, "finish", process_worker=True)
     return {
         "cell": result.to_json_dict(),
         "stats": StageStats.delta(

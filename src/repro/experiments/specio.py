@@ -30,6 +30,7 @@ from repro.experiments.engine import (
     SweepPlan,
 )
 from repro.experiments.scenarios import Preset
+from repro.experiments.scheduler import ON_ERROR_MODES
 from repro.registry import _did_you_mean, registry
 
 #: preset fields and the JSON types they must carry
@@ -231,9 +232,11 @@ def _validate_cell(cell, index: int, kind: str, errors: List[str]) -> None:
 
 
 def _validate_engine_block(engine, errors: List[str]) -> None:
-    """The optional top-level ``engine`` block: scheduling *hints*
-    (``jobs``, ``executor``) that :func:`repro.api.run_spec` applies as
-    defaults — never anything that could change the numbers."""
+    """The optional top-level ``engine`` block: scheduling and
+    failure-policy *hints* (``jobs``, ``executor``, ``cell_timeout``,
+    ``retries``, ``on_error``) that :func:`repro.api.run_spec` applies
+    as defaults — never anything that could change the numbers (retried
+    cells reproduce bit-identically)."""
     if engine is None:
         return
     if not isinstance(engine, dict):
@@ -241,7 +244,7 @@ def _validate_engine_block(engine, errors: List[str]) -> None:
             f"engine: expected an object, got {type(engine).__name__}"
         )
         return
-    known = ("jobs", "executor")
+    known = ("jobs", "executor", "cell_timeout", "retries", "on_error")
     for name, value in engine.items():
         if name not in known:
             message = f"engine.{name}: unknown field"
@@ -260,6 +263,33 @@ def _validate_engine_block(engine, errors: List[str]) -> None:
         elif name == "executor" and value not in EXECUTORS:
             errors.append(
                 f"engine.executor: expected one of {list(EXECUTORS)}, "
+                f"got {value!r}"
+            )
+        elif name == "cell_timeout":
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                errors.append(
+                    f"engine.cell_timeout: expected a number of seconds, "
+                    f"got {type(value).__name__} ({value!r})"
+                )
+            elif value <= 0:
+                errors.append(
+                    f"engine.cell_timeout: must be positive, got {value}"
+                )
+        elif name == "retries":
+            if isinstance(value, bool) or not isinstance(value, int):
+                errors.append(
+                    f"engine.retries: expected int, got "
+                    f"{type(value).__name__} ({value!r})"
+                )
+            elif value < 0:
+                errors.append(
+                    f"engine.retries: must be >= 0, got {value}"
+                )
+        elif name == "on_error" and value not in ON_ERROR_MODES:
+            errors.append(
+                f"engine.on_error: expected one of {list(ON_ERROR_MODES)}, "
                 f"got {value!r}"
             )
 

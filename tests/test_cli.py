@@ -101,6 +101,42 @@ class TestParser:
         with pytest.raises(SystemExit):
             main(["experiment", "fig4", "--jobs", "0"])
 
+    def test_fault_tolerance_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["experiment", "fig5"])
+        assert args.cell_timeout is None
+        assert args.retries is None
+        assert args.on_error is None
+        args = parser.parse_args(
+            [
+                "sweep", "--spec", "plan.json", "--cell-timeout", "30",
+                "--retries", "2", "--on-error", "continue",
+            ]
+        )
+        assert args.cell_timeout == 30.0
+        assert args.retries == 2
+        assert args.on_error == "continue"
+        with pytest.raises(SystemExit):
+            parser.parse_args(
+                ["sweep", "--spec", "p.json", "--on-error", "explode"]
+            )
+
+    def test_serial_executor_accepted(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["experiment", "fig5", "--executor", "serial"]
+        )
+        assert args.executor == "serial"
+
+    def test_bad_fault_knob_values_are_usage_errors(self):
+        for argv in (
+            ["experiment", "fig4", "--retries", "-1"],
+            ["experiment", "fig4", "--cell-timeout", "0"],
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 2
+
     def test_fast32_preset_accepted(self):
         parser = build_parser()
         args = parser.parse_args(["run", "safeloc", "--preset", "fast32"])
@@ -224,3 +260,79 @@ class TestSweepCommand:
     def test_spec_required(self):
         with pytest.raises(SystemExit):
             main(["sweep"])
+
+
+class TestFailureExitCodes:
+    """Partial sweeps must not exit like clean runs (satellite: exit 3
+    under --on-error continue, 130 + resume hint on interrupt)."""
+
+    def test_continue_with_failures_exits_3(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CHAOS", "2:raise")
+        cache = str(tmp_path / "cache")
+        golden = os.path.join(GOLDEN_DIR, "fig4.json")
+        code = main(
+            [
+                "sweep", "--spec", golden, "--on-error", "continue",
+                "--cache-dir", cache,
+            ]
+        )
+        assert code == 3
+        captured = capsys.readouterr()
+        # the collector needs the full grid: partial sweeps fall back to
+        # the generic table, with the failure spelled out on stderr
+        assert "Sweep fig4" in captured.out
+        assert "1 failed" in captured.out
+        assert "1 cell(s) failed" in captured.err
+        assert "ChaosError" in captured.err
+        # healthy cells persisted: a chaos-free resume completes clean
+        monkeypatch.delenv("REPRO_CHAOS")
+        code = main(
+            [
+                "sweep", "--spec", golden, "--resume",
+                "--cache-dir", cache,
+            ]
+        )
+        assert code == 0
+        resumed = capsys.readouterr().out
+        assert "Fig. 4" in resumed
+        assert "5 cells resumed" in resumed
+
+    def test_interrupt_exits_130_with_resume_hint(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CHAOS", "1:interrupt")
+        cache = str(tmp_path / "cache")
+        golden = os.path.join(GOLDEN_DIR, "fig4.json")
+        code = main(
+            ["sweep", "--spec", golden, "--cache-dir", cache]
+        )
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "1 finished cell(s) are saved" in err
+        assert f"--resume --cache-dir {cache}" in err
+
+    def test_interrupt_without_cache_dir_warns(
+        self, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CHAOS", "0:interrupt")
+        golden = os.path.join(GOLDEN_DIR, "fig4.json")
+        assert main(["sweep", "--spec", golden]) == 130
+        err = capsys.readouterr().err
+        assert "NOT persisted" in err
+
+    def test_experiment_continue_with_failures_exits_3(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CHAOS", "0:raise")
+        code = main(
+            [
+                "experiment", "fig4", "--preset", "tiny",
+                "--on-error", "continue",
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 3
+        assert "1 cell(s) failed" in capsys.readouterr().err

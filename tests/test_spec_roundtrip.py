@@ -150,7 +150,13 @@ class TestValidation:
 
     def test_engine_block_accepted_and_validated(self):
         payload = self.payload()
-        payload["engine"] = {"jobs": 4, "executor": "process"}
+        payload["engine"] = {
+            "jobs": 4,
+            "executor": "process",
+            "cell_timeout": 120,
+            "retries": 2,
+            "on_error": "continue",
+        }
         validate_plan_payload(payload)  # hints are part of the schema
         payload["engine"] = {"jobs": 0, "executor": "gpu", "jobz": 1}
         with pytest.raises(SpecValidationError) as excinfo:
@@ -160,6 +166,24 @@ class TestValidation:
         assert "engine.executor" in messages
         assert "did you mean 'jobs'" in messages
 
+    def test_engine_fault_knobs_validated(self):
+        payload = self.payload()
+        payload["engine"] = {
+            "cell_timeout": 0,
+            "retries": -1,
+            "on_error": "explode",
+        }
+        with pytest.raises(SpecValidationError) as excinfo:
+            validate_plan_payload(payload)
+        messages = "\n".join(excinfo.value.errors)
+        assert "engine.cell_timeout" in messages
+        assert "engine.retries" in messages
+        assert "engine.on_error" in messages
+        payload["engine"] = {"cell_timeout": "fast", "retries": True}
+        with pytest.raises(SpecValidationError) as excinfo:
+            validate_plan_payload(payload)
+        assert len(excinfo.value.errors) == 2
+
     def test_builder_spec_carries_engine_hints(self, tmp_path):
         import repro.api as api
         from repro.experiments.specio import load_payload
@@ -167,16 +191,40 @@ class TestValidation:
         builder = (
             api.experiment("fig4").preset("tiny")
             .jobs(2).executor("process")
+            .cell_timeout(90).retries(1).on_error("continue")
         )
         payload = builder.spec()
-        assert payload["engine"] == {"jobs": 2, "executor": "process"}
+        hints = {
+            "jobs": 2,
+            "executor": "process",
+            "cell_timeout": 90.0,
+            "retries": 1,
+            "on_error": "continue",
+        }
+        assert payload["engine"] == hints
+        validate_plan_payload(payload)
         path = str(tmp_path / "fig4.json")
         builder.save_spec(path)
-        assert load_payload(path)["engine"] == {
-            "jobs": 2, "executor": "process"
-        }
+        assert load_payload(path)["engine"] == hints
         # plans stay hint-free — golden specs are byte-stable
         assert "engine" not in api.experiment("fig4").preset("tiny").spec()
+
+    def test_run_spec_applies_fault_hints(self, tmp_path, monkeypatch):
+        """A saved spec replays with the failure policy it was authored
+        with: on_error=continue from the engine block degrades an
+        injured run instead of aborting it."""
+        import repro.api as api
+
+        monkeypatch.setenv("REPRO_CHAOS", "0:raise")
+        path = str(tmp_path / "fig4.json")
+        (
+            api.experiment("fig4").preset("tiny")
+            .on_error("continue").save_spec(path)
+        )
+        result = api.run_spec(path)
+        # partial grid: the collector fallback returns the raw sweep
+        assert len(result.failures) == 1
+        assert result.failures[0].error_type == "ChaosError"
 
     def test_footprint_cells_need_shape(self):
         payload = build_plan("table1").to_dict()
