@@ -5,7 +5,6 @@ across ε — the detector + de-noising absorb the perturbations — while the
 label-flip row rises at large ε (the paper reaches 4.38 m at ε = 1.0).
 """
 
-import numpy as np
 
 from repro.experiments.fig5_heatmap import run_fig5
 

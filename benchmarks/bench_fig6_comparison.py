@@ -6,7 +6,6 @@ overall; the ratios over the weakest baselines reach multiples for the
 backdoor attacks (paper: up to 5.9×).
 """
 
-import numpy as np
 
 from repro.experiments.fig6_comparison import run_fig6
 

@@ -28,7 +28,7 @@ import json
 import os
 import platform
 import time
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 

@@ -11,7 +11,6 @@ Run:  python examples/federated_attack_demo.py [attack] [epsilon]
 
 import sys
 
-import numpy as np
 
 from repro.attacks import ATTACK_NAMES, create_attack
 from repro.baselines import make_framework

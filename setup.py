@@ -1,9 +1,10 @@
 """Package metadata for the SAFELOC reproduction.
 
-There is no ``pyproject.toml`` in this repo (the offline environment
-lacks ``bdist_wheel``/PEP 517 support), so this file is the single
-source of install metadata: ``pip install .`` must produce a working
-``repro`` package with its one runtime dependency declared.
+``pyproject.toml`` here carries tool configuration only (ruff, mypy) —
+it has no build-system table because the offline environment lacks
+``bdist_wheel``/PEP 517 support.  This file is the single source of
+install metadata: ``pip install .`` must produce a working ``repro``
+package with its one runtime dependency declared.
 """
 
 import os
@@ -32,6 +33,7 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),
+    package_data={"repro": ["py.typed"]},
     python_requires=">=3.11",
     install_requires=["numpy>=1.24"],
     entry_points={"console_scripts": ["repro = repro.cli:main"]},

@@ -35,7 +35,7 @@ are first-class everywhere.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Union
 
 from repro.experiments.artefact_registry import (
     ABLATION_ARTEFACTS,
@@ -45,23 +45,22 @@ from repro.experiments.artefact_registry import (
 )
 from repro.experiments.engine import (
     EXECUTORS,
-    ScenarioSpec,
     SweepEngine,
     SweepPlan,
     SweepResult,
 )
-from repro.experiments.scheduler import ON_ERROR_MODES, SweepInterrupted
 from repro.experiments.runner import ExperimentResult, run_framework
 from repro.experiments.scenarios import Preset, get_preset
-from repro.fl.server import CLIENT_ENGINES
+from repro.experiments.scheduler import ON_ERROR_MODES, SweepInterrupted
 from repro.experiments.specio import (
     SpecValidationError,
-    load_plan,
     load_payload,
+    load_plan,
     payload_to_json,
     save_payload,
     validate_plan_payload,
 )
+from repro.fl.server import CLIENT_ENGINES
 from repro.registry import NAMESPACES, registry
 from repro.utils.tables import format_table
 

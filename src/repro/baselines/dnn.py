@@ -7,7 +7,7 @@ numpy substrate, and the building block the other baselines extend.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

@@ -17,7 +17,7 @@ never materializes an ``(n, n, p)`` or ``(n, k, p)`` broadcast tensor.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 

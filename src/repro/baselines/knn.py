@@ -15,7 +15,6 @@ ignored).
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -16,6 +16,9 @@ Commands:
   its error summary;
 * ``sweep --spec plan.json`` — execute a serialized sweep spec;
 * ``validate <spec.json> [...]`` — schema-check spec files;
+* ``lint [paths...]`` — the AST-based repo invariant linter
+  (determinism, registry contracts, executor safety, equivalence
+  coverage; see :mod:`repro.lint` and docs/LINTING.md);
 * ``info`` — the unified component registry's inventory.
 
 ``experiment``, ``ablation`` and ``sweep`` accept ``--jobs N``
@@ -206,6 +209,19 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # deferred: the linter (and its registry introspection) must not
+    # weigh down `repro --version` or unrelated subcommands
+    from repro.lint.cli import run_command
+
+    return run_command(
+        paths=args.paths,
+        select=args.select,
+        fmt=args.format,
+        show_rules=args.list_rules,
+    )
+
+
 def _format_defaults(defaults: dict) -> str:
     if not defaults:
         return ""
@@ -357,6 +373,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     val.add_argument("specs", nargs="+", help="spec JSON files to check")
     val.set_defaults(func=_cmd_validate)
+
+    lint = sub.add_parser(
+        "lint",
+        help="AST-based repo invariant linter (determinism, registry "
+        "contracts, executor safety, equivalence coverage)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: src and tests)",
+    )
+    lint.add_argument(
+        "--select",
+        default=None,
+        metavar="RULE,...",
+        help="only run these rules — exact ids (REP302) or families "
+        "(REP3xx), comma-separated (default: all)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format: grep-friendly text (default) or the "
+        "stable machine-readable JSON schema",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog (id, title, rationale) and exit",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     info = sub.add_parser("info", help="unified component registry inventory")
     info.set_defaults(func=_cmd_info)

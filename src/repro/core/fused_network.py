@@ -17,7 +17,7 @@ the fused model smaller than every baseline (Table I).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

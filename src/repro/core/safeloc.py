@@ -23,7 +23,7 @@ from repro.attacks.base import GradientOracle, classifier_gradient_oracle
 from repro.core.detection import DEFAULT_TAU, ThresholdDetector, reconstruction_errors
 from repro.core.fused_network import ENCODER_WIDTHS, FusedAutoencoderClassifier
 from repro.core.saliency import SaliencyAggregation
-from repro.data.datasets import FingerprintDataset, iterate_batches
+from repro.data.datasets import FingerprintDataset
 from repro.fl.batched_round import FoldPrep, FoldProgram, layer_shapes
 from repro.fl.interfaces import FrameworkSpec, LocalizationModel, StateDict
 from repro.nn import Adam, MSELoss, SparseCrossEntropyLoss

@@ -32,7 +32,7 @@ Three documented refinements over the verbatim equations (DESIGN.md §2):
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -9,18 +9,13 @@ every visit sees the same walls; multipath and device noise vary per visit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from repro.data.buildings import Building
-from repro.data.devices import (
-    ATTACKER_DEVICE,
-    TRAIN_DEVICE,
-    DeviceProfile,
-    paper_devices,
-)
 from repro.data.datasets import FingerprintDataset
+from repro.data.devices import TRAIN_DEVICE, DeviceProfile, paper_devices
 from repro.data.normalize import normalize_rss
 from repro.data.propagation import PathLossModel
 from repro.utils.rng import SeedSequence

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import csv
 import os
-from typing import List, Optional, Tuple
+from typing import List
 
 import numpy as np
 

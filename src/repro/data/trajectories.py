@@ -10,7 +10,7 @@ examples and for trajectory-aware extensions of the framework.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import networkx as nx
@@ -33,7 +33,6 @@ def build_rp_graph(building: Building, max_edge_m: float = 1.5) -> nx.Graph:
     if max_edge_m <= 0:
         raise ValueError("max_edge_m must be positive")
     graph = nx.Graph()
-    coords = building.rp_coordinates
     graph.add_nodes_from(range(building.num_rps))
     dist = building.rp_distance_matrix()
     for i in range(building.num_rps):

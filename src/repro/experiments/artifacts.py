@@ -161,6 +161,7 @@ class ArtifactCache:
                 try:
                     artifact = load_disk(path)
                     hit = True
+                # repro: allow[REP302] killed-writer/tampered cache entry: recompute, don't crash the sweep
                 except Exception:
                     # a killed writer predating atomic replace, or manual
                     # tampering — recompute rather than crash the sweep

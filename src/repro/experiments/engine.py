@@ -57,8 +57,6 @@ import time
 from dataclasses import asdict, dataclass, field, fields
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.registry import UnknownComponent, registry
-
 from repro.attacks import create_attack
 from repro.baselines.registry import make_framework
 from repro.data.buildings import Building
@@ -85,6 +83,7 @@ from repro.experiments.scheduler import (
 from repro.fl.simulation import build_federation
 from repro.metrics.localization import ErrorSummary, evaluate_model
 from repro.nn.dtype import compute_dtype
+from repro.registry import UnknownComponent, registry
 from repro.utils.logging import get_logger
 from repro.utils.rng import SeedSequence
 

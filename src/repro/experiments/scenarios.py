@@ -11,7 +11,7 @@ Three scales, identical code paths:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, fields, replace
 from typing import Dict, Optional, Tuple
 
 from repro.data.buildings import Building, get_building, scaled_building

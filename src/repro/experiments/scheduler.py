@@ -241,6 +241,7 @@ class SerialBackend(ExecutorBackend):
         future: Future = Future()
         try:
             future.set_result(self._run(index, attempt))
+        # repro: allow[REP302] propagated via future.set_exception, re-raised from future.result()
         except BaseException as error:  # KeyboardInterrupt rides the
             future.set_exception(error)  # same rails as pool workers
         return future
@@ -454,6 +455,7 @@ class CellScheduler:
                     except WorkerKilled as error:
                         # simulated single-worker death (thread/serial)
                         self._fail(index, attempt, "crash", error)
+                    # repro: allow[REP302] failure policy: recorded as CellFailure, re-raised under on_error="abort"
                     except Exception as error:
                         self._fail(index, attempt, "exception", error)
                     else:

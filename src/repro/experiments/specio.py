@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List, Optional
+from typing import Any, Dict, FrozenSet, List, Optional
 
 from repro.experiments.engine import (
     EXECUTORS,
@@ -29,7 +29,6 @@ from repro.experiments.engine import (
     SPEC_SCHEMA_VERSION,
     SweepPlan,
 )
-from repro.experiments.scenarios import Preset
 from repro.experiments.scheduler import ON_ERROR_MODES
 from repro.registry import _did_you_mean, registry
 
@@ -77,6 +76,19 @@ _CELL_FIELD_TYPES = {
 }
 
 
+def preset_field_names() -> FrozenSet[str]:
+    """The preset fields the validator knows (the ``repro lint`` REP202
+    hook: cross-checked against ``Preset``'s dataclass fields so the
+    validation table cannot silently drift from the spec format)."""
+    return frozenset(_PRESET_FIELD_TYPES)
+
+
+def cell_field_names() -> FrozenSet[str]:
+    """The cell fields the validator knows (REP202 hook, see
+    :func:`preset_field_names`)."""
+    return frozenset(_CELL_FIELD_TYPES)
+
+
 class SpecValidationError(ValueError):
     """A spec payload that failed schema validation.
 
@@ -84,7 +96,9 @@ class SpecValidationError(ValueError):
     them, prefixed with the file path when one is known.
     """
 
-    def __init__(self, errors: List[str], source: Optional[str] = None):
+    def __init__(
+        self, errors: List[str], source: Optional[str] = None
+    ) -> None:
         self.errors = list(errors)
         self.source = source
         prefix = f"{source}: " if source else ""
@@ -93,7 +107,7 @@ class SpecValidationError(ValueError):
         )
 
 
-def _type_name(expected) -> str:
+def _type_name(expected: Any) -> str:
     if isinstance(expected, tuple):
         return " or ".join(
             "null" if t is type(None) else t.__name__ for t in expected
@@ -102,7 +116,7 @@ def _type_name(expected) -> str:
 
 
 def _check_fields(
-    payload: Dict, types: Dict[str, type], where: str, errors: List[str]
+    payload: Dict, types: Dict[str, Any], where: str, errors: List[str]
 ) -> None:
     for name, value in payload.items():
         if name not in types:
@@ -174,7 +188,9 @@ def _check_name(
     errors.append(message)
 
 
-def _validate_cell(cell, index: int, kind: str, errors: List[str]) -> None:
+def _validate_cell(
+    cell: Any, index: int, kind: str, errors: List[str]
+) -> None:
     where = f"cells[{index}]"
     if not isinstance(cell, dict):
         errors.append(f"{where}: expected an object, got {type(cell).__name__}")
@@ -231,7 +247,7 @@ def _validate_cell(cell, index: int, kind: str, errors: List[str]) -> None:
                 )
 
 
-def _validate_engine_block(engine, errors: List[str]) -> None:
+def _validate_engine_block(engine: Any, errors: List[str]) -> None:
     """The optional top-level ``engine`` block: scheduling and
     failure-policy *hints* (``jobs``, ``executor``, ``cell_timeout``,
     ``retries``, ``on_error``) that :func:`repro.api.run_spec` applies

@@ -21,7 +21,7 @@ smallest, FEDLS largest — is architectural and must reproduce exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.baselines.registry import COMPARISON_FRAMEWORKS
 from repro.experiments.engine import SweepEngine, SweepPlan, SweepResult, scenario

@@ -10,7 +10,7 @@ A framework = model family + aggregation strategy, captured by
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 import numpy as np

@@ -9,10 +9,9 @@ Malicious clients always use the attacker device (HTC U11, §V.B).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
 
-import numpy as np
 
 from repro.attacks.base import Attack
 from repro.data.buildings import Building

@@ -1,0 +1,63 @@
+"""``repro lint`` — the repo's AST-based invariant linter.
+
+The reproduction's credibility rests on invariants that are otherwise
+enforced only dynamically: bit-reproducibility from seeded
+:mod:`repro.utils.rng` streams, registry kwarg contracts, process-pool
+picklability and crash semantics, and batched/serial equivalence
+advertisement.  This package checks them *statically* — at review time
+instead of as a flaky sweep three PRs later — via four rule families:
+
+* **REP1xx determinism** — legacy ``np.random`` module-state calls,
+  unseeded ``default_rng()``, stdlib ``random``, wall-clock/OS-entropy
+  reads and unordered-set iteration inside cache-key/signature
+  functions;
+* **REP2xx registry/spec contracts** — registration metadata consistent
+  with factory signatures, spec-schema field lists consistent with the
+  dataclasses they validate, golden specs naming only registered
+  components;
+* **REP3xx executor safety** — process-pool entries must be
+  module-level and closure-free, broad ``except`` clauses must re-raise
+  or carry a pragma, worker entry points must not rebind parent-shared
+  module globals;
+* **REP4xx equivalence coverage** — components advertising
+  ``supports_batched_clients`` and every ``ExecutorBackend`` must
+  appear in the any-two-paths-agree test parametrization.
+
+A finding is suppressed by a pragma carrying a reason::
+
+    except Exception:  # repro: allow[REP302] recovery path, see docstring
+
+Findings, rules and the runner are exposed here for programmatic use;
+the CLI lives in :mod:`repro.lint.cli` (``repro lint``).
+"""
+
+from repro.lint.findings import Finding, Pragma, parse_pragmas
+from repro.lint.report import REPORT_SCHEMA_VERSION, render_json, render_text
+from repro.lint.rules import ALL_RULES, FILE_RULES, PROJECT_RULES, rule_catalog
+from repro.lint.runner import (
+    LintError,
+    expand_selectors,
+    lint_paths,
+    lint_project,
+    lint_source,
+    run_lint,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "FILE_RULES",
+    "Finding",
+    "LintError",
+    "PROJECT_RULES",
+    "Pragma",
+    "REPORT_SCHEMA_VERSION",
+    "expand_selectors",
+    "lint_paths",
+    "lint_project",
+    "lint_source",
+    "parse_pragmas",
+    "render_json",
+    "render_text",
+    "rule_catalog",
+    "run_lint",
+]

@@ -1,0 +1,64 @@
+"""Lint report rendering: human text and machine-stable JSON.
+
+The JSON schema is versioned and covered by tests — CI consumers parse
+it, so the key set and ordering discipline (findings sorted by path,
+line, col, rule) are a compatibility contract, exactly like the sweep
+spec format.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.lint.findings import Finding
+
+#: bump when the JSON report's key set or semantics change
+REPORT_SCHEMA_VERSION = 1
+
+
+def _sorted(findings: Sequence[Finding]) -> List[Finding]:
+    return sorted(findings, key=Finding.sort_key)
+
+
+def _by_rule(findings: Sequence[Finding]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def render_text(
+    findings: Sequence[Finding], files: int, selected: Sequence[str]
+) -> str:
+    """One line per finding plus a summary tail (``grep``-friendly)."""
+    lines = [finding.format() for finding in _sorted(findings)]
+    if findings:
+        per_rule = ", ".join(
+            f"{rule}: {count}" for rule, count in _by_rule(findings).items()
+        )
+        lines.append(
+            f"{len(findings)} finding(s) in {files} file(s) [{per_rule}]"
+        )
+    else:
+        lines.append(f"clean: 0 findings in {files} file(s)")
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding], files: int, selected: Sequence[str]
+) -> str:
+    """The stable machine report (schema version, sorted findings,
+    per-rule counts); newline-terminated like every repo JSON artifact."""
+    payload = {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "tool": "repro-lint",
+        "selected_rules": sorted(selected),
+        "files_checked": files,
+        "findings": [finding.to_dict() for finding in _sorted(findings)],
+        "summary": {
+            "total": len(findings),
+            "by_rule": _by_rule(findings),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,50 @@
+"""Rule registry: one module per family, aggregated here.
+
+``FILE_RULES`` run inside the shared single-pass AST visitor, once per
+file; ``PROJECT_RULES`` run once per invocation against the repository
+tree (registry introspection, spec-schema cross-checks, golden specs,
+coverage parametrization).  :data:`PRAGMA_RULE_ID` (REP001) is emitted
+by the runner itself while parsing suppression pragmas.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.lint.findings import PRAGMA_RULE_ID
+from repro.lint.rules.contracts import CONTRACT_RULES
+from repro.lint.rules.coverage import COVERAGE_RULES
+from repro.lint.rules.determinism import DETERMINISM_RULES
+from repro.lint.rules.executor import EXECUTOR_RULES
+
+FILE_RULES = (*DETERMINISM_RULES, *EXECUTOR_RULES)
+PROJECT_RULES = (*CONTRACT_RULES, *COVERAGE_RULES)
+
+#: (id, title, rationale) for every rule, REP001 included — the
+#: ``--list-rules`` catalog and the docs' rule table source of truth
+PRAGMA_RULE_ROW = (
+    PRAGMA_RULE_ID,
+    "pragma hygiene",
+    "every '# repro: allow[...]' suppression must name real rules and "
+    "carry a reason — the linter documents exceptions, it does not "
+    "wave them through",
+)
+
+
+def rule_catalog() -> List[Tuple[str, str, str]]:
+    """``(id, title, rationale)`` rows for every rule, sorted by id."""
+    rows = [PRAGMA_RULE_ROW]
+    for rule in (*FILE_RULES, *PROJECT_RULES):
+        rows.append((rule.id, rule.title, rule.rationale))
+    return sorted(rows)
+
+
+def rule_ids() -> Dict[str, object]:
+    """id → rule object (REP001 maps to ``None``: runner-emitted)."""
+    table: Dict[str, object] = {PRAGMA_RULE_ID: None}
+    for rule in (*FILE_RULES, *PROJECT_RULES):
+        table[rule.id] = rule
+    return table
+
+
+ALL_RULES = tuple(sorted(rule_ids()))

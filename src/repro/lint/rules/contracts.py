@@ -1,0 +1,149 @@
+"""REP2xx — registry and spec contract rules (project-level).
+
+These rules cross-check *live* metadata against the code that consumes
+it: registration metadata vs. factory signatures
+(:meth:`repro.registry.Registry.contract_problems`), the spec
+validator's field tables vs. the dataclasses they guard, and the golden
+spec files vs. the registered component set.  They run once per lint
+invocation, not per file.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+from typing import List
+
+from repro.lint.findings import Finding
+
+
+class ProjectRule:
+    """Base class for repo-level rules: ``check(root)`` → findings."""
+
+    id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def check(self, root: str) -> List[Finding]:
+        raise NotImplementedError
+
+    def _finding(self, path: str, message: str, line: int = 1) -> Finding:
+        return Finding(
+            rule=self.id, path=path, line=line, col=0, message=message
+        )
+
+
+class RegistryKwargContract(ProjectRule):
+    """REP201: registration metadata consistent with factory signatures."""
+
+    id = "REP201"
+    title = "registry metadata disagrees with the factory signature"
+    rationale = (
+        "Registry.create filters kwargs to ComponentInfo.accepts before "
+        "calling the factory: a default or extra_kwargs name the factory "
+        "cannot actually take turns into a TypeError (or a silently "
+        "dropped knob) at sweep time instead of at registration."
+    )
+
+    def check(self, root: str) -> List[Finding]:
+        from repro.registry import registry
+
+        path = os.path.join("src", "repro", "registry.py")
+        return [
+            self._finding(path, problem)
+            for problem in registry.contract_problems()
+        ]
+
+
+class SpecFieldContract(ProjectRule):
+    """REP202: spec validator field tables match the spec dataclasses."""
+
+    id = "REP202"
+    title = "spec validator fields drifted from the spec dataclasses"
+    rationale = (
+        "specio validates presets/cells against hand-maintained field "
+        "tables; a Preset/ScenarioSpec field added without a table entry "
+        "ships specs the validator rejects (or worse, never checks), and "
+        "a stale table entry promises a field from_dict will refuse."
+    )
+
+    def check(self, root: str) -> List[Finding]:
+        from dataclasses import fields
+
+        from repro.experiments.engine import ScenarioSpec
+        from repro.experiments.scenarios import Preset
+        from repro.experiments.specio import (
+            cell_field_names,
+            preset_field_names,
+        )
+
+        path = os.path.join("src", "repro", "experiments", "specio.py")
+        findings: List[Finding] = []
+        pairs = (
+            ("preset", Preset, preset_field_names(), Preset("lint-probe")),
+            ("cell", ScenarioSpec, cell_field_names(), ScenarioSpec()),
+        )
+        for label, cls, validated, probe in pairs:
+            declared = {f.name for f in fields(cls)}
+            for name in sorted(declared - validated):
+                findings.append(
+                    self._finding(
+                        path,
+                        f"{label} field {name!r} is on {cls.__name__} but "
+                        f"missing from the {label} validation table — "
+                        f"specs setting it fail validation",
+                    )
+                )
+            for name in sorted(validated - declared):
+                findings.append(
+                    self._finding(
+                        path,
+                        f"{label} validation table names {name!r} but "
+                        f"{cls.__name__} has no such field — from_dict "
+                        f"rejects what the validator accepts",
+                    )
+                )
+            emitted = set(probe.to_dict())
+            for name in sorted(declared - emitted):
+                findings.append(
+                    self._finding(
+                        path,
+                        f"{label} field {name!r} is not emitted by "
+                        f"{cls.__name__}.to_dict — saved specs silently "
+                        f"drop it and round-trips are lossy",
+                    )
+                )
+        return findings
+
+
+class GoldenSpecsValid(ProjectRule):
+    """REP203: golden specs validate against the live registry/schema."""
+
+    id = "REP203"
+    title = "golden spec fails schema or registry validation"
+    rationale = (
+        "the golden specs are CI's drift gate for the spec format: one "
+        "naming an unregistered component or a retired field means the "
+        "published artefact plans no longer run on this build."
+    )
+
+    def check(self, root: str) -> List[Finding]:
+        from repro.experiments.specio import SpecValidationError, load_payload
+
+        pattern = os.path.join(root, "tests", "golden_specs", "*.json")
+        findings: List[Finding] = []
+        for path in sorted(glob.glob(pattern)):
+            rel = os.path.relpath(path, root)
+            try:
+                load_payload(path)
+            except SpecValidationError as error:
+                for problem in error.errors:
+                    findings.append(self._finding(rel, problem))
+        return findings
+
+
+CONTRACT_RULES = (
+    RegistryKwargContract(),
+    SpecFieldContract(),
+    GoldenSpecsValid(),
+)

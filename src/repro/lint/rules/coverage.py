@@ -1,0 +1,161 @@
+"""REP4xx — equivalence-coverage rules (project-level).
+
+The repo's core claim is that every execution path agrees bit-for-bit
+with the serial sequential reference.  That claim is only as good as
+the parametrization of the any-two-paths tests: a framework advertising
+``supports_batched_clients`` or an ``ExecutorBackend`` that never
+appears there is an unverified equivalence claim.  These rules read the
+advertised sets from the live registry/scheduler and require each name
+to appear in the coverage test files.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import List, Set
+
+from repro.lint.findings import Finding
+from repro.lint.rules.contracts import ProjectRule
+
+#: where the any-two-paths-agree matrix lives
+BATCHED_COVERAGE_FILE = os.path.join("tests", "test_fl_batched_round.py")
+#: where the executor fault/equivalence matrix lives (either file may
+#: name a backend; both are scanned)
+EXECUTOR_COVERAGE_FILES = (
+    os.path.join("tests", "test_scheduler_faults.py"),
+    os.path.join("tests", "test_fl_batched_round.py"),
+)
+
+
+def _string_literals(path: str) -> Set[str]:
+    """Every string constant in a Python file (the parametrization
+    superset — fixture params, parametrize ids, helper tables)."""
+    with open(path, encoding="utf-8") as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    return {
+        node.value
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Constant) and isinstance(node.value, str)
+    }
+
+
+class BatchedClientsCovered(ProjectRule):
+    """REP401: advertised batched frameworks appear in the path matrix."""
+
+    id = "REP401"
+    title = "supports_batched_clients framework missing from coverage"
+    rationale = (
+        "ComponentInfo.supports_batched_clients=True is a public promise "
+        "that client_engine='batched' reproduces the serial loop; a "
+        "framework advertising it without appearing in the any-two-paths "
+        "tests ships that promise unverified."
+    )
+
+    def check(self, root: str) -> List[Finding]:
+        coverage_path = os.path.join(root, BATCHED_COVERAGE_FILE)
+        if not os.path.exists(coverage_path):
+            return []
+        from repro.registry import registry
+
+        covered = _string_literals(coverage_path)
+        findings: List[Finding] = []
+        for info in registry.components("frameworks"):
+            if not info.supports_batched_clients:
+                continue
+            if info.name not in covered:
+                findings.append(
+                    self._finding(
+                        BATCHED_COVERAGE_FILE,
+                        f"framework {info.name!r} advertises "
+                        f"supports_batched_clients but never appears in "
+                        f"the any-two-paths coverage tests — add it to "
+                        f"the equivalence parametrization",
+                    )
+                )
+        return findings
+
+
+class ExecutorBackendsCovered(ProjectRule):
+    """REP402: every ExecutorBackend is wired and fault-tested."""
+
+    id = "REP402"
+    title = "ExecutorBackend missing from EXECUTORS or the fault matrix"
+    rationale = (
+        "a backend subclass outside engine.EXECUTORS is unreachable from "
+        "every frontend, and one missing from the scheduler fault tests "
+        "has unverified timeout/retry/crash semantics — the exact "
+        "contract the backend interface exists to pin."
+    )
+
+    def check(self, root: str) -> List[Finding]:
+        scheduler_path = os.path.join(
+            root, "src", "repro", "experiments", "scheduler.py"
+        )
+        if not os.path.exists(scheduler_path):
+            return []
+        from repro.experiments.engine import EXECUTORS
+
+        backends = self._backend_names(scheduler_path)
+        covered: Set[str] = set()
+        for rel in EXECUTOR_COVERAGE_FILES:
+            path = os.path.join(root, rel)
+            if os.path.exists(path):
+                covered |= _string_literals(path)
+        findings: List[Finding] = []
+        rel_scheduler = os.path.relpath(scheduler_path, root)
+        for name, line in sorted(backends.items()):
+            if name not in EXECUTORS:
+                findings.append(
+                    self._finding(
+                        rel_scheduler,
+                        f"ExecutorBackend {name!r} is not in "
+                        f"engine.EXECUTORS — no frontend can select it",
+                        line=line,
+                    )
+                )
+            if name not in covered:
+                findings.append(
+                    self._finding(
+                        rel_scheduler,
+                        f"ExecutorBackend {name!r} never appears in the "
+                        f"scheduler fault / any-two-paths tests — its "
+                        f"timeout/retry/crash semantics are unverified",
+                        line=line,
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _backend_names(scheduler_path: str) -> dict:
+        """``name`` class attribute → line, for every ExecutorBackend
+        subclass defined in the scheduler module."""
+        with open(scheduler_path, encoding="utf-8") as handle:
+            tree = ast.parse(handle.read(), filename=scheduler_path)
+        names = {}
+        for node in tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = {
+                base.id for base in node.bases if isinstance(base, ast.Name)
+            }
+            if "ExecutorBackend" not in bases:
+                continue
+            for stmt in node.body:
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and stmt.targets[0].id == "name"
+                    and isinstance(stmt.value, ast.Constant)
+                    and isinstance(stmt.value.value, str)
+                    and stmt.value.value
+                ):
+                    names[stmt.value.value] = node.lineno
+        return names
+
+
+COVERAGE_RULES = (
+    BatchedClientsCovered(),
+    ExecutorBackendsCovered(),
+)

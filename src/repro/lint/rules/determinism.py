@@ -1,0 +1,231 @@
+"""REP1xx — determinism rules.
+
+Every stochastic component draws from a generator spawned off one root
+seed (:mod:`repro.utils.rng`), so experiments are bit-reproducible given
+the preset seed.  These rules catch the ways that guarantee silently
+leaks: numpy's legacy module-state API, unseeded generators, the stdlib
+``random`` module, and wall-clock/OS-entropy or unordered-set iteration
+feeding cache keys and state signatures.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.visitor import FileContext, FileRule
+
+#: numpy.random attributes that are *constructors*, not legacy
+#: module-state draws — calling these is how seeding is done right
+_NUMPY_RANDOM_OK = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: wall-clock / OS-entropy calls that must never feed a cache key or
+#: state signature (dotted suffixes after alias resolution)
+_NONDETERMINISTIC_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """A value that is definitely an unordered set: a set literal, a set
+    comprehension, or a direct ``set(...)``/``frozenset(...)`` call."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+class LegacyNumpyRandom(FileRule):
+    """REP101: calls into numpy's legacy global-state random API."""
+
+    id = "REP101"
+    title = "legacy np.random module-state call"
+    rationale = (
+        "np.random.rand/seed/choice/... mutate one hidden global stream: "
+        "any import-order or thread-schedule change reshuffles every "
+        "downstream draw. Use repro.utils.rng.spawn_rng or a seeded "
+        "np.random.default_rng(seed)."
+    )
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        dotted = ctx.dotted_name(node.func)
+        if not dotted or not dotted.startswith("numpy.random."):
+            return
+        tail = dotted.split(".")[-1]
+        if tail not in _NUMPY_RANDOM_OK:
+            ctx.add(
+                self.id,
+                node,
+                f"legacy numpy.random.{tail}() draws from hidden global "
+                f"state; spawn a seeded Generator instead "
+                f"(repro.utils.rng.spawn_rng)",
+            )
+
+
+class UnseededDefaultRng(FileRule):
+    """REP102: ``np.random.default_rng()`` with no seed argument."""
+
+    id = "REP102"
+    title = "unseeded default_rng()"
+    rationale = (
+        "default_rng() with no arguments seeds from OS entropy — the one "
+        "call that makes a whole federation run unreproducible. Pass a "
+        "seed or SeedSequence (repro.utils.rng.fallback_rng for "
+        "components built without one)."
+    )
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        dotted = ctx.dotted_name(node.func)
+        if dotted != "numpy.random.default_rng":
+            return
+        if not node.args and not node.keywords:
+            ctx.add(
+                self.id,
+                node,
+                "default_rng() without a seed draws OS entropy; pass a "
+                "seed/SeedSequence (or use repro.utils.rng.fallback_rng)",
+            )
+
+
+class StdlibRandom(FileRule):
+    """REP103: stdlib ``random`` module usage."""
+
+    id = "REP103"
+    title = "stdlib random module call"
+    rationale = (
+        "random.* shares one process-global Mersenne Twister with every "
+        "library in the process; numpy Generators spawned per stream "
+        "(repro.utils.rng) are the only sanctioned randomness."
+    )
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        dotted = ctx.dotted_name(node.func)
+        if not dotted:
+            return
+        if dotted.startswith("random.") and dotted.count(".") == 1:
+            ctx.add(
+                self.id,
+                node,
+                f"stdlib {dotted}() uses the process-global twister; use "
+                f"a seeded numpy Generator (repro.utils.rng.spawn_rng)",
+            )
+
+
+class WallClockInKeyScope(FileRule):
+    """REP104: wall-clock/OS-entropy reads inside key/signature scope."""
+
+    id = "REP104"
+    title = "wall clock or OS entropy in a cache-key/signature function"
+    rationale = (
+        "cache keys and state signatures must be pure functions of their "
+        "inputs: time.time()/datetime.now()/os.urandom/uuid4 inside one "
+        "silently changes the key every run, turning the artifact cache "
+        "and resume ledger into a cache-miss generator."
+    )
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        if not ctx.in_key_scope():
+            return
+        dotted = ctx.dotted_name(node.func)
+        if not dotted:
+            return
+        for forbidden in _NONDETERMINISTIC_CALLS:
+            if dotted == forbidden or dotted.endswith(f".{forbidden}"):
+                ctx.add(
+                    self.id,
+                    node,
+                    f"{forbidden}() inside {ctx.current_function()!r} "
+                    f"makes the key/signature time-dependent; derive it "
+                    f"from the content being keyed",
+                )
+                return
+
+
+class SetIterationInKeyScope(FileRule):
+    """REP105: unordered-set iteration feeding key/signature scope."""
+
+    id = "REP105"
+    title = "unordered set iteration in a cache-key/signature function"
+    rationale = (
+        "set iteration order is hash-seed and history dependent; a key "
+        "or signature built by walking a set differs across processes "
+        "with identical inputs. Wrap the set in sorted(...)."
+    )
+
+    _JOINERS = ("tuple", "list")
+
+    def _flag(self, node: ast.AST, ctx: FileContext, how: str) -> None:
+        ctx.add(
+            self.id,
+            node,
+            f"{how} iterates a set in {ctx.current_function()!r}; "
+            f"iteration order is not deterministic — use sorted(...)",
+        )
+
+    def visit_For(self, node: ast.For, ctx: FileContext) -> None:
+        if ctx.in_key_scope() and _is_set_expr(node.iter):
+            self._flag(node.iter, ctx, "for loop")
+
+    def _check_comp(self, node: ast.AST, ctx: FileContext) -> None:
+        if not ctx.in_key_scope():
+            return
+        for generator in node.generators:
+            if _is_set_expr(generator.iter):
+                self._flag(generator.iter, ctx, "comprehension")
+
+    visit_ListComp = _check_comp
+    visit_GeneratorExp = _check_comp
+    visit_DictComp = _check_comp
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        if not ctx.in_key_scope():
+            return
+        is_join = (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "join"
+        )
+        is_caster = (
+            isinstance(node.func, ast.Name) and node.func.id in self._JOINERS
+        )
+        if not (is_join or is_caster):
+            return
+        for arg in node.args:
+            if _is_set_expr(arg):
+                self._flag(arg, ctx, "join/cast")
+
+
+DETERMINISM_RULES = (
+    LegacyNumpyRandom(),
+    UnseededDefaultRng(),
+    StdlibRandom(),
+    WallClockInKeyScope(),
+    SetIterationInKeyScope(),
+)

@@ -1,0 +1,195 @@
+"""REP3xx — executor-safety rules.
+
+The process-pool execution path (PR 5/8) ships cells to worker
+processes: entries must pickle (module-level, closure-free), broad
+exception handlers must not swallow the scheduler's failure semantics,
+and worker code must not rebind module globals the parent relies on
+(fork gives each worker a private copy — the "shared" global silently
+diverges).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.lint.visitor import FileContext, FileRule
+
+_BROAD_NAMES = ("Exception", "BaseException")
+
+#: function-name shapes treated as process-worker entry points even when
+#: the ProcessBackend/submit site lives in another module
+_WORKER_NAME_PREFIXES = ("_pool_", "_worker_")
+_WORKER_NAME_SUFFIXES = ("_worker",)
+
+
+def _contains_raise(body) -> bool:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise):
+                return True
+    return False
+
+
+class ProcessEntryPicklable(FileRule):
+    """REP301: process-pool entries must be module-level callables."""
+
+    id = "REP301"
+    title = "process-pool entry is not a module-level callable"
+    rationale = (
+        "ProcessPoolExecutor pickles the entry by qualified name: "
+        "lambdas, closures and locally-defined functions fail at "
+        "dispatch time (or, worse, only on spawn platforms). Pool "
+        "entries must be plain module-level functions."
+    )
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        dotted = ctx.dotted_name(node.func) or ""
+        tail = dotted.split(".")[-1]
+        if tail == "ProcessBackend":
+            entry = self._entry_arg(node)
+            if entry is not None:
+                self._check_entry(entry, ctx, "ProcessBackend entry")
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "submit"
+            and "process" in (ctx.dotted_name(node.func.value) or "").lower()
+            and node.args
+        ):
+            self._check_entry(node.args[0], ctx, "process-pool submit target")
+
+    @staticmethod
+    def _entry_arg(node: ast.Call) -> Optional[ast.AST]:
+        if node.args:
+            return node.args[0]
+        for keyword in node.keywords:
+            if keyword.arg == "entry":
+                return keyword.value
+        return None
+
+    def _check_entry(self, entry: ast.AST, ctx: FileContext, what: str) -> None:
+        if isinstance(entry, ast.Lambda):
+            ctx.add(
+                self.id,
+                entry,
+                f"{what} is a lambda — lambdas do not pickle; define a "
+                f"module-level function",
+            )
+        elif isinstance(entry, ast.Name):
+            local = ctx.scope and entry.id not in ctx.module_names
+            if local:
+                ctx.add(
+                    self.id,
+                    entry,
+                    f"{what} {entry.id!r} is not module-level — nested "
+                    f"functions and closures do not pickle",
+                )
+            else:
+                ctx.worker_entries.add(entry.id)
+        elif isinstance(entry, ast.Attribute):
+            head = entry
+            while isinstance(head, ast.Attribute):
+                head = head.value
+            if isinstance(head, ast.Name) and head.id in ("self", "cls"):
+                ctx.add(
+                    self.id,
+                    entry,
+                    f"{what} is a bound method — instance state does not "
+                    f"ship to workers; use a module-level function taking "
+                    f"an explicit payload",
+                )
+
+
+class BroadExceptMustReraise(FileRule):
+    """REP302: broad handlers must re-raise or carry an allow pragma."""
+
+    id = "REP302"
+    title = "broad except swallows errors without re-raising"
+    rationale = (
+        "bare except / except Exception / except BaseException that "
+        "neither re-raises nor carries a '# repro: allow[REP302] reason' "
+        "pragma hides worker crashes and scheduler failure semantics — "
+        "the exact bugs the fault-tolerant sweep path exists to surface."
+    )
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler, ctx: FileContext) -> None:
+        if not self._is_broad(node.type):
+            return
+        if _contains_raise(node.body):
+            return
+        caught = "bare except" if node.type is None else (
+            f"except {ast.unparse(node.type)}"
+        )
+        ctx.add(
+            self.id,
+            node,
+            f"{caught} without a re-raise; narrow the exception, "
+            f"re-raise, or justify with '# repro: allow[REP302] reason'",
+        )
+
+    @staticmethod
+    def _is_broad(annotation: Optional[ast.AST]) -> bool:
+        if annotation is None:
+            return True
+        if isinstance(annotation, ast.Name):
+            return annotation.id in _BROAD_NAMES
+        if isinstance(annotation, ast.Tuple):
+            return any(
+                isinstance(e, ast.Name) and e.id in _BROAD_NAMES
+                for e in annotation.elts
+            )
+        return False
+
+
+class WorkerGlobalMutation(FileRule):
+    """REP303: worker entries must not rebind module globals."""
+
+    id = "REP303"
+    title = "process-worker entry rebinds a module global"
+    rationale = (
+        "a forked worker's module globals are copies: 'global x; x = ...' "
+        "inside a pool entry mutates worker-private state the parent "
+        "never sees, and successive cells on one worker see each other's "
+        "leftovers. Pass state through the payload, or key a module-level "
+        "cache dict (mutation, not rebinding) when per-worker memoization "
+        "is intended."
+    )
+
+    def prepare(self, ctx: FileContext) -> None:
+        # resolve this file's worker entries up front: names handed to
+        # ProcessBackend(...) plus the repo's worker naming convention
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                dotted = ctx.dotted_name(node.func) or ""
+                if dotted.split(".")[-1] == "ProcessBackend" and node.args:
+                    entry = node.args[0]
+                    if isinstance(entry, ast.Name):
+                        ctx.worker_entries.add(entry.id)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = node.name
+                if name.startswith(_WORKER_NAME_PREFIXES) or name.endswith(
+                    _WORKER_NAME_SUFFIXES
+                ):
+                    ctx.worker_entries.add(name)
+
+    def visit_Global(self, node: ast.Global, ctx: FileContext) -> None:
+        entry = next(
+            (name for name in ctx.scope if name in ctx.worker_entries), None
+        )
+        if entry is None:
+            return
+        names = ", ".join(node.names)
+        ctx.add(
+            self.id,
+            node,
+            f"worker entry {entry!r} rebinds module global(s) {names}; "
+            f"parent and other workers never see the change — thread "
+            f"state through the payload instead",
+        )
+
+
+EXECUTOR_RULES = (
+    ProcessEntryPicklable(),
+    BroadExceptMustReraise(),
+    WorkerGlobalMutation(),
+)

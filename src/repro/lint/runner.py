@@ -1,0 +1,178 @@
+"""The lint runner: file discovery, rule selection, the per-file pass.
+
+``run_lint`` is the one entry point the CLI and tests share: it expands
+rule selectors, walks the requested paths (default: ``src`` and
+``tests``), runs the shared AST visitor per file, applies suppression
+pragmas, then runs the project-level contract rules once.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint.findings import (
+    PRAGMA_RULE_ID,
+    Finding,
+    apply_pragmas,
+    parse_pragmas,
+)
+from repro.lint.rules import ALL_RULES, FILE_RULES, PROJECT_RULES
+from repro.lint.visitor import FileContext, LintVisitor
+
+#: directories linted when the CLI gets no explicit paths
+DEFAULT_PATHS = ("src", "tests")
+
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+class LintError(ValueError):
+    """A usage problem (unknown rule selector, missing path) — exit 2."""
+
+
+def expand_selectors(select: Optional[str]) -> Tuple[str, ...]:
+    """``--select`` string → concrete rule ids.
+
+    Accepts exact ids (``REP302``), family prefixes (``REP3`` or
+    ``REP3xx``), comma-separated.  ``None``/empty selects everything.
+    Unknown selectors raise :class:`LintError`.
+    """
+    if not select:
+        return tuple(ALL_RULES)
+    chosen: List[str] = []
+    for token in select.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        normalized = token.upper()
+        if normalized.endswith("XX"):
+            normalized = normalized[:-2]
+        matches = [
+            rule_id
+            for rule_id in ALL_RULES
+            if rule_id == normalized or rule_id.startswith(normalized)
+        ]
+        if not matches:
+            raise LintError(
+                f"unknown rule selector {token!r}; known rules: "
+                f"{', '.join(ALL_RULES)}"
+            )
+        chosen.extend(matches)
+    return tuple(dict.fromkeys(chosen))
+
+
+def _iter_python_files(paths: Sequence[str]) -> Iterable[str]:
+    for path in (os.path.normpath(p) for p in paths):
+        if os.path.isfile(path):
+            yield path
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in _SKIP_DIRS
+                )
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        yield os.path.join(dirpath, filename)
+        else:
+            raise LintError(f"path does not exist: {path}")
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint one source string (the per-file pass; what tests drive).
+
+    Runs the selected file rules through the shared single-pass visitor,
+    then applies suppression pragmas.  Syntax errors become a single
+    REP001 finding rather than a crash: the linter must be runnable on
+    work-in-progress trees.
+    """
+    selected = tuple(select) if select is not None else tuple(ALL_RULES)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            Finding(
+                rule=PRAGMA_RULE_ID,
+                path=path,
+                line=error.lineno or 1,
+                col=(error.offset or 1) - 1,
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    ctx = FileContext(path, source, tree)
+    rules = [rule for rule in FILE_RULES if rule.id in selected]
+    LintVisitor(ctx, rules).visit(tree)
+    pragmas, pragma_problems = parse_pragmas(source)
+    findings = apply_pragmas(ctx.findings, pragmas)
+    if PRAGMA_RULE_ID in selected:
+        for problem in pragma_problems:
+            findings.append(
+                Finding(
+                    rule=problem.rule,
+                    path=path,
+                    line=problem.line,
+                    col=problem.col,
+                    message=problem.message,
+                )
+            )
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[str], select: Optional[Sequence[str]] = None
+) -> Tuple[List[Finding], int]:
+    """Lint files/directories; returns ``(findings, files_checked)``."""
+    findings: List[Finding] = []
+    files = 0
+    for path in _iter_python_files(paths):
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+        findings.extend(lint_source(source, path=path, select=select))
+        files += 1
+    return findings, files
+
+
+def lint_project(
+    root: str = ".", select: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Run the project-level contract rules (REP2xx/REP4xx) once.
+
+    Rules whose target files are absent under ``root`` skip silently, so
+    the runner works from any directory (fixtures, downstream repos);
+    CI runs it from the repo root where everything is present.
+    """
+    selected = tuple(select) if select is not None else tuple(ALL_RULES)
+    findings: List[Finding] = []
+    for rule in PROJECT_RULES:
+        if rule.id in selected:
+            findings.extend(rule.check(root))
+    return findings
+
+
+def run_lint(
+    paths: Optional[Sequence[str]] = None,
+    select: Optional[str] = None,
+    root: str = ".",
+) -> Tuple[List[Finding], int, Tuple[str, ...]]:
+    """The full gate: file rules over ``paths`` + project rules.
+
+    Returns ``(findings, files_checked, selected_rule_ids)``.  With no
+    explicit paths, lints :data:`DEFAULT_PATHS` (the ones that exist
+    under ``root``).
+    """
+    selected = expand_selectors(select)
+    if paths:
+        targets = list(paths)
+    else:
+        targets = [
+            os.path.join(root, name)
+            for name in DEFAULT_PATHS
+            if os.path.isdir(os.path.join(root, name))
+        ]
+    findings, files = lint_paths(targets, select=selected)
+    findings.extend(lint_project(root, select=selected))
+    return findings, files, selected

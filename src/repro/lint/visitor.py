@@ -1,0 +1,178 @@
+"""The shared single-pass AST visitor every file rule rides.
+
+One :class:`LintVisitor` walk per file: the visitor maintains the
+cross-cutting state rules need — import alias resolution (``np`` →
+``numpy``, ``from numpy.random import default_rng`` → the dotted
+origin), the enclosing-function stack, the module-level name table —
+and dispatches each node to every selected rule's ``visit_<Type>``
+handler.  Rules stay tiny: a handler receives ``(node, ctx)`` and calls
+:meth:`FileContext.add` for each violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.lint.findings import Finding
+
+#: function names treated as cache-key/signature scope by REP104/REP105:
+#: anything a cache key, content hash or state signature flows through.
+KEY_SCOPE_RE = re.compile(
+    r"(^|_)(key|keys|signature|signatures)($|_)|cache_key|content_hash"
+)
+
+
+class FileContext:
+    """Everything the rules may ask about the file being linted."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.findings: List[Finding] = []
+        #: ``import numpy as np`` → {"np": "numpy"}
+        self.import_aliases: Dict[str, str] = {}
+        #: ``from numpy.random import default_rng as rng`` →
+        #: {"rng": "numpy.random.default_rng"}
+        self.from_imports: Dict[str, str] = {}
+        #: names bound at module level (defs, classes, imports, assigns)
+        self.module_names: Set[str] = set()
+        #: function names used as process-pool entry points in this file
+        self.worker_entries: Set[str] = set()
+        #: enclosing function-name stack (maintained by the visitor)
+        self.scope: List[str] = []
+        self._index_module()
+
+    # -- prepass ----------------------------------------------------------
+    def _index_module(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.import_aliases[alias.asname or alias.name] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.from_imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+        for node in self.tree.body:
+            for name in _bound_names(node):
+                self.module_names.add(name)
+
+    # -- name resolution --------------------------------------------------
+    def dotted_name(self, node: ast.AST) -> Optional[str]:
+        """The dotted call target with import aliases resolved.
+
+        ``np.random.rand`` → ``"numpy.random.rand"``; names introduced
+        by ``from m import x`` resolve to ``"m.x"``.  ``None`` for
+        anything that is not a plain Name/Attribute chain.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        head = node.id
+        if head in self.import_aliases:
+            head = self.import_aliases[head]
+        elif head in self.from_imports:
+            head = self.from_imports[head]
+        parts.append(head)
+        return ".".join(reversed(parts))
+
+    # -- scope ------------------------------------------------------------
+    def in_key_scope(self) -> bool:
+        """Is the current node inside a cache-key/signature function?"""
+        return any(KEY_SCOPE_RE.search(name) for name in self.scope)
+
+    def current_function(self) -> Optional[str]:
+        """Innermost enclosing function name (``None`` at module level)."""
+        return self.scope[-1] if self.scope else None
+
+    # -- reporting --------------------------------------------------------
+    def add(self, rule_id: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                rule=rule_id,
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            )
+        )
+
+
+def _bound_names(node: ast.stmt) -> List[str]:
+    """Names a module-level statement binds (for REP301's check that a
+    pool entry resolves to a module-level definition)."""
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return [node.name]
+    if isinstance(node, ast.Import):
+        return [alias.asname or alias.name.split(".")[0] for alias in node.names]
+    if isinstance(node, ast.ImportFrom):
+        return [alias.asname or alias.name for alias in node.names]
+    if isinstance(node, ast.Assign):
+        names = []
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                names.append(target.id)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                names.extend(
+                    e.id for e in target.elts if isinstance(e, ast.Name)
+                )
+        return names
+    if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+        return [node.target.id]
+    return []
+
+
+class FileRule:
+    """Base class for AST file rules.
+
+    Subclasses set ``id``/``title``/``rationale`` and implement any
+    ``visit_<NodeType>(node, ctx)`` handlers they need; the shared
+    visitor calls them during its single pass.  ``prepare(ctx)`` runs
+    once per file before the walk (e.g. REP303 resolves the file's
+    worker entry points there).
+    """
+
+    id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def prepare(self, ctx: FileContext) -> None:
+        """Per-file setup before the walk (optional)."""
+
+
+class LintVisitor(ast.NodeVisitor):
+    """Single-pass dispatcher: one AST walk serves every file rule."""
+
+    _SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    def __init__(self, ctx: FileContext, rules: Sequence[FileRule]):
+        self.ctx = ctx
+        self._handlers: Dict[str, List] = {}
+        for rule in rules:
+            rule.prepare(ctx)
+            for attr in dir(rule):
+                if attr.startswith("visit_"):
+                    self._handlers.setdefault(attr[6:], []).append(
+                        getattr(rule, attr)
+                    )
+
+    def visit(self, node: ast.AST) -> None:
+        kind = type(node).__name__
+        for handler in self._handlers.get(kind, ()):
+            handler(node, self.ctx)
+        if isinstance(node, self._SCOPE_NODES):
+            name = getattr(node, "name", "<lambda>")
+            self.ctx.scope.append(name)
+            try:
+                self.generic_visit(node)
+            finally:
+                self.ctx.scope.pop()
+        else:
+            self.generic_visit(node)

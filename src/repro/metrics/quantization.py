@@ -10,7 +10,6 @@ much smaller the shipped model can get beyond the Table I float32 counts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 import numpy as np
 

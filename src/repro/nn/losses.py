@@ -11,7 +11,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.nn.functional import log_softmax, softmax
+from repro.nn.functional import log_softmax
 
 
 class Loss:

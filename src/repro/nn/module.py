@@ -11,7 +11,7 @@ poisoning attacks (which need input gradients) and federated aggregation
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List
 
 import numpy as np
 

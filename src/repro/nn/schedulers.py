@@ -7,7 +7,6 @@ where decaying the server rate stabilizes the final rounds.
 
 from __future__ import annotations
 
-from typing import List
 
 from repro.nn.optim import Optimizer
 

@@ -40,7 +40,17 @@ import inspect
 import logging
 import threading
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 logger = logging.getLogger("repro.registry")
 
@@ -64,7 +74,9 @@ class UnknownComponent(KeyError, ValueError):
     pre-redesign ``except`` clauses keep working.
     """
 
-    def __init__(self, namespace: str, name: str, choices: Iterable[str]):
+    def __init__(
+        self, namespace: str, name: str, choices: Iterable[str]
+    ) -> None:
         choices = sorted(choices)
         message = f"unknown {namespace[:-1]} {name!r}; choices: {choices}"
         suggestion = _did_you_mean(name, choices)
@@ -87,7 +99,7 @@ class UnknownComponentKwarg(TypeError):
         name: str,
         kwarg: str,
         universe: Iterable[str],
-    ):
+    ) -> None:
         universe = sorted(universe)
         message = (
             f"{namespace[:-1]} {name!r} got unknown kwarg {kwarg!r} "
@@ -134,6 +146,70 @@ def _signature_kwargs(factory: Callable) -> Tuple[Dict[str, object], bool]:
     return defaults, open_kwargs
 
 
+def _signature_surface(
+    factory: Callable,
+) -> Tuple[FrozenSet[str], FrozenSet[str], bool]:
+    """(all parameter names, defaulted names, takes ``**kwargs``) for a
+    factory — what :func:`_info_problems` compares metadata against."""
+    target = factory
+    if inspect.isclass(factory):
+        target = factory.__init__
+    try:
+        signature = inspect.signature(target)
+    except (TypeError, ValueError):  # builtins without signatures
+        return frozenset(), frozenset(), True
+    names: Set[str] = set()
+    defaulted: Set[str] = set()
+    open_kwargs = False
+    for parameter in signature.parameters.values():
+        if parameter.kind == inspect.Parameter.VAR_KEYWORD:
+            open_kwargs = True
+        elif parameter.kind == inspect.Parameter.VAR_POSITIONAL:
+            continue
+        else:
+            names.add(parameter.name)
+            if parameter.default is not inspect.Parameter.empty:
+                defaulted.add(parameter.name)
+    names.discard("self")
+    return frozenset(names), frozenset(defaulted), open_kwargs
+
+
+def _info_problems(info: "ComponentInfo") -> List[str]:
+    """Contract discrepancies for one registered component (REP201)."""
+    where = f"{info.namespace}/{info.name}"
+    if not callable(info.factory):
+        return [f"{where}: registered factory is not callable"]
+    problems: List[str] = []
+    params, defaulted, takes_kwargs = _signature_surface(info.factory)
+    # every declared default must be a kwarg create() can actually pass
+    for kwarg in sorted(info.defaults):
+        if not info.accepts_kwarg(kwarg):
+            problems.append(
+                f"{where}: declared default {kwarg!r} is outside the "
+                f"accepted-kwarg set — create() filters it out before "
+                f"the factory ever sees it"
+            )
+    if not takes_kwargs:
+        # a closed factory signature must honor every advertised kwarg:
+        # extra_kwargs naming parameters the factory lost raise
+        # TypeError at construction time
+        for kwarg in sorted(info.accepts - params):
+            problems.append(
+                f"{where}: accepted kwarg {kwarg!r} is not a parameter "
+                f"of the factory (and it takes no **kwargs) — passing "
+                f"it raises TypeError at sweep time"
+            )
+        # signature drift: a factory kwarg with a default that
+        # registration never declared is invisible to spec validation
+        for kwarg in sorted(defaulted - info.accepts):
+            problems.append(
+                f"{where}: factory kwarg {kwarg!r} has a default but is "
+                f"missing from the accepted-kwarg set — specs setting "
+                f"it are rejected as typos"
+            )
+    return problems
+
+
 @dataclass(frozen=True)
 class ComponentInfo:
     """One registered component and its metadata.
@@ -178,12 +254,12 @@ class Registry:
     instances can be built for tests.
     """
 
-    def __init__(self, namespaces: Tuple[str, ...] = NAMESPACES):
+    def __init__(self, namespaces: Tuple[str, ...] = NAMESPACES) -> None:
         self._lock = threading.RLock()
         self._components: Dict[str, Dict[str, ComponentInfo]] = {
             namespace: {} for namespace in namespaces
         }
-        self._populated: set = set()
+        self._populated: Set[str] = set()
         self._entry_points_loaded = False
 
     # -- registration ------------------------------------------------------
@@ -289,7 +365,8 @@ class Registry:
             if hasattr(points, "select"):  # py3.10+
                 points = points.select(group=ENTRY_POINT_GROUP)
             else:  # pragma: no cover - legacy mapping API
-                points = points.get(ENTRY_POINT_GROUP, [])
+                points = points.get(ENTRY_POINT_GROUP, [])  # type: ignore[attr-defined,unused-ignore]
+        # repro: allow[REP302] malformed third-party dist metadata must not break registry access
         except Exception:  # pragma: no cover - malformed metadata
             return 0
         count = 0
@@ -299,6 +376,7 @@ class Registry:
             try:
                 hook = point.load()
                 hook(self)
+            # repro: allow[REP302] broken plugin degrades to a logged warning, not a crash
             except Exception:
                 logger.warning(
                     "repro.components entry point %r failed to register; "
@@ -373,7 +451,7 @@ class Registry:
         (default: the whole namespace)."""
         if names is None:
             names = self.names(namespace)
-        accepted = set()
+        accepted: Set[str] = set()
         for name in names:
             accepted |= self.get(namespace, name).accepts
         return frozenset(accepted)
@@ -396,15 +474,34 @@ class Registry:
             if kwarg not in universe:
                 raise UnknownComponentKwarg(namespace, name, kwarg, universe)
 
+    # -- contract introspection (the `repro lint` REP201 hook) -------------
+    def contract_problems(self) -> "List[str]":
+        """Registration metadata inconsistent with factory signatures.
+
+        :meth:`create` filters kwargs to ``ComponentInfo.accepts`` before
+        calling the factory, so metadata that disagrees with the live
+        signature surfaces as a ``TypeError`` (or a silently dropped
+        knob) at sweep time.  This hook re-derives each factory's
+        signature and reports every discrepancy as one message —
+        ``repro lint`` (REP201) turns them into findings.
+        """
+        problems: List[str] = []
+        with self._lock:
+            namespaces = tuple(self._components)
+        for namespace in namespaces:
+            for info in self.components(namespace):
+                problems.extend(_info_problems(info))
+        return problems
+
     def create(
         self,
         namespace: str,
         name: str,
-        *args,
+        *args: Any,
         strict: bool = True,
         sweep: Optional[Iterable[str]] = None,
-        **kwargs,
-    ):
+        **kwargs: Any,
+    ) -> Any:
         """Build ``namespace/name`` with validated kwargs.
 
         Kwargs the target does not accept but another component of the
@@ -424,13 +521,13 @@ class Registry:
 registry = Registry()
 
 
-def register(namespace: str, name: str, **meta) -> Callable:
+def register(namespace: str, name: str, **meta: Any) -> Callable:
     """``@register("frameworks", "safeloc")`` on the global registry."""
     return registry.register(namespace, name, **meta)
 
 
 def register_plugin(
-    namespace: str, name: str, factory: Callable, **meta
+    namespace: str, name: str, factory: Callable, **meta: Any
 ) -> ComponentInfo:
     """Register an out-of-tree component on the global registry.
 

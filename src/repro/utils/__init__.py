@@ -1,7 +1,7 @@
 """Shared utilities: seeding, logging, and ascii table rendering."""
 
-from repro.utils.rng import SeedSequence, spawn_rng
 from repro.utils.logging import get_logger
+from repro.utils.rng import SeedSequence, spawn_rng
 from repro.utils.tables import format_table
 
 __all__ = ["SeedSequence", "spawn_rng", "get_logger", "format_table"]

@@ -9,7 +9,7 @@ bit-reproducible given the preset seed.
 from __future__ import annotations
 
 import itertools
-from typing import Dict
+from typing import Dict, Iterator
 
 import numpy as np
 
@@ -38,7 +38,7 @@ class SeedSequence:
     same state, which lets tests re-create a component's randomness.
     """
 
-    def __init__(self, root_seed: int):
+    def __init__(self, root_seed: int) -> None:
         self.root_seed = int(root_seed)
         self._issued: Dict[str, int] = {}
 
@@ -67,7 +67,7 @@ class SeedSequence:
 # bit for bit.
 
 _FALLBACK_ROOT_SEED = 0
-_FALLBACK_COUNTER = itertools.count()
+_FALLBACK_COUNTER: Iterator[int] = itertools.count()
 
 
 def fallback_rng(component: str = "component") -> np.random.Generator:

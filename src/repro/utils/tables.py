@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Iterable, List, Sequence
 
 
-def _cell(value) -> str:
+def _cell(value: object) -> str:
     if isinstance(value, float):
         return f"{value:.3f}"
     return str(value)
@@ -18,7 +18,7 @@ def _cell(value) -> str:
 
 def format_table(
     headers: Sequence[str],
-    rows: Iterable[Sequence],
+    rows: Iterable[Sequence[object]],
     title: str = "",
 ) -> str:
     """Render rows as an aligned ascii table.
@@ -44,7 +44,7 @@ def format_table(
         for col, cell in enumerate(row):
             widths[col] = max(widths[col], len(cell))
     sep = "-+-".join("-" * w for w in widths)
-    lines = []
+    lines: List[str] = []
     if title:
         lines.append(title)
     lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))

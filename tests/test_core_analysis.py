@@ -3,14 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.core import SafeLocModel
-from repro.core.analysis import (
-    DetectionQuality,
-    auc,
-    detection_quality,
-    roc_curve,
-)
 from repro.attacks import FGSM
+from repro.core import SafeLocModel
+from repro.core.analysis import auc, detection_quality, roc_curve
 from repro.data import FingerprintDataset
 
 

@@ -4,7 +4,7 @@ training, prediction, federation interface)."""
 import numpy as np
 import pytest
 
-from repro.attacks import FGSM, LabelFlip
+from repro.attacks import FGSM
 from repro.core import SafeLocModel, make_safeloc
 from repro.data import FingerprintDataset, scaled_building
 from repro.data.fingerprints import paper_protocol

@@ -11,7 +11,7 @@ from repro.data import (
     paper_buildings,
     scaled_building,
 )
-from repro.data.buildings import make_building, _serpentine_path
+from repro.data.buildings import _serpentine_path
 
 
 class TestSerpentinePath:

@@ -1,13 +1,12 @@
 """Tests for CSV import/export and trajectory simulation."""
 
-import numpy as np
 import networkx as nx
+import numpy as np
 import pytest
 
 from repro.data import (
     FingerprintCollector,
     FingerprintDataset,
-    Trajectory,
     TrajectorySimulator,
     build_rp_graph,
     load_csv,

@@ -4,17 +4,15 @@ Drivers run at the ``tiny`` preset (seconds each); the paper-shape
 assertions live in ``benchmarks/`` where the ``fast`` preset is used.
 """
 
-import numpy as np
 import pytest
 
+from repro.experiments.runner import run_framework
 from repro.experiments.scenarios import (
-    Preset,
     fast_preset,
     get_preset,
     paper_preset,
     tiny_preset,
 )
-from repro.experiments.runner import run_framework
 from repro.experiments.table1_overheads import run_table1
 
 

@@ -570,3 +570,60 @@ class TestAnyTwoPathsAgree:
         assert [c.dropped_per_round for c in result.cells] == [
             c.dropped_per_round for c in expected.cells
         ]
+
+
+class TestAllAdvertisedFrameworksBatched:
+    """Every framework that advertises ``supports_batched_clients`` must
+    prove it: one tiny cell per framework, batched vs. serial client
+    engines, identical tables.  The explicit name list below is what the
+    REP401 coverage rule scans; the drift guard pins it to the registry
+    so a newly-advertising framework fails here until it is added."""
+
+    #: every advertised framework, spelled out for the coverage scan
+    ADVERTISED = (
+        "fedcc",
+        "fedhil",
+        "fedloc",
+        "fedls",
+        "krum",
+        "onlad",
+        "safeloc",
+    )
+
+    #: speed kwargs for frameworks whose defaults are too slow for CI
+    KWARGS = {"fedls": {"detector_epochs": 20}}
+
+    def test_list_matches_registry(self):
+        from repro.registry import registry
+
+        advertised = sorted(
+            info.name
+            for info in registry.components("frameworks")
+            if info.supports_batched_clients
+        )
+        assert advertised == sorted(self.ADVERTISED)
+
+    @pytest.mark.parametrize("framework", ADVERTISED)
+    def test_batched_matches_serial(self, framework):
+        cell = scenario(
+            framework,
+            attack="label_flip",
+            epsilon=0.5,
+            num_clients=4,
+            num_malicious=1,
+            framework_kwargs=self.KWARGS.get(framework),
+        )
+        results = {}
+        for engine in ("serial", "batched"):
+            plan = SweepPlan(
+                name="advertised",
+                preset=_mini_preset(engine),
+                cells=(cell,),
+            )
+            results[engine] = SweepEngine(round_cache=False).run(plan)
+        assert _summaries(results["batched"]) == _summaries(
+            results["serial"]
+        )
+        assert [
+            c.flagged_per_round for c in results["batched"].cells
+        ] == [c.flagged_per_round for c in results["serial"].cells]

@@ -11,7 +11,6 @@ import pytest
 
 from repro.attacks import create_attack
 from repro.baselines import make_framework
-from repro.core.safeloc import SafeLocModel
 from repro.data.fingerprints import paper_protocol
 from repro.experiments.scenarios import tiny_preset
 from repro.fl import build_federation

@@ -7,7 +7,6 @@ from repro.baselines.knn import WknnLocalizer
 from repro.core import SafeLocModel
 from repro.data import FingerprintDataset, paper_protocol, scaled_building
 from repro.metrics.quantization import (
-    QuantizationReport,
     quantization_report,
     quantize_state,
     quantize_tensor,

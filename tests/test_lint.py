@@ -1,0 +1,359 @@
+"""The `repro lint` invariant linter (`repro.lint`).
+
+Covers every rule family with minimal good/bad fixtures, the pragma
+suppression contract (reasons mandatory, families allowed, strings are
+not comments), the stable JSON report schema, the CLI exit-code
+contract (0 clean / 1 findings / 2 usage), and — the actual gate — that
+the real repository tree lints clean.
+"""
+
+import json
+from io import StringIO
+
+import pytest
+
+from repro.lint import (
+    ALL_RULES,
+    REPORT_SCHEMA_VERSION,
+    LintError,
+    expand_selectors,
+    lint_project,
+    lint_source,
+    parse_pragmas,
+    render_json,
+    run_lint,
+)
+from repro.lint.cli import run_command
+
+
+def rules_of(findings):
+    return [finding.rule for finding in findings]
+
+
+def lint(source, select=None):
+    return lint_source(source, path="probe.py", select=select)
+
+
+# ---------------------------------------------------------------------------
+# REP1xx determinism
+
+
+class TestDeterminismRules:
+    def test_legacy_numpy_random_flagged(self):
+        src = "import numpy as np\nnp.random.rand(3)\n"
+        assert rules_of(lint(src)) == ["REP101"]
+
+    def test_legacy_numpy_random_from_import(self):
+        src = "from numpy import random\nrandom.seed(0)\n"
+        assert rules_of(lint(src)) == ["REP101"]
+
+    def test_seeded_default_rng_clean(self):
+        src = "import numpy as np\nrng = np.random.default_rng(42)\n"
+        assert lint(src) == []
+
+    def test_unseeded_default_rng_flagged(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert rules_of(lint(src)) == ["REP102"]
+
+    def test_unseeded_default_rng_direct_import(self):
+        src = "from numpy.random import default_rng\nr = default_rng()\n"
+        assert rules_of(lint(src)) == ["REP102"]
+
+    def test_stdlib_random_flagged(self):
+        src = "import random\nx = random.random()\n"
+        assert rules_of(lint(src)) == ["REP103"]
+
+    def test_generator_method_not_confused_with_stdlib(self):
+        src = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(0)\n"
+            "x = rng.random()\n"
+        )
+        assert lint(src) == []
+
+    def test_wall_clock_in_key_scope_flagged(self):
+        src = (
+            "import time\n"
+            "def cache_key(spec):\n"
+            "    return (spec, time.time())\n"
+        )
+        assert rules_of(lint(src)) == ["REP104"]
+
+    def test_wall_clock_outside_key_scope_clean(self):
+        src = (
+            "import time\n"
+            "def elapsed(start):\n"
+            "    return time.time() - start\n"
+        )
+        assert lint(src) == []
+
+    def test_set_iteration_in_key_scope_flagged(self):
+        src = (
+            "def state_signature(arrays):\n"
+            "    return [a for a in {'x', 'y'}]\n"
+        )
+        assert rules_of(lint(src)) == ["REP105"]
+
+    def test_sorted_set_in_key_scope_clean(self):
+        src = (
+            "def state_signature(arrays):\n"
+            "    return [a for a in sorted({'x', 'y'})]\n"
+        )
+        assert lint(src) == []
+
+
+# ---------------------------------------------------------------------------
+# REP3xx executor safety
+
+
+class TestExecutorRules:
+    def test_lambda_process_entry_flagged(self):
+        src = "backend = ProcessBackend(lambda i, a: i, jobs=2)\n"
+        assert rules_of(lint(src)) == ["REP301"]
+
+    def test_nested_function_entry_flagged(self):
+        src = (
+            "def build():\n"
+            "    def run(i, a):\n"
+            "        return i\n"
+            "    return ProcessBackend(run)\n"
+        )
+        assert rules_of(lint(src)) == ["REP301"]
+
+    def test_module_level_entry_clean(self):
+        src = (
+            "def _pool_run(i, a):\n"
+            "    return i\n"
+            "def build():\n"
+            "    return ProcessBackend(_pool_run)\n"
+        )
+        assert lint(src) == []
+
+    def test_bound_method_entry_flagged(self):
+        src = (
+            "class Engine:\n"
+            "    def build(self):\n"
+            "        return ProcessBackend(self.run)\n"
+        )
+        assert rules_of(lint(src)) == ["REP301"]
+
+    def test_broad_except_without_reraise_flagged(self):
+        src = "try:\n    work()\nexcept Exception:\n    pass\n"
+        assert rules_of(lint(src)) == ["REP302"]
+
+    def test_bare_except_flagged(self):
+        src = "try:\n    work()\nexcept:\n    pass\n"
+        assert rules_of(lint(src)) == ["REP302"]
+
+    def test_broad_except_with_reraise_clean(self):
+        src = (
+            "try:\n"
+            "    work()\n"
+            "except Exception:\n"
+            "    cleanup()\n"
+            "    raise\n"
+        )
+        assert lint(src) == []
+
+    def test_narrow_except_clean(self):
+        src = "try:\n    work()\nexcept ValueError:\n    pass\n"
+        assert lint(src) == []
+
+    def test_worker_global_rebind_flagged(self):
+        src = (
+            "def _pool_run_cell(payload):\n"
+            "    global _ENGINE\n"
+            "    _ENGINE = payload\n"
+        )
+        assert rules_of(lint(src)) == ["REP303"]
+
+    def test_non_worker_global_clean(self):
+        src = (
+            "def configure(level):\n"
+            "    global _LEVEL\n"
+            "    _LEVEL = level\n"
+        )
+        assert lint(src) == []
+
+
+# ---------------------------------------------------------------------------
+# Pragmas
+
+
+class TestPragmas:
+    def test_pragma_suppresses_on_same_line(self):
+        src = (
+            "try:\n"
+            "    work()\n"
+            "except Exception:  # repro: allow[REP302] recovery path\n"
+            "    pass\n"
+        )
+        assert lint(src) == []
+
+    def test_standalone_pragma_covers_next_line(self):
+        src = (
+            "try:\n"
+            "    work()\n"
+            "# repro: allow[REP302] recovery path\n"
+            "except Exception:\n"
+            "    pass\n"
+        )
+        assert lint(src) == []
+
+    def test_family_wildcard_suppresses(self):
+        src = (
+            "try:\n"
+            "    work()\n"
+            "except Exception:  # repro: allow[REP3xx] covered family\n"
+            "    pass\n"
+        )
+        assert lint(src) == []
+
+    def test_pragma_for_other_rule_does_not_suppress(self):
+        src = (
+            "try:\n"
+            "    work()\n"
+            "except Exception:  # repro: allow[REP101] wrong rule\n"
+            "    pass\n"
+        )
+        assert rules_of(lint(src)) == ["REP302"]
+
+    def test_reasonless_pragma_is_a_finding(self):
+        src = "x = 1  # repro: allow[REP302]\n"
+        findings = lint(src)
+        assert rules_of(findings) == ["REP001"]
+        assert "reason" in findings[0].message
+
+    def test_malformed_pragma_is_a_finding(self):
+        src = "x = 1  # repro: allow[NOTARULE] because\n"
+        findings = lint(src)
+        assert rules_of(findings) == ["REP001"]
+        assert "malformed" in findings[0].message
+
+    def test_pragma_inside_string_is_not_a_pragma(self):
+        src = "doc = \"use '# repro: allow[...]' comments\"\n"
+        assert lint(src) == []
+
+    def test_parse_pragmas_reports_position(self):
+        pragmas, problems = parse_pragmas(
+            "a = 1\nb = 2  # repro: allow[REP104] pure helper\n"
+        )
+        assert problems == []
+        assert len(pragmas) == 1
+        assert pragmas[0].line == 2
+        assert not pragmas[0].standalone
+
+    def test_syntax_error_is_one_finding(self):
+        findings = lint("def broken(:\n")
+        assert rules_of(findings) == ["REP001"]
+        assert "does not parse" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# Selection + report schema
+
+
+class TestSelectionAndReport:
+    def test_expand_exact_and_family(self):
+        assert expand_selectors("REP302") == ("REP302",)
+        family = expand_selectors("REP3xx")
+        assert set(family) == {"REP301", "REP302", "REP303"}
+
+    def test_expand_unknown_raises(self):
+        with pytest.raises(LintError):
+            expand_selectors("REP999")
+
+    def test_select_filters_rules(self):
+        src = (
+            "import random\n"
+            "try:\n"
+            "    x = random.random()\n"
+            "except Exception:\n"
+            "    pass\n"
+        )
+        assert rules_of(lint(src, select=["REP103"])) == ["REP103"]
+
+    def test_json_schema_shape(self):
+        src = "import numpy as np\nnp.random.rand()\n"
+        findings = lint(src)
+        payload = json.loads(render_json(findings, 1, ALL_RULES))
+        assert payload["schema_version"] == REPORT_SCHEMA_VERSION
+        assert payload["tool"] == "repro-lint"
+        assert payload["files_checked"] == 1
+        assert payload["summary"] == {"total": 1, "by_rule": {"REP101": 1}}
+        (entry,) = payload["findings"]
+        assert set(entry) == {"rule", "path", "line", "col", "message"}
+
+    def test_json_findings_sorted(self):
+        src = (
+            "import random\n"
+            "import numpy as np\n"
+            "random.random()\n"
+            "np.random.rand()\n"
+        )
+        payload = json.loads(render_json(lint(src), 1, ALL_RULES))
+        keys = [
+            (f["path"], f["line"], f["col"], f["rule"])
+            for f in payload["findings"]
+        ]
+        assert keys == sorted(keys)
+
+
+# ---------------------------------------------------------------------------
+# CLI exit codes + the real tree
+
+
+class TestCliAndGate:
+    def _run(self, *argv_paths, **kwargs):
+        out, err = StringIO(), StringIO()
+        code = run_command(list(argv_paths), out=out, err=err, **kwargs)
+        return code, out.getvalue(), err.getvalue()
+
+    def test_exit_zero_on_clean_file(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        code, out, _ = self._run(str(clean))
+        assert code == 0
+        assert "clean" in out
+
+    def test_exit_one_on_findings(self, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\nrandom.random()\n")
+        code, out, _ = self._run(str(dirty))
+        assert code == 1
+        assert "REP103" in out
+
+    def test_exit_two_on_unknown_selector(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        code, _, err = self._run(str(clean), select="NOPE")
+        assert code == 2
+        assert "unknown rule selector" in err
+
+    def test_exit_two_on_missing_path(self):
+        code, _, err = self._run("no/such/dir")
+        assert code == 2
+        assert "does not exist" in err
+
+    def test_json_format_end_to_end(self, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\nrandom.random()\n")
+        code, out, _ = self._run(str(dirty), fmt="json")
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["summary"]["by_rule"] == {"REP103": 1}
+
+    def test_list_rules(self):
+        code, out, _ = self._run(show_rules=True)
+        assert code == 0
+        for rule_id in ALL_RULES:
+            assert rule_id in out
+
+    def test_project_rules_clean_on_real_repo(self):
+        assert lint_project(".") == []
+
+    def test_repository_tree_lints_clean(self):
+        findings, files, selected = run_lint()
+        assert [f.format() for f in findings] == []
+        assert files > 100
+        assert tuple(selected) == tuple(ALL_RULES)

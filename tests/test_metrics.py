@@ -5,7 +5,7 @@ import pytest
 
 from repro.baselines import DNNLocalizer, OnDeviceAnomalyModel
 from repro.core import SafeLocModel
-from repro.data import FingerprintDataset, get_building, scaled_building
+from repro.data import FingerprintDataset, scaled_building
 from repro.metrics import (
     ErrorSummary,
     box_whisker_rows,

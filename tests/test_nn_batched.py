@@ -14,6 +14,7 @@ Three contracts:
 import numpy as np
 import pytest
 
+from repro.data.datasets import FingerprintDataset, iterate_batches
 from repro.nn import (
     Adam,
     BatchedAdam,
@@ -30,7 +31,6 @@ from repro.nn import (
     compute_dtype,
     iterate_fold_batches,
 )
-from repro.data.datasets import FingerprintDataset, iterate_batches
 from repro.nn.gradcheck import check_input_gradient, check_parameter_gradients
 from repro.utils.rng import spawn_rng
 

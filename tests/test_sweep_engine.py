@@ -270,7 +270,6 @@ class TestResumeStore:
 
     def test_corrupt_disk_artifact_recomputed(self, tmp_path):
         """A truncated .npz (killed writer) must recompute, not crash."""
-        import os
 
         preset = mini_preset()
         cache = str(tmp_path / "cache")
