@@ -219,6 +219,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         select=args.select,
         fmt=args.format,
         show_rules=args.list_rules,
+        baseline=args.baseline,
+        update_baseline=args.write_baseline,
     )
 
 
@@ -402,6 +404,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="print the rule catalog (id, title, rationale) and exit",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="subtract a committed findings snapshot: only findings "
+        "beyond the recorded (path, rule) counts are reported",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current findings to --baseline FILE and exit 0",
     )
     lint.set_defaults(func=_cmd_lint)
 

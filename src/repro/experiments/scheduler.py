@@ -105,7 +105,7 @@ class SweepInterrupted(RuntimeError):
         plan_name: Filled in by the engine before re-raising.
     """
 
-    def __init__(self, finished: int, total: int, plan_name: str = ""):
+    def __init__(self, finished: int, total: int, plan_name: str = "") -> None:
         self.finished = finished
         self.total = total
         self.plan_name = plan_name
@@ -206,7 +206,9 @@ class ExecutorBackend:
     def submit(self, index: int, attempt: int) -> Future:
         raise NotImplementedError
 
-    def wait(self, futures: Set[Future], timeout: Optional[float]):
+    def wait(
+        self, futures: Set[Future], timeout: Optional[float]
+    ) -> Set[Future]:
         """Block until one future completes (or ``timeout``); returns
         the done set."""
         done, _ = wait(futures, timeout=timeout, return_when=FIRST_COMPLETED)
@@ -234,7 +236,7 @@ class SerialBackend(ExecutorBackend):
     name = "serial"
     preemption = "none"
 
-    def __init__(self, run: Callable[[int, int], object]):
+    def __init__(self, run: Callable[[int, int], object]) -> None:
         self._run = run
 
     def submit(self, index: int, attempt: int) -> Future:
@@ -246,7 +248,9 @@ class SerialBackend(ExecutorBackend):
             future.set_exception(error)  # same rails as pool workers
         return future
 
-    def wait(self, futures, timeout=None):
+    def wait(
+        self, futures: Set[Future], timeout: Optional[float] = None
+    ) -> Set[Future]:
         return set(futures)  # submit() already resolved them
 
 
@@ -262,7 +266,9 @@ class ThreadBackend(ExecutorBackend):
     name = "thread"
     preemption = "abandon"
 
-    def __init__(self, run: Callable[[int, int], object], workers: int):
+    def __init__(
+        self, run: Callable[[int, int], object], workers: int
+    ) -> None:
         self._run = run
         self._workers = workers
         self._pool: Optional[ThreadPoolExecutor] = None
@@ -288,7 +294,7 @@ class ThreadBackend(ExecutorBackend):
             self._pool.shutdown(wait=False, cancel_futures=not graceful)
 
 
-def _pool_context():
+def _pool_context() -> multiprocessing.context.BaseContext:
     """``fork`` where the platform offers it (workers inherit the loaded
     package and warm caches for free); the platform default elsewhere —
     the worker entry point is a plain importable function either way."""
@@ -315,7 +321,7 @@ class ProcessBackend(ExecutorBackend):
         entry: Callable,
         payload: Callable[[int, int], Dict],
         workers: int,
-    ):
+    ) -> None:
         self._entry = entry
         self._payload = payload
         self._workers = workers
@@ -388,7 +394,7 @@ class CellScheduler:
         on_error: str = "abort",
         backoff_base: float = 0.5,
         on_complete: Optional[Callable[[int, object], None]] = None,
-    ):
+    ) -> None:
         if on_error not in ON_ERROR_MODES:
             raise ValueError(
                 f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}"
@@ -492,7 +498,9 @@ class CellScheduler:
             self.backend.shutdown(graceful=graceful)
 
     # -- helpers -----------------------------------------------------------
-    def _dispatch(self, in_flight) -> None:
+    def _dispatch(
+        self, in_flight: Dict[Future, Tuple[int, int, float]]
+    ) -> None:
         """Top the backend up from the pending queue."""
         while self._pending and len(in_flight) < self.backend.capacity():
             index = self._pending.popleft()
@@ -516,7 +524,9 @@ class CellScheduler:
             return _TICK_S
         return None
 
-    def _expire(self, in_flight) -> None:
+    def _expire(
+        self, in_flight: Dict[Future, Tuple[int, int, float]]
+    ) -> None:
         """Enforce ``cell_timeout`` on backends that can preempt."""
         if self.cell_timeout is None or self.backend.preemption == "none":
             return

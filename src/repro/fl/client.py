@@ -94,6 +94,7 @@ class FederatedClient:
         self.dataset = dataset
         self.config = config or ClientConfig()
         self.attack = attack
+        # repro: allow[REP501] standalone-construction fallback; the engine always threads spec-derived seeds
         self.seeds = seeds or SeedSequence(0)
         self.self_labeling = bool(self_labeling)
         self._round = 0

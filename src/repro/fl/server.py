@@ -106,6 +106,7 @@ class FederatedServer:
         # runs of the same scenario start identically
         self.strategy.reset()
         self.clients = list(clients)
+        # repro: allow[REP501] standalone-construction fallback; the engine always threads spec-derived seeds
         self.seeds = seeds or SeedSequence(1)
         self.max_workers = max_workers
         self.update_cache = update_cache

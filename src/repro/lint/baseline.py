@@ -1,0 +1,109 @@
+"""Findings baselines: land a new rule family before the tree is clean.
+
+A baseline is a committed snapshot of the findings a tree is *known* to
+have.  ``repro lint --baseline FILE`` subtracts it from the current
+run, so CI gates on **new** findings only while the recorded debt is
+burned down; ``--write-baseline`` records the current findings.
+
+Entries are keyed on ``(path, rule)`` with a count — deliberately free
+of line numbers and messages, so unrelated edits that shift a finding
+a few lines (or reword a message) do not invalidate the snapshot.  The
+semantic is a ratchet: a file may carry at most the recorded number of
+findings per rule; one more and the whole group is reported (which of
+them is "the new one" is unknowable without line pinning).  Fixing a
+finding never hurts — shrink the baseline by rewriting it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Sequence
+
+from repro.lint.findings import Finding
+
+#: bump when the baseline file's key set or semantics change
+BASELINE_SCHEMA_VERSION = 1
+
+_SEP = "::"
+
+
+class BaselineError(ValueError):
+    """A malformed or unreadable baseline file — exit 2, like LintError."""
+
+
+def _counts(findings: Sequence[Finding]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        key = f"{finding.path}{_SEP}{finding.rule}"
+        counts[key] = counts.get(key, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def write_baseline(findings: Sequence[Finding], path: str) -> int:
+    """Snapshot ``findings`` to ``path``; returns the entry count."""
+    counts = _counts(findings)
+    payload = {
+        "schema_version": BASELINE_SCHEMA_VERSION,
+        "tool": "repro-lint-baseline",
+        "entries": counts,
+    }
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(counts)
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    """The ``(path::rule) → count`` table from a baseline file."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as error:
+        raise BaselineError(f"cannot read baseline {path}: {error}")
+    except json.JSONDecodeError as error:
+        raise BaselineError(f"baseline {path} is not valid JSON: {error}")
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise BaselineError(
+            f"baseline {path} has no 'entries' table — "
+            "regenerate it with --write-baseline"
+        )
+    version = payload.get("schema_version")
+    if version != BASELINE_SCHEMA_VERSION:
+        raise BaselineError(
+            f"baseline {path} has schema_version {version!r}; this "
+            f"linter writes {BASELINE_SCHEMA_VERSION} — regenerate it "
+            "with --write-baseline"
+        )
+    entries = payload["entries"]
+    if not isinstance(entries, dict) or not all(
+        isinstance(k, str) and isinstance(v, int)
+        for k, v in entries.items()
+    ):
+        raise BaselineError(
+            f"baseline {path} entries must map 'path::rule' to counts"
+        )
+    return entries
+
+
+def filter_findings(
+    findings: Sequence[Finding], baseline: Dict[str, int]
+) -> List[Finding]:
+    """The findings *not* covered by ``baseline``.
+
+    A ``(path, rule)`` group within its recorded count is suppressed
+    entirely; a group that exceeds it is reported entirely (the
+    snapshot carries no line pins, so the new finding within the group
+    cannot be singled out).
+    """
+    current = _counts(findings)
+    out: List[Finding] = []
+    for finding in findings:
+        key = f"{finding.path}{_SEP}{finding.rule}"
+        if current[key] <= baseline.get(key, 0):
+            continue
+        out.append(finding)
+    return out

@@ -2,16 +2,25 @@
 
 Exit codes match the contract checker convention the rest of the repo
 uses: **0** clean, **1** findings, **2** usage error (unknown rule
-selector, missing path).  ``--format json`` emits the stable machine
-report (:mod:`repro.lint.report`); CI runs exactly that and fails the
-build on any finding.
+selector, missing path, bad baseline).  ``--format json`` emits the
+stable machine report (:mod:`repro.lint.report`); CI runs exactly that
+and fails the build on any finding.  ``--baseline FILE`` subtracts a
+committed findings snapshot (``--write-baseline`` records one), so a
+new rule family can land and gate on *new* findings while recorded
+debt is burned down.
 """
 
 from __future__ import annotations
 
 import sys
-from typing import Optional, Sequence
+from typing import IO, Optional, Sequence
 
+from repro.lint.baseline import (
+    BaselineError,
+    filter_findings,
+    load_baseline,
+    write_baseline,
+)
 from repro.lint.report import render_json, render_text
 from repro.lint.rules import rule_catalog
 from repro.lint.runner import LintError, run_lint
@@ -32,8 +41,10 @@ def run_command(
     fmt: str = "text",
     show_rules: bool = False,
     root: str = ".",
-    out=None,
-    err=None,
+    baseline: Optional[str] = None,
+    update_baseline: bool = False,
+    out: Optional[IO[str]] = None,
+    err: Optional[IO[str]] = None,
 ) -> int:
     """Execute one lint invocation; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -44,11 +55,27 @@ def run_command(
     if fmt not in ("text", "json"):
         print(f"unknown format {fmt!r} (choose text or json)", file=err)
         return 2
+    if update_baseline and not baseline:
+        print(
+            "--write-baseline requires --baseline FILE (where to write)",
+            file=err,
+        )
+        return 2
     try:
         findings, files, selected = run_lint(
             paths=paths, select=select, root=root
         )
-    except LintError as error:
+        if baseline is not None:
+            if update_baseline:
+                entries = write_baseline(findings, baseline)
+                print(
+                    f"baseline written: {baseline} "
+                    f"({len(findings)} finding(s), {entries} entries)",
+                    file=out,
+                )
+                return 0
+            findings = filter_findings(findings, load_baseline(baseline))
+    except (LintError, BaselineError) as error:
         print(f"repro lint: {error}", file=err)
         return 2
     render = render_json if fmt == "json" else render_text

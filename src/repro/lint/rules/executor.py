@@ -11,7 +11,7 @@ diverges).
 from __future__ import annotations
 
 import ast
-from typing import Optional
+from typing import List, Optional
 
 from repro.lint.visitor import FileContext, FileRule
 
@@ -23,7 +23,7 @@ _WORKER_NAME_PREFIXES = ("_pool_", "_worker_")
 _WORKER_NAME_SUFFIXES = ("_worker",)
 
 
-def _contains_raise(body) -> bool:
+def _contains_raise(body: List[ast.stmt]) -> bool:
     for stmt in body:
         for node in ast.walk(stmt):
             if isinstance(node, ast.Raise):

@@ -1,0 +1,431 @@
+"""REP7xx — scheduler/thread race rules (whole-program).
+
+The PR 8 scheduler contract: shared mutable state
+(:class:`CellScheduler` results/failures, :class:`StageStats` counters,
+cache memos) is either **lock-guarded everywhere** or **single-writer**
+(mutated only from the scheduler's own loop thread).  Three rules pin
+it statically:
+
+* REP701 — an attribute written under a lock in one method and bare in
+  another has no discipline at all: either every write is guarded or
+  none needs to be.
+* REP702 — functions reachable from *concurrent* entry points
+  (``ThreadPoolExecutor.submit/map``, ``Future.add_done_callback``,
+  ``threading.Thread(target=...)``, ``ThreadBackend`` run callables)
+  may run on several threads at once, so any unguarded ``self.<attr>``
+  write there is a data race.  Reachability follows the program call
+  graph, including run callables built by factory methods (a method
+  returning a nested ``def``/lambda hands that closure to the pool).
+* REP703 — blocking calls (``time.sleep``, ``Future.result``,
+  thread/pool ``join``, ``concurrent.futures.wait``, ``acquire``)
+  inside a ``with <lock>`` body serialize every sibling on the lock
+  holder's wait; compute work belongs outside the critical section.
+
+All three are conservative: an unresolvable receiver or dynamic
+dispatch ends the analysis silently — the rules flag proven shapes
+only.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.dataflow import DataflowAnalysis
+from repro.lint.findings import Finding
+from repro.lint.program import (
+    FunctionInfo,
+    ModuleInfo,
+    ProgramGraph,
+    ProgramRule,
+    call_basename,
+)
+
+#: receiver spellings that mark `.submit(f)` / `.map(f)` as a thread
+#: pool dispatch (matched against the dotted receiver, lowercase)
+_POOLISH = ("pool", "executor")
+#: thread-entry callable parameters of known constructors
+_ENTRY_CTORS = {"ThreadBackend": 0}
+#: receivers whose `.join()` blocks on concurrent work
+_JOINISH = ("thread", "pool", "proc", "worker", "future")
+#: receivers whose `.result()` blocks on concurrent work
+_FUTUREISH = ("future", "fut")
+#: methods never counted as writers (construction is pre-concurrency)
+_INIT_METHODS = {"__init__", "__post_init__"}
+
+_REACH_DEPTH = 6
+
+
+def _is_lockish(module: ModuleInfo, expr: ast.AST) -> bool:
+    """Does a ``with`` context expression look like a lock?"""
+    if isinstance(expr, ast.Call):
+        expr = expr.func
+    dotted = module.dotted_name(expr)
+    return dotted is not None and "lock" in dotted.lower()
+
+
+def _under_lock(module: ModuleInfo, node: ast.AST) -> bool:
+    for ancestor in module.ancestors(node):
+        if isinstance(ancestor, (ast.With, ast.AsyncWith)) and any(
+            _is_lockish(module, item.context_expr)
+            for item in ancestor.items
+        ):
+            return True
+    return False
+
+
+def _own_body_walk(root: ast.AST) -> Iterable[ast.AST]:
+    """Walk a function body without descending into nested defs/classes
+    (their statements belong to the nested scope's own analysis)."""
+    stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _self_attr_writes(
+    function: FunctionInfo,
+) -> Iterable[Tuple[str, ast.AST]]:
+    """``(attr, node)`` for every ``self.<attr>`` rebind, aug-assign or
+    subscript store in the function's own body."""
+
+    def target_attr(target: ast.AST) -> Optional[str]:
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            return target.attr
+        return None
+
+    for node in _own_body_walk(function.node):
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            attr = target_attr(target)
+            if attr is not None:
+                yield attr, node
+
+
+def _effective_class(
+    graph: ProgramGraph, function: FunctionInfo
+) -> Optional[str]:
+    """The class whose instance ``self`` names inside ``function`` —
+    the enclosing method's class for closures nested in methods."""
+    current: Optional[FunctionInfo] = function
+    while current is not None:
+        if current.class_name is not None:
+            return current.qualname.rsplit(".", 1)[0]
+        current = (
+            graph.functions.get(current.nested_in)
+            if current.nested_in
+            else None
+        )
+    return None
+
+
+class MixedLockDiscipline(ProgramRule):
+    """REP701: an attribute guarded in one method, bare in another."""
+
+    id = "REP701"
+    title = "attribute written both with and without its lock"
+    rationale = (
+        "lock discipline is all-or-nothing per attribute: one bare "
+        "write next to guarded ones means the lock protects nothing — "
+        "guard every write or document the single-writer argument with "
+        "a pragma"
+    )
+
+    def check(
+        self, graph: ProgramGraph, analysis: DataflowAnalysis
+    ) -> List[Finding]:
+        guarded: Dict[Tuple[str, str], int] = {}
+        bare: Dict[Tuple[str, str], List[Tuple[ModuleInfo, ast.AST]]] = {}
+        for function in graph.functions.values():
+            if function.module.is_test or function.name in _INIT_METHODS:
+                continue
+            class_qual = _effective_class(graph, function)
+            if class_qual is None:
+                continue
+            for attr, node in _self_attr_writes(function):
+                key = (class_qual, attr)
+                if _under_lock(function.module, node):
+                    guarded[key] = guarded.get(key, 0) + 1
+                else:
+                    bare.setdefault(key, []).append(
+                        (function.module, node)
+                    )
+        findings: List[Finding] = []
+        for key, sites in bare.items():
+            if key not in guarded:
+                continue
+            class_qual, attr = key
+            class_name = class_qual.rsplit(".", 1)[-1]
+            for module, node in sites:
+                findings.append(
+                    self._finding(
+                        module,
+                        node,
+                        f"{class_name}.{attr} is written under a lock "
+                        "elsewhere but bare here — guard this write "
+                        "too, or pragma the single-writer argument",
+                    )
+                )
+        return findings
+
+
+class ThreadEntryWrite(ProgramRule):
+    """REP702: unguarded attribute writes on thread-reachable paths."""
+
+    id = "REP702"
+    title = "unguarded attribute write reachable from a thread entry"
+    rationale = (
+        "pool-submitted callables, future callbacks and Thread targets "
+        "run concurrently; a bare self.<attr> write on any path "
+        "reachable from one is a data race — take the object's lock or "
+        "restructure so only the scheduler loop thread writes"
+    )
+
+    def check(
+        self, graph: ProgramGraph, analysis: DataflowAnalysis
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        for entry, via in self._entries(graph):
+            for function in self._reachable(graph, entry):
+                if function.module.is_test:
+                    continue
+                if function.name in _INIT_METHODS:
+                    # constructing an object on the worker thread makes
+                    # its attributes thread-local, not shared
+                    continue
+                if _effective_class(graph, function) is None:
+                    continue
+                for attr, node in _self_attr_writes(function):
+                    if _under_lock(function.module, node):
+                        continue
+                    findings.append(
+                        self._finding(
+                            function.module,
+                            node,
+                            f"self.{attr} written without a lock in "
+                            f"{function.name}(), which is reachable "
+                            f"from thread entry {via} — concurrent "
+                            "invocations race on it",
+                        )
+                    )
+        return findings
+
+    # -- entry discovery ---------------------------------------------------
+    def _entries(
+        self, graph: ProgramGraph
+    ) -> Iterable[Tuple[FunctionInfo, str]]:
+        seen: Set[str] = set()
+
+        def emit(
+            info: Optional[FunctionInfo], via: str
+        ) -> Iterator[Tuple[FunctionInfo, str]]:
+            if info is not None and info.qualname not in seen:
+                seen.add(info.qualname)
+                yield info, via
+
+        for module in graph.project_modules():
+            for node in ast.walk(module.tree):
+                if isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    name = node.name
+                    if name.startswith(("_pool_", "_worker_")) or (
+                        name.endswith("_worker")
+                    ):
+                        yield from emit(
+                            graph.by_node.get(node), f"{name} (by name)"
+                        )
+                if not isinstance(node, ast.Call):
+                    continue
+                context = graph.enclosing_function(module, node)
+                for expr, via in self._entry_exprs(module, node):
+                    for info in self._resolve_entry(
+                        graph, module, context, expr
+                    ):
+                        yield from emit(info, via)
+
+    @staticmethod
+    def _entry_exprs(
+        module: ModuleInfo, call: ast.Call
+    ) -> Iterable[Tuple[ast.AST, str]]:
+        name = call_basename(call)
+        if name in _ENTRY_CTORS and call.args:
+            index = _ENTRY_CTORS[name]
+            if index < len(call.args):
+                yield call.args[index], f"{name}(...)"
+            return
+        if name == "Thread":
+            for keyword in call.keywords:
+                if keyword.arg == "target":
+                    yield keyword.value, "Thread(target=...)"
+            return
+        if name == "add_done_callback" and call.args:
+            yield call.args[0], "Future.add_done_callback"
+            return
+        if name in ("submit", "map") and isinstance(
+            call.func, ast.Attribute
+        ):
+            receiver = module.dotted_name(call.func.value)
+            if receiver and any(
+                mark in receiver.lower() for mark in _POOLISH
+            ):
+                if call.args:
+                    yield call.args[0], f"{receiver}.{name}(...)"
+
+    def _resolve_entry(
+        self,
+        graph: ProgramGraph,
+        module: ModuleInfo,
+        context: Optional[FunctionInfo],
+        expr: ast.AST,
+        depth: int = 3,
+    ) -> Iterable[FunctionInfo]:
+        """FunctionInfos an entry expression can dispatch to: plain
+        names, self-methods, and closures returned by factory calls."""
+        if depth <= 0:
+            return
+        if isinstance(expr, ast.Name):
+            if context is not None:
+                for node in _own_body_walk(context.node):
+                    if (
+                        isinstance(node, ast.FunctionDef)
+                        and node.name == expr.id
+                        and node in graph.by_node
+                    ):
+                        yield graph.by_node[node]
+                        return
+                    if isinstance(node, ast.Assign) and any(
+                        isinstance(t, ast.Name) and t.id == expr.id
+                        for t in node.targets
+                    ):
+                        yield from self._resolve_entry(
+                            graph, module, context, node.value, depth - 1
+                        )
+                        return
+            qualname = graph.resolve_qualname(module, expr.id)
+            if qualname is not None:
+                yield graph.functions[qualname]
+            return
+        if isinstance(expr, ast.Attribute):
+            fake = ast.Call(func=expr, args=[], keywords=[])
+            info = graph.resolve_call(module, fake, context)
+            if info is not None:
+                yield info
+            return
+        if isinstance(expr, ast.Call):
+            callee = graph.resolve_call(module, expr, context)
+            if callee is None:
+                return
+            for node in _own_body_walk(callee.node):
+                if isinstance(node, ast.Return) and node.value is not None:
+                    yield from self._resolve_entry(
+                        graph, callee.module, callee, node.value, depth - 1
+                    )
+
+    # -- reachability ------------------------------------------------------
+    @staticmethod
+    def _reachable(
+        graph: ProgramGraph, entry: FunctionInfo
+    ) -> Iterable[FunctionInfo]:
+        seen: Set[str] = set()
+        frontier = [(entry, 0)]
+        while frontier:
+            function, depth = frontier.pop()
+            if function.qualname in seen or depth > _REACH_DEPTH:
+                continue
+            seen.add(function.qualname)
+            yield function
+            for node in ast.walk(function.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = graph.resolve_call(
+                    function.module, node, function
+                )
+                if callee is not None:
+                    frontier.append((callee, depth + 1))
+
+
+class BlockingUnderLock(ProgramRule):
+    """REP703: blocking calls inside a lock's critical section."""
+
+    id = "REP703"
+    title = "blocking call while holding a lock"
+    rationale = (
+        "sleeping or waiting on futures/threads inside a critical "
+        "section stalls every sibling contending for the lock (and "
+        "invites lock-ordering deadlocks); compute and wait outside, "
+        "publish under the lock"
+    )
+
+    def check(
+        self, graph: ProgramGraph, analysis: DataflowAnalysis
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        for module in graph.project_modules():
+            for node in ast.walk(module.tree):
+                if not isinstance(node, (ast.With, ast.AsyncWith)):
+                    continue
+                if not any(
+                    _is_lockish(module, item.context_expr)
+                    for item in node.items
+                ):
+                    continue
+                for sub in _own_body_walk(node):
+                    if not isinstance(sub, ast.Call):
+                        continue
+                    label = self._blocking_label(module, sub)
+                    if label is not None:
+                        findings.append(
+                            self._finding(
+                                module,
+                                sub,
+                                f"{label} inside a lock-guarded block "
+                                "serializes every contender on this "
+                                "wait — move it outside the critical "
+                                "section",
+                            )
+                        )
+        return findings
+
+    @staticmethod
+    def _blocking_label(module: ModuleInfo, call: ast.Call) -> Optional[str]:
+        dotted = module.dotted_name(call.func)
+        if dotted == "time.sleep":
+            return "time.sleep()"
+        if dotted == "concurrent.futures.wait":
+            return "concurrent.futures.wait()"
+        name = call_basename(call)
+        if name == "acquire":
+            return ".acquire()"
+        if name in ("join", "result") and isinstance(
+            call.func, ast.Attribute
+        ):
+            receiver = (
+                module.dotted_name(call.func.value) or ""
+            ).lower()
+            marks = _JOINISH if name == "join" else _FUTUREISH
+            if any(mark in receiver for mark in marks):
+                return f"{receiver}.{name}()"
+        return None
+
+
+RACE_RULES = (
+    MixedLockDiscipline(),
+    ThreadEntryWrite(),
+    BlockingUnderLock(),
+)

@@ -1,24 +1,42 @@
-"""The lint runner: file discovery, rule selection, the per-file pass.
+"""The lint runner: file discovery, rule selection, the passes.
 
 ``run_lint`` is the one entry point the CLI and tests share: it expands
 rule selectors, walks the requested paths (default: ``src`` and
-``tests``), runs the shared AST visitor per file, applies suppression
-pragmas, then runs the project-level contract rules once.
+``tests``), parses every file once, then layers three passes over the
+parsed set — the per-file AST visitor (REP1xx/REP3xx), the
+whole-program pass (REP5xx/6xx/7xx over the
+:class:`~repro.lint.program.ProgramGraph` with the shared dataflow
+analysis), and the project-level contract rules (REP2xx/REP4xx).
+Suppression pragmas apply uniformly: a program-rule finding is waived
+by a pragma in the file it anchors to, exactly like a file-rule
+finding.
+
+Paths in findings are normalized to repo-relative POSIX form (forward
+slashes, rooted at ``root``), so reports are byte-stable across
+platforms and invocation directories.
 """
 
 from __future__ import annotations
 
 import ast
 import os
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.lint.dataflow import DataflowAnalysis
 from repro.lint.findings import (
     PRAGMA_RULE_ID,
     Finding,
+    Pragma,
     apply_pragmas,
     parse_pragmas,
 )
-from repro.lint.rules import ALL_RULES, FILE_RULES, PROJECT_RULES
+from repro.lint.program import ProgramGraph
+from repro.lint.rules import (
+    ALL_RULES,
+    FILE_RULES,
+    PROGRAM_RULES,
+    PROJECT_RULES,
+)
 from repro.lint.visitor import FileContext, LintVisitor
 
 #: directories linted when the CLI gets no explicit paths
@@ -78,6 +96,49 @@ def _iter_python_files(paths: Sequence[str]) -> Iterable[str]:
             raise LintError(f"path does not exist: {path}")
 
 
+def normalize_path(path: str, root: str = ".") -> str:
+    """Repo-relative POSIX form of ``path`` (report stability).
+
+    Paths under ``root`` are made relative to it; paths outside are
+    kept as given.  Either way separators become forward slashes, so
+    ``--format json`` output is byte-identical across platforms and
+    invocation directories.
+    """
+    normalized = os.path.normpath(path)
+    root_abs = os.path.abspath(root)
+    candidate = os.path.abspath(normalized)
+    if candidate == root_abs or candidate.startswith(root_abs + os.sep):
+        normalized = os.path.relpath(candidate, root_abs)
+    return normalized.replace(os.sep, "/")
+
+
+def _lint_tree(
+    source: str,
+    path: str,
+    tree: ast.Module,
+    selected: Sequence[str],
+    pragmas: Sequence[Pragma],
+    pragma_problems: Sequence[Finding],
+) -> List[Finding]:
+    """The per-file pass over an already-parsed tree."""
+    ctx = FileContext(path, source, tree)
+    rules = [rule for rule in FILE_RULES if rule.id in selected]
+    LintVisitor(ctx, rules).visit(tree)
+    findings = apply_pragmas(ctx.findings, pragmas)
+    if PRAGMA_RULE_ID in selected:
+        for problem in pragma_problems:
+            findings.append(
+                Finding(
+                    rule=problem.rule,
+                    path=path,
+                    line=problem.line,
+                    col=problem.col,
+                    message=problem.message,
+                )
+            )
+    return findings
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
@@ -94,45 +155,114 @@ def lint_source(
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as error:
-        return [
-            Finding(
-                rule=PRAGMA_RULE_ID,
-                path=path,
-                line=error.lineno or 1,
-                col=(error.offset or 1) - 1,
-                message=f"file does not parse: {error.msg}",
-            )
-        ]
-    ctx = FileContext(path, source, tree)
-    rules = [rule for rule in FILE_RULES if rule.id in selected]
-    LintVisitor(ctx, rules).visit(tree)
+        return [_syntax_finding(path, error)]
     pragmas, pragma_problems = parse_pragmas(source)
-    findings = apply_pragmas(ctx.findings, pragmas)
-    if PRAGMA_RULE_ID in selected:
-        for problem in pragma_problems:
-            findings.append(
-                Finding(
-                    rule=problem.rule,
-                    path=path,
-                    line=problem.line,
-                    col=problem.col,
-                    message=problem.message,
-                )
-            )
+    return _lint_tree(
+        source, path, tree, selected, pragmas, pragma_problems
+    )
+
+
+def _syntax_finding(path: str, error: SyntaxError) -> Finding:
+    return Finding(
+        rule=PRAGMA_RULE_ID,
+        path=path,
+        line=error.lineno or 1,
+        col=(error.offset or 1) - 1,
+        message=f"file does not parse: {error.msg}",
+    )
+
+
+def lint_program_sources(
+    sources: Dict[str, str], select: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Run the whole-program rules over an in-memory multi-file tree.
+
+    ``sources`` maps paths (used for module naming, e.g.
+    ``"proj/engine.py"``) to source text.  This is the fixture entry
+    point for the REP5xx/6xx/7xx families — the cross-module shapes
+    they exist for cannot be expressed through :func:`lint_source`.
+    Suppression pragmas in each file apply to the findings anchored in
+    it, exactly as in a real run.
+    """
+    selected = tuple(select) if select is not None else tuple(ALL_RULES)
+    parsed: List[Tuple[str, str, ast.Module]] = []
+    pragma_map: Dict[str, List[Pragma]] = {}
+    findings: List[Finding] = []
+    for path, source in sorted(sources.items()):
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            findings.append(_syntax_finding(path, error))
+            continue
+        parsed.append((path, source, tree))
+        pragmas, _ = parse_pragmas(source)
+        pragma_map[path] = list(pragmas)
+    findings.extend(_lint_program(parsed, selected, pragma_map))
     return findings
+
+
+def _lint_program(
+    parsed: Sequence[Tuple[str, str, ast.Module]],
+    selected: Sequence[str],
+    pragma_map: Dict[str, List[Pragma]],
+) -> List[Finding]:
+    """The whole-program pass: graph, dataflow, REP5xx/6xx/7xx."""
+    rules = [rule for rule in PROGRAM_RULES if rule.id in selected]
+    if not rules or not parsed:
+        return []
+    graph = ProgramGraph(parsed)
+    analysis = DataflowAnalysis(graph)
+    findings: List[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(graph, analysis))
+    # program findings anchor at real file positions, so each file's
+    # pragmas waive them exactly like file-rule findings
+    out: List[Finding] = []
+    for path, group in _group_by_path(findings).items():
+        out.extend(apply_pragmas(group, pragma_map.get(path, [])))
+    return out
+
+
+def _group_by_path(
+    findings: Iterable[Finding],
+) -> Dict[str, List[Finding]]:
+    grouped: Dict[str, List[Finding]] = {}
+    for finding in findings:
+        grouped.setdefault(finding.path, []).append(finding)
+    return grouped
 
 
 def lint_paths(
     paths: Sequence[str], select: Optional[Sequence[str]] = None
 ) -> Tuple[List[Finding], int]:
-    """Lint files/directories; returns ``(findings, files_checked)``."""
+    """Lint files/directories; returns ``(findings, files_checked)``.
+
+    Runs both the per-file pass and the whole-program pass over the
+    discovered set (each file parsed exactly once).
+    """
+    selected = tuple(select) if select is not None else tuple(ALL_RULES)
     findings: List[Finding] = []
+    parsed: List[Tuple[str, str, ast.Module]] = []
+    pragma_map: Dict[str, List[Pragma]] = {}
     files = 0
     for path in _iter_python_files(paths):
         with open(path, encoding="utf-8") as handle:
             source = handle.read()
-        findings.extend(lint_source(source, path=path, select=select))
         files += 1
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            findings.append(_syntax_finding(path, error))
+            continue
+        pragmas, pragma_problems = parse_pragmas(source)
+        pragma_map[path] = list(pragmas)
+        findings.extend(
+            _lint_tree(
+                source, path, tree, selected, pragmas, pragma_problems
+            )
+        )
+        parsed.append((path, source, tree))
+    findings.extend(_lint_program(parsed, selected, pragma_map))
     return findings, files
 
 
@@ -158,11 +288,14 @@ def run_lint(
     select: Optional[str] = None,
     root: str = ".",
 ) -> Tuple[List[Finding], int, Tuple[str, ...]]:
-    """The full gate: file rules over ``paths`` + project rules.
+    """The full gate: file + program rules over ``paths``, then project
+    rules.
 
     Returns ``(findings, files_checked, selected_rule_ids)``.  With no
     explicit paths, lints :data:`DEFAULT_PATHS` (the ones that exist
-    under ``root``).
+    under ``root``).  Finding paths come back repo-relative POSIX
+    (:func:`normalize_path`), so reports are deterministic regardless
+    of platform or invocation directory.
     """
     selected = expand_selectors(select)
     if paths:
@@ -175,4 +308,14 @@ def run_lint(
         ]
     findings, files = lint_paths(targets, select=selected)
     findings.extend(lint_project(root, select=selected))
+    findings = [
+        Finding(
+            rule=finding.rule,
+            path=normalize_path(finding.path, root),
+            line=finding.line,
+            col=finding.col,
+            message=finding.message,
+        )
+        for finding in findings
+    ]
     return findings, files, selected

@@ -27,7 +27,7 @@ KEY_SCOPE_RE = re.compile(
 class FileContext:
     """Everything the rules may ask about the file being linted."""
 
-    def __init__(self, path: str, source: str, tree: ast.Module):
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
         self.path = path
         self.source = source
         self.lines = source.splitlines()
@@ -152,7 +152,7 @@ class LintVisitor(ast.NodeVisitor):
 
     _SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
 
-    def __init__(self, ctx: FileContext, rules: Sequence[FileRule]):
+    def __init__(self, ctx: FileContext, rules: Sequence[FileRule]) -> None:
         self.ctx = ctx
         self._handlers: Dict[str, List] = {}
         for rule in rules:

@@ -1,0 +1,138 @@
+"""Generative invariants of the engine-free round-cache keys.
+
+The seed of ROADMAP's generative invariant harness: Hypothesis drives
+the ``content_key`` / :class:`RoundCache` key discipline through
+randomized cell identities instead of a handful of hand-picked cases.
+Three properties pin the contract the serial/batched equivalence and
+the ε-grid sharing design rest on:
+
+* **field-order independence** — a key is a pure function of the
+  payload's *content*; dict insertion order (spec field reordering,
+  ``to_dict`` implementation changes) must never move a key;
+* **seed sensitivity** — perturbing the cell seed changes *every*
+  client's key (no stale cross-seed hits);
+* **ε binding** — perturbing the attack ε changes exactly the
+  malicious clients' keys; honest clients' keys are deliberately
+  ε-free, which is what lets an ε grid share its honest-client
+  updates.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.experiments.artifacts import (  # noqa: E402
+    ArtifactCache,
+    RoundCache,
+    content_key,
+)
+
+#: a plausible cell-identity payload: JSON-native scalars under short
+#: string field names, like the engine's federate-stage base dict
+_SCALARS = st.one_of(
+    st.integers(-(2**31), 2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+    st.booleans(),
+    st.none(),
+)
+_PAYLOADS = st.dictionaries(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=10
+    ),
+    _SCALARS,
+    min_size=1,
+    max_size=8,
+)
+
+
+def _round_cache(
+    seed: int, epsilon: float, num_clients: int, num_malicious: int
+) -> RoundCache:
+    """A RoundCache with the engine's base-dict shape, engine-free."""
+    base = {
+        "stage": "federate",
+        "data": "datakey",
+        "framework": "mlp",
+        "kwargs": {"tau": 0.5},
+        "seed": seed,
+        "dtype": "float32",
+        "schedule": {"num_clients": num_clients, "client_epochs": 5},
+    }
+    client_attacks = [
+        ["dpa", epsilon] if index < num_malicious else None
+        for index in range(num_clients)
+    ]
+    return RoundCache(ArtifactCache(), base, client_attacks)
+
+
+@settings(max_examples=60, deadline=None)
+@given(payload=_PAYLOADS, order=st.randoms(use_true_random=False))
+def test_content_key_stable_under_field_reordering(payload, order):
+    items = list(payload.items())
+    order.shuffle(items)
+    assert content_key(dict(items)) == content_key(payload)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    payload=_PAYLOADS,
+    field=st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=10
+    ),
+    value=st.integers(),
+)
+def test_content_key_sensitive_to_any_field_change(payload, field, value):
+    changed = dict(payload)
+    changed[field] = value
+    # dict equality is too coarse a notion of "same content" here
+    # (True == 1, -0.0 == 0.0 but they serialize differently), so
+    # compare the canonical serialized forms instead.
+    canonical = json.dumps(payload, sort_keys=True)
+    if json.dumps(changed, sort_keys=True) == canonical:
+        assert content_key(changed) == content_key(payload)
+    else:
+        assert content_key(changed) != content_key(payload)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 2**31),
+    delta=st.integers(1, 1000),
+    round_index=st.integers(1, 5),
+)
+def test_seed_perturbation_moves_every_client_key(seed, delta, round_index):
+    cache_a = _round_cache(seed, 0.2, num_clients=4, num_malicious=1)
+    cache_b = _round_cache(seed + delta, 0.2, num_clients=4, num_malicious=1)
+    for client in range(4):
+        assert cache_a._key(client, round_index, "sig") != cache_b._key(
+            client, round_index, "sig"
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    epsilon=st.floats(0.01, 0.5, allow_nan=False),
+    delta=st.floats(0.001, 0.5, allow_nan=False),
+    round_index=st.integers(1, 5),
+)
+def test_epsilon_binds_to_malicious_clients_only(epsilon, delta, round_index):
+    cache_a = _round_cache(7, epsilon, num_clients=4, num_malicious=2)
+    cache_b = _round_cache(
+        7, epsilon + delta, num_clients=4, num_malicious=2
+    )
+    for client in range(2):  # malicious: ε is in the key
+        assert cache_a._key(client, round_index, "sig") != cache_b._key(
+            client, round_index, "sig"
+        )
+    for client in range(2, 4):  # honest: ε-free by design (grid sharing)
+        assert cache_a._key(client, round_index, "sig") == cache_b._key(
+            client, round_index, "sig"
+        )

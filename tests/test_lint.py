@@ -1,10 +1,12 @@
 """The `repro lint` invariant linter (`repro.lint`).
 
-Covers every rule family with minimal good/bad fixtures, the pragma
-suppression contract (reasons mandatory, families allowed, strings are
-not comments), the stable JSON report schema, the CLI exit-code
-contract (0 clean / 1 findings / 2 usage), and — the actual gate — that
-the real repository tree lints clean.
+Covers every rule family with minimal good/bad fixtures — including
+the whole-program REP5xx/6xx/7xx families via multi-file in-memory
+trees — the pragma suppression contract (reasons mandatory, families
+allowed, strings are not comments), the stable JSON report schema,
+baselines, the CLI exit-code contract (0 clean / 1 findings / 2
+usage), and — the actual gate — that the real repository tree lints
+clean.
 """
 
 import json
@@ -17,6 +19,7 @@ from repro.lint import (
     REPORT_SCHEMA_VERSION,
     LintError,
     expand_selectors,
+    lint_program_sources,
     lint_project,
     lint_source,
     parse_pragmas,
@@ -32,6 +35,10 @@ def rules_of(findings):
 
 def lint(source, select=None):
     return lint_source(source, path="probe.py", select=select)
+
+
+def lint_program(sources, select):
+    return lint_program_sources(sources, select=expand_selectors(select))
 
 
 # ---------------------------------------------------------------------------
@@ -174,6 +181,508 @@ class TestExecutorRules:
             "    _LEVEL = level\n"
         )
         assert lint(src) == []
+
+
+# ---------------------------------------------------------------------------
+# REP5xx seed provenance (whole-program)
+
+
+class TestSeedProvenanceRules:
+    def test_literal_seed_flagged(self):
+        sources = {
+            "proj/a.py": (
+                "from numpy.random import default_rng\n"
+                "def sample():\n"
+                "    return default_rng(1234)\n"
+            ),
+        }
+        findings = lint_program(sources, "REP501")
+        assert rules_of(findings) == ["REP501"]
+        assert "1234" in findings[0].message
+
+    def test_literal_seed_through_cross_module_chain(self):
+        # the interprocedural catch: the literal lives in a.py, the
+        # sink in b.py — no single-file rule can connect them
+        sources = {
+            "proj/a.py": (
+                "from proj.b import build_rng\n"
+                "def main():\n"
+                "    return build_rng(1234)\n"
+            ),
+            "proj/b.py": (
+                "from numpy.random import default_rng\n"
+                "def build_rng(entropy):\n"
+                "    return default_rng(entropy)\n"
+            ),
+        }
+        findings = lint_program(sources, "REP501")
+        assert rules_of(findings) == ["REP501"]
+        assert findings[0].path == "proj/b.py"
+
+    def test_spec_fed_parameter_clean(self):
+        sources = {
+            "proj/a.py": (
+                "from proj.b import build_rng\n"
+                "def main(preset):\n"
+                "    return build_rng(preset.seed)\n"
+            ),
+            "proj/b.py": (
+                "from numpy.random import default_rng\n"
+                "def build_rng(entropy):\n"
+                "    return default_rng(entropy)\n"
+            ),
+        }
+        assert lint_program(sources, "REP501") == []
+
+    def test_seed_named_parameter_clean(self):
+        sources = {
+            "proj/a.py": (
+                "from numpy.random import default_rng\n"
+                "def sample(seed):\n"
+                "    return default_rng(seed)\n"
+            ),
+        }
+        assert lint_program(sources, "REP501") == []
+
+    def test_dataclass_field_default_exempt(self):
+        # spec-owned defaults *define* the seed; they are the origin
+        sources = {
+            "proj/spec.py": (
+                "from dataclasses import dataclass, field\n"
+                "from repro.utils.rng import SeedSequence\n"
+                "@dataclass\n"
+                "class Spec:\n"
+                "    seeds: SeedSequence = field(\n"
+                "        default_factory=lambda: SeedSequence(2025)\n"
+                "    )\n"
+            ),
+        }
+        assert lint_program(sources, "REP501") == []
+
+    def test_test_modules_skipped(self):
+        sources = {
+            "tests/test_thing.py": (
+                "from numpy.random import default_rng\n"
+                "def test_sample():\n"
+                "    assert default_rng(1234) is not None\n"
+            ),
+        }
+        assert lint_program(sources, "REP501") == []
+
+    def test_pragma_suppresses_program_finding(self):
+        sources = {
+            "proj/a.py": (
+                "from numpy.random import default_rng\n"
+                "def sample():\n"
+                "    # repro: allow[REP501] doc example, never imported\n"
+                "    return default_rng(1234)\n"
+            ),
+        }
+        assert lint_program(sources, "REP501") == []
+
+    def test_wall_clock_seed_flagged(self):
+        sources = {
+            "proj/a.py": (
+                "import time\n"
+                "from numpy.random import default_rng\n"
+                "def sample():\n"
+                "    seed = int(time.time())\n"
+                "    return default_rng(seed)\n"
+            ),
+        }
+        findings = lint_program(sources, "REP502")
+        assert rules_of(findings) == ["REP502"]
+
+    def test_wall_clock_laundered_through_helper_flagged(self):
+        sources = {
+            "proj/a.py": (
+                "import time\n"
+                "from proj.b import build_rng\n"
+                "def main():\n"
+                "    return build_rng(time.time_ns())\n"
+            ),
+            "proj/b.py": (
+                "from numpy.random import default_rng\n"
+                "def build_rng(entropy):\n"
+                "    return default_rng(int(entropy))\n"
+            ),
+        }
+        findings = lint_program(sources, "REP502")
+        assert rules_of(findings) == ["REP502"]
+        assert findings[0].path == "proj/b.py"
+
+    def test_monotonic_duration_math_clean(self):
+        sources = {
+            "proj/a.py": (
+                "import time\n"
+                "def elapsed(start):\n"
+                "    return time.monotonic() - start\n"
+            ),
+        }
+        assert lint_program(sources, "REP502") == []
+
+    def test_seed_dropping_call_flagged(self):
+        sources = {
+            "proj/a.py": (
+                "from proj.b import make_building\n"
+                "def run(spec):\n"
+                "    root = spec.seed\n"
+                "    return make_building('ND'), root\n"
+            ),
+            "proj/b.py": (
+                "def make_building(name, seed=2025):\n"
+                "    return (name, seed)\n"
+            ),
+        }
+        findings = lint_program(sources, "REP503")
+        assert rules_of(findings) == ["REP503"]
+        assert "make_building" in findings[0].message
+
+    def test_seed_forwarded_clean(self):
+        sources = {
+            "proj/a.py": (
+                "from proj.b import make_building\n"
+                "def run(spec):\n"
+                "    return make_building('ND', seed=spec.seed)\n"
+            ),
+            "proj/b.py": (
+                "def make_building(name, seed=2025):\n"
+                "    return (name, seed)\n"
+            ),
+        }
+        assert lint_program(sources, "REP503") == []
+
+    def test_no_seed_in_scope_clean(self):
+        # a caller with no seed provenance has nothing to forward
+        sources = {
+            "proj/a.py": (
+                "from proj.b import make_building\n"
+                "def run(name):\n"
+                "    return make_building(name)\n"
+            ),
+            "proj/b.py": (
+                "def make_building(name, seed=2025):\n"
+                "    return (name, seed)\n"
+            ),
+        }
+        assert lint_program(sources, "REP503") == []
+
+
+# ---------------------------------------------------------------------------
+# REP6xx cache-key soundness (whole-program)
+
+_CACHE_STUB = (
+    "def content_key(payload):\n"
+    "    return str(sorted(payload.items()))\n"
+    "class Cache:\n"
+    "    def get_or_compute(self, stage, key, compute):\n"
+    "        return compute(), False\n"
+)
+
+
+class TestCacheKeyRules:
+    def test_missing_config_field_flagged_across_modules(self):
+        # the seeded real-shape defect: the key builder forgets
+        # spec.tau, which the cached computation reads two hops away in
+        # another module — invisible to any per-file rule
+        sources = {
+            "proj/cache.py": _CACHE_STUB,
+            "proj/train.py": (
+                "def train_model(spec, seed):\n"
+                "    return (spec.framework, spec.tau, seed)\n"
+            ),
+            "proj/engine.py": (
+                "from proj.cache import content_key\n"
+                "from proj.train import train_model\n"
+                "class Engine:\n"
+                "    def fit(self, spec, preset):\n"
+                "        key = content_key({\n"
+                "            'stage': 'fit',\n"
+                "            'seed': preset.seed,\n"
+                "            'framework': spec.framework,\n"
+                "        })\n"
+                "        return self.cache.get_or_compute(\n"
+                "            'fit', key,\n"
+                "            lambda: train_model(spec, preset.seed))\n"
+            ),
+        }
+        findings = lint_program(sources, "REP601")
+        assert rules_of(findings) == ["REP601"]
+        assert "spec.tau" in findings[0].message
+        assert findings[0].path == "proj/engine.py"
+
+    def test_complete_key_clean(self):
+        sources = {
+            "proj/cache.py": _CACHE_STUB,
+            "proj/train.py": (
+                "def train_model(spec, seed):\n"
+                "    return (spec.framework, spec.tau, seed)\n"
+            ),
+            "proj/engine.py": (
+                "from proj.cache import content_key\n"
+                "from proj.train import train_model\n"
+                "class Engine:\n"
+                "    def fit(self, spec, preset):\n"
+                "        key = content_key({\n"
+                "            'stage': 'fit',\n"
+                "            'seed': preset.seed,\n"
+                "            'framework': spec.framework,\n"
+                "            'tau': spec.tau,\n"
+                "        })\n"
+                "        return self.cache.get_or_compute(\n"
+                "            'fit', key,\n"
+                "            lambda: train_model(spec, preset.seed))\n"
+            ),
+        }
+        assert lint_program(sources, "REP601") == []
+
+    def test_whole_object_dump_covers_every_field(self):
+        sources = {
+            "proj/cache.py": _CACHE_STUB,
+            "proj/engine.py": (
+                "from dataclasses import asdict\n"
+                "from proj.cache import content_key\n"
+                "class Engine:\n"
+                "    def fit(self, spec):\n"
+                "        key = content_key({'spec': asdict(spec)})\n"
+                "        return self.cache.get_or_compute(\n"
+                "            'fit', key, lambda: spec.framework + spec.tau)\n"
+            ),
+        }
+        assert lint_program(sources, "REP601") == []
+
+    def test_opaque_key_parameter_skipped(self):
+        # cache plumbing receives key/compute as parameters: the
+        # builders are checked where the expressions are written
+        sources = {
+            "proj/cache.py": _CACHE_STUB,
+            "proj/plumbing.py": (
+                "class Wrapper:\n"
+                "    def fetch(self, key, compute, spec):\n"
+                "        return self.cache.get_or_compute(\n"
+                "            'x', key, compute)\n"
+            ),
+        }
+        assert lint_program(sources, "REP601") == []
+
+    def test_pragma_justifies_deliberate_omission(self):
+        sources = {
+            "proj/cache.py": _CACHE_STUB,
+            "proj/engine.py": (
+                "from proj.cache import content_key\n"
+                "class Engine:\n"
+                "    def fit(self, spec):\n"
+                "        key = content_key({'fw': spec.framework})\n"
+                "        # repro: allow[REP601] label only styles output\n"
+                "        return self.cache.get_or_compute(\n"
+                "            'fit', key,\n"
+                "            lambda: (spec.framework, spec.label))\n"
+            ),
+        }
+        assert lint_program(sources, "REP601") == []
+
+    def test_volatile_id_in_key_payload_flagged(self):
+        sources = {
+            "proj/a.py": (
+                "from proj.cache import content_key\n"
+                "def build(model):\n"
+                "    return content_key({'model': id(model)})\n"
+            ),
+            "proj/cache.py": _CACHE_STUB,
+        }
+        findings = lint_program(sources, "REP602")
+        assert rules_of(findings) == ["REP602"]
+
+    def test_wall_clock_in_key_payload_flagged(self):
+        # REP104 only sees key-*named* functions; REP602 follows the
+        # payload expression itself
+        sources = {
+            "proj/a.py": (
+                "import time\n"
+                "from proj.cache import content_key\n"
+                "def build(spec):\n"
+                "    return content_key({'at': time.time()})\n"
+            ),
+            "proj/cache.py": _CACHE_STUB,
+        }
+        findings = lint_program(sources, "REP602")
+        assert rules_of(findings) == ["REP602"]
+
+    def test_content_derived_payload_clean(self):
+        sources = {
+            "proj/a.py": (
+                "from proj.cache import content_key\n"
+                "def build(spec):\n"
+                "    return content_key(\n"
+                "        {'fw': spec.framework, 'tau': spec.tau})\n"
+            ),
+            "proj/cache.py": _CACHE_STUB,
+        }
+        assert lint_program(sources, "REP602") == []
+
+
+# ---------------------------------------------------------------------------
+# REP7xx scheduler races (whole-program)
+
+
+class TestRaceRules:
+    def test_mixed_lock_discipline_flagged(self):
+        sources = {
+            "proj/sched.py": (
+                "import threading\n"
+                "class Stats:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self.count = 0\n"
+                "    def bump(self):\n"
+                "        with self._lock:\n"
+                "            self.count += 1\n"
+                "    def reset(self):\n"
+                "        self.count = 0\n"
+            ),
+        }
+        findings = lint_program(sources, "REP701")
+        assert rules_of(findings) == ["REP701"]
+        assert "Stats.count" in findings[0].message
+
+    def test_consistent_lock_discipline_clean(self):
+        sources = {
+            "proj/sched.py": (
+                "import threading\n"
+                "class Stats:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self.count = 0\n"
+                "    def bump(self):\n"
+                "        with self._lock:\n"
+                "            self.count += 1\n"
+                "    def reset(self):\n"
+                "        with self._lock:\n"
+                "            self.count = 0\n"
+            ),
+        }
+        assert lint_program(sources, "REP701") == []
+
+    def test_callback_write_flagged(self):
+        sources = {
+            "proj/sched.py": (
+                "class Sched:\n"
+                "    def submit_all(self, pool, items):\n"
+                "        for item in items:\n"
+                "            fut = pool.submit(work, item)\n"
+                "            fut.add_done_callback(self.on_done)\n"
+                "    def on_done(self, fut):\n"
+                "        self.done = True\n"
+            ),
+        }
+        findings = lint_program(sources, "REP702")
+        assert rules_of(findings) == ["REP702"]
+        assert "self.done" in findings[0].message
+
+    def test_factory_closure_entry_traced(self):
+        # the ThreadBackend shape: a method builds the run closure the
+        # pool executes; its writes race even though the closure itself
+        # never appears at the submit site
+        sources = {
+            "proj/backend.py": (
+                "class ThreadBackend:\n"
+                "    def __init__(self, run):\n"
+                "        self._run = run\n"
+            ),
+            "proj/engine.py": (
+                "from proj.backend import ThreadBackend\n"
+                "class Engine:\n"
+                "    def _runner(self):\n"
+                "        def run(index, attempt):\n"
+                "            self.hits += 1\n"
+                "            return index\n"
+                "        return run\n"
+                "    def build(self):\n"
+                "        return ThreadBackend(self._runner())\n"
+            ),
+        }
+        findings = lint_program(sources, "REP702")
+        assert rules_of(findings) == ["REP702"]
+        assert "self.hits" in findings[0].message
+
+    def test_lock_guarded_callback_write_clean(self):
+        sources = {
+            "proj/sched.py": (
+                "class Sched:\n"
+                "    def submit_all(self, pool, items):\n"
+                "        for item in items:\n"
+                "            fut = pool.submit(work, item)\n"
+                "            fut.add_done_callback(self.on_done)\n"
+                "    def on_done(self, fut):\n"
+                "        with self._lock:\n"
+                "            self.done = True\n"
+            ),
+        }
+        assert lint_program(sources, "REP702") == []
+
+    def test_loop_thread_writes_clean(self):
+        # writes from the scheduler's own loop (not reachable from any
+        # entry) are the sanctioned single-writer pattern
+        sources = {
+            "proj/sched.py": (
+                "class Sched:\n"
+                "    def run(self, pool, items):\n"
+                "        for item in items:\n"
+                "            fut = pool.submit(work, item)\n"
+                "            self.results = fut\n"
+            ),
+        }
+        assert lint_program(sources, "REP702") == []
+
+    def test_sleep_under_lock_flagged(self):
+        sources = {
+            "proj/sched.py": (
+                "import time\n"
+                "class Sched:\n"
+                "    def wait(self):\n"
+                "        with self._lock:\n"
+                "            time.sleep(0.5)\n"
+            ),
+        }
+        findings = lint_program(sources, "REP703")
+        assert rules_of(findings) == ["REP703"]
+
+    def test_future_result_under_lock_flagged(self):
+        sources = {
+            "proj/sched.py": (
+                "class Sched:\n"
+                "    def wait(self, future):\n"
+                "        with self._lock:\n"
+                "            return future.result()\n"
+            ),
+        }
+        findings = lint_program(sources, "REP703")
+        assert rules_of(findings) == ["REP703"]
+
+    def test_sleep_outside_lock_clean(self):
+        sources = {
+            "proj/sched.py": (
+                "import time\n"
+                "class Sched:\n"
+                "    def wait(self, future):\n"
+                "        time.sleep(0.5)\n"
+                "        result = future.result()\n"
+                "        with self._lock:\n"
+                "            self.value = result\n"
+            ),
+        }
+        assert lint_program(sources, "REP703") == []
+
+    def test_str_join_not_confused_with_thread_join(self):
+        sources = {
+            "proj/sched.py": (
+                "class Sched:\n"
+                "    def label(self, parts):\n"
+                "        with self._lock:\n"
+                "            return ', '.join(parts)\n"
+            ),
+        }
+        assert lint_program(sources, "REP703") == []
 
 
 # ---------------------------------------------------------------------------
@@ -357,3 +866,109 @@ class TestCliAndGate:
         assert [f.format() for f in findings] == []
         assert files > 100
         assert tuple(selected) == tuple(ALL_RULES)
+
+
+# ---------------------------------------------------------------------------
+# Baselines + path normalization
+
+
+class TestBaseline:
+    def _run(self, *argv_paths, **kwargs):
+        out, err = StringIO(), StringIO()
+        code = run_command(list(argv_paths), out=out, err=err, **kwargs)
+        return code, out.getvalue(), err.getvalue()
+
+    def test_baseline_round_trip(self, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\nrandom.random()\n")
+        baseline = tmp_path / "lint-baseline.json"
+        # write: findings present, exit 0, snapshot lands on disk
+        code, out, _ = self._run(
+            str(dirty), baseline=str(baseline), update_baseline=True
+        )
+        assert code == 0
+        assert "baseline written" in out
+        payload = json.loads(baseline.read_text())
+        assert payload["schema_version"] == 1
+        assert sum(payload["entries"].values()) == 1
+        # compare: the recorded finding is suppressed, tree gates clean
+        code, out, _ = self._run(str(dirty), baseline=str(baseline))
+        assert code == 0
+        assert "clean" in out
+        # a new finding (new file) still fails the gate
+        fresh = tmp_path / "fresh.py"
+        fresh.write_text("import random\nrandom.choice([1])\n")
+        code, out, _ = self._run(
+            str(dirty), str(fresh), baseline=str(baseline)
+        )
+        assert code == 1
+        assert "fresh.py" in out
+        assert "dirty.py" not in out
+
+    def test_extra_finding_in_known_file_reported(self, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\nrandom.random()\n")
+        baseline = tmp_path / "bl.json"
+        self._run(str(dirty), baseline=str(baseline), update_baseline=True)
+        dirty.write_text(
+            "import random\nrandom.random()\nrandom.choice([1])\n"
+        )
+        code, out, _ = self._run(str(dirty), baseline=str(baseline))
+        assert code == 1
+        assert "REP103" in out
+
+    def test_write_baseline_requires_baseline_path(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        code, _, err = self._run(str(clean), update_baseline=True)
+        assert code == 2
+        assert "--baseline" in err
+
+    def test_malformed_baseline_is_usage_error(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code, _, err = self._run(str(clean), baseline=str(bad))
+        assert code == 2
+        assert "baseline" in err
+
+    def test_missing_baseline_is_usage_error(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        code, _, err = self._run(
+            str(clean), baseline=str(tmp_path / "absent.json")
+        )
+        assert code == 2
+
+
+class TestPathNormalization:
+    def test_paths_repo_relative_posix(self, tmp_path):
+        package = tmp_path / "pkg"
+        package.mkdir()
+        (package / "dirty.py").write_text(
+            "import random\nrandom.random()\n"
+        )
+        findings, _, _ = run_lint(
+            paths=[str(package)], root=str(tmp_path)
+        )
+        assert [f.path for f in findings] == ["pkg/dirty.py"]
+
+    def test_json_report_byte_stable_across_invocation_dirs(
+        self, tmp_path, monkeypatch
+    ):
+        package = tmp_path / "pkg"
+        package.mkdir()
+        (package / "dirty.py").write_text(
+            "import random\nrandom.random()\n"
+        )
+        findings_abs, files, selected = run_lint(
+            paths=[str(package)], root=str(tmp_path)
+        )
+        monkeypatch.chdir(tmp_path)
+        findings_rel, files_rel, _ = run_lint(
+            paths=["pkg"], root="."
+        )
+        assert render_json(findings_abs, files, selected) == render_json(
+            findings_rel, files_rel, selected
+        )
